@@ -1,0 +1,221 @@
+// Benchmarks regenerating the paper's evaluation (ICDE 2010, §VI): one
+// testing.B benchmark per figure/table, plus per-method micro-benchmarks of
+// the provider (proof generation) and client (verification) hot paths.
+//
+// The figure benchmarks run the full harness once per iteration and report
+// the headline series as custom metrics, so `go test -bench=. -benchmem`
+// regenerates the entire evaluation. Absolute times are hardware-bound; the
+// shapes (who wins, growth trends) are the reproduction targets — see
+// EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Figure benchmarks use a reduced default (scale 0.05, 30 queries) to keep
+// a full `go test -bench=.` run in minutes on one core; run cmd/spvbench
+// for the full-scale tables.
+package spv_test
+
+import (
+	"fmt"
+	"testing"
+
+	spv "github.com/authhints/spv"
+	"github.com/authhints/spv/internal/bench"
+)
+
+// figSetup is the benchmark-sized experiment setting.
+func figSetup() bench.Setup {
+	s := bench.DefaultSetup()
+	s.Scale = 0.05
+	s.Queries = 30
+	return s
+}
+
+// runFigure executes one harness figure per iteration and reports its first
+// row's headline value as a metric.
+func runFigure(b *testing.B, id string, metric string, col int) {
+	b.Helper()
+	s := figSetup()
+	for i := 0; i < b.N; i++ {
+		table, err := bench.Run(id, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) > 0 && col < len(table.Rows[0].Values) {
+			b.ReportMetric(table.Rows[0].Values[col], metric)
+		}
+	}
+}
+
+// --- one benchmark per paper figure/table ---
+
+func BenchmarkTable2Parameters(b *testing.B)   { runFigure(b, "table2", "scale", 0) }
+func BenchmarkFig08aCommOverhead(b *testing.B) { runFigure(b, "fig8a", "DIJ-total-KB", 2) }
+func BenchmarkFig08bProofItems(b *testing.B)   { runFigure(b, "fig8b", "DIJ-items", 2) }
+func BenchmarkFig08cConstruction(b *testing.B) { runFigure(b, "fig8c", "FULL-sec", 0) }
+func BenchmarkFig09aDatasets(b *testing.B)     { runFigure(b, "fig9a", "DE-DIJ-KB", 0) }
+func BenchmarkFig09bDatasetBuild(b *testing.B) { runFigure(b, "fig9b", "DE-FULL-sec", 0) }
+func BenchmarkFig10Orderings(b *testing.B)     { runFigure(b, "fig10", "bfs-DIJ-KB", 0) }
+func BenchmarkFig11aFanout(b *testing.B)       { runFigure(b, "fig11a", "f2-DIJ-KB", 0) }
+func BenchmarkFig11bQueryRange(b *testing.B)   { runFigure(b, "fig11b", "r250-DIJ-KB", 0) }
+func BenchmarkFig12aLandmarksComm(b *testing.B) {
+	runFigure(b, "fig12a", "c50-total-KB", 2)
+}
+func BenchmarkFig12bLandmarksBuild(b *testing.B) {
+	runFigure(b, "fig12b", "c50-sec", 0)
+}
+func BenchmarkFig13aCellsComm(b *testing.B)  { runFigure(b, "fig13a", "p25-total-KB", 2) }
+func BenchmarkFig13bCellsBuild(b *testing.B) { runFigure(b, "fig13b", "p25-sec", 0) }
+func BenchmarkVerifyLatency(b *testing.B)    { runFigure(b, "verify", "DIJ-client-ms", 1) }
+func BenchmarkExtAQuantBits(b *testing.B)    { runFigure(b, "extA", "b4-total-KB", 1) }
+func BenchmarkExtBCompression(b *testing.B)  { runFigure(b, "extB", "xi0-total-KB", 1) }
+
+// --- per-method micro-benchmarks: provider and client hot paths ---
+
+type microWorld struct {
+	g    *spv.Graph
+	v    *spv.Verifier
+	dij  *spv.DIJProvider
+	full *spv.FULLProvider
+	ldm  *spv.LDMProvider
+	hyp  *spv.HYPProvider
+	qs   []spv.Query
+}
+
+var micro *microWorld
+
+func microSetup(b *testing.B) *microWorld {
+	b.Helper()
+	if micro != nil {
+		return micro
+	}
+	g, err := spv.GenerateNetwork(spv.DE, spv.NetworkConfig{Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	owner, err := spv.NewOwner(g, spv.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := &microWorld{g: g, v: owner.Verifier()}
+	if m.dij, err = owner.OutsourceDIJ(); err != nil {
+		b.Fatal(err)
+	}
+	if m.full, err = owner.OutsourceFULL(); err != nil {
+		b.Fatal(err)
+	}
+	if m.ldm, err = owner.OutsourceLDM(); err != nil {
+		b.Fatal(err)
+	}
+	if m.hyp, err = owner.OutsourceHYP(); err != nil {
+		b.Fatal(err)
+	}
+	if m.qs, err = spv.GenerateWorkload(g, 16, 4000, 9); err != nil {
+		b.Fatal(err)
+	}
+	micro = m
+	return m
+}
+
+func BenchmarkProviderQuery(b *testing.B) {
+	m := microSetup(b)
+	for _, method := range spv.Methods() {
+		b.Run(string(method), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := m.qs[i%len(m.qs)]
+				var err error
+				switch method {
+				case spv.DIJ:
+					_, err = m.dij.Query(q.S, q.T)
+				case spv.FULL:
+					_, err = m.full.Query(q.S, q.T)
+				case spv.LDM:
+					_, err = m.ldm.Query(q.S, q.T)
+				case spv.HYP:
+					_, err = m.hyp.Query(q.S, q.T)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkClientVerify(b *testing.B) {
+	m := microSetup(b)
+	q := m.qs[0]
+	dp, err := m.dij.Query(q.S, q.T)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp, err := m.full.Query(q.S, q.T)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lp, err := m.ldm.Query(q.S, q.T)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hp, err := m.hyp.Query(q.S, q.T)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("DIJ", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := spv.VerifyDIJ(m.v, q.S, q.T, dp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("FULL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := spv.VerifyFULL(m.v, q.S, q.T, fp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("LDM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := spv.VerifyLDM(m.v, q.S, q.T, lp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("HYP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := spv.VerifyHYP(m.v, q.S, q.T, hp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkOutsourcing(b *testing.B) {
+	g, err := spv.GenerateNetwork(spv.DE, spv.NetworkConfig{Scale: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	owner, err := spv.NewOwner(g, spv.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, method := range spv.Methods() {
+		b.Run(fmt.Sprintf("%s/n=%d", method, g.NumNodes()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				switch method {
+				case spv.DIJ:
+					_, err = owner.OutsourceDIJ()
+				case spv.FULL:
+					_, err = owner.OutsourceFULL()
+				case spv.LDM:
+					_, err = owner.OutsourceLDM()
+				case spv.HYP:
+					_, err = owner.OutsourceHYP()
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+// Command spvbench regenerates the paper's evaluation figures and tables
+// (Yiu, Lin, Mouratidis: "Efficient Verification of Shortest Path Search
+// via Authenticated Hints", ICDE 2010, §VI) on synthesized road networks.
+//
+// Usage:
+//
+//	spvbench                      # run every figure with defaults
+//	spvbench -fig fig8a           # one figure
+//	spvbench -fig fig9a -scale 0.1 -queries 50
+//	spvbench -list                # list figure IDs
+//
+// Output is aligned text, one table per figure, matching the series the
+// paper plots. Expect several minutes for the full run on one core: FULL's
+// all-pairs hint construction is the dominant cost, by design.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/authhints/spv/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure ID to regenerate, or 'all'")
+		list    = flag.Bool("list", false, "list figure IDs and exit")
+		scale   = flag.Float64("scale", 0.1, "dataset scale factor")
+		queries = flag.Int("queries", 100, "queries per data point")
+		qrange  = flag.Float64("range", 4000, "default query range")
+		seed    = flag.Int64("seed", 1, "workload/dataset seed")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.Figures, "\n"))
+		return
+	}
+	setup := bench.DefaultSetup()
+	setup.Scale = *scale
+	setup.Queries = *queries
+	setup.QueryRange = *qrange
+	setup.Seed = *seed
+
+	ids := bench.Figures
+	if *fig != "all" {
+		ids = strings.Split(*fig, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := bench.Run(strings.TrimSpace(id), setup)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spvbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(table.Format())
+		fmt.Printf("   (regenerated in %.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

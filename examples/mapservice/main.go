@@ -1,0 +1,161 @@
+// Mapservice: choosing a verification method for an online map service.
+//
+// The four methods trade offline hint construction against per-query proof
+// size (the paper's central tension, Fig 8). This example deploys all four
+// over the same network and prints the operational numbers a service
+// architect would compare: build time, per-query proof size, provider and
+// client latency.
+//
+// Run with:
+//
+//	go run ./examples/mapservice
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	spv "github.com/authhints/spv"
+)
+
+const queries = 25
+
+func main() {
+	network, err := spv.GenerateNetwork(spv.DE, spv.NetworkConfig{Scale: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner, err := spv.NewOwner(network, spv.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	work, err := spv.GenerateWorkload(network, queries, 4000, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("map service capacity planning: %d nodes, %d queries/method\n\n",
+		network.NumNodes(), queries)
+	fmt.Printf("%-6s %12s %14s %14s %14s\n",
+		"method", "build", "proof KB", "provider ms", "client ms")
+
+	for _, m := range spv.Methods() {
+		buildStart := time.Now()
+		query, verify, err := deploy(owner, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		build := time.Since(buildStart)
+
+		var provTime, cliTime time.Duration
+		var bytes int
+		for _, q := range work {
+			t0 := time.Now()
+			proofBytes, stats, err := query(q.S, q.T)
+			if err != nil {
+				log.Fatal(err)
+			}
+			provTime += time.Since(t0)
+			bytes += stats.TotalBytes()
+
+			t0 = time.Now()
+			if err := verify(q.S, q.T, proofBytes); err != nil {
+				log.Fatalf("%s: verification failed: %v", m, err)
+			}
+			cliTime += time.Since(t0)
+		}
+		fmt.Printf("%-6s %12s %14.1f %14.3f %14.3f\n",
+			m, build.Round(time.Millisecond),
+			float64(bytes)/float64(queries)/1024,
+			provTime.Seconds()*1000/queries,
+			cliTime.Seconds()*1000/queries)
+	}
+	fmt.Println("\nreading the table: FULL buys the smallest proofs with the most")
+	fmt.Println("pre-computation; DIJ needs none but ships the largest proofs;")
+	fmt.Println("LDM and HYP sit between — the paper's Fig 8 trade-off.")
+}
+
+// deploy outsources one method and returns closures that exercise it
+// through the real wire format: proofs are serialized by the provider and
+// decoded by the client, exactly as they would cross a network.
+func deploy(owner *spv.Owner, m spv.Method) (
+	func(s, t spv.NodeID) ([]byte, spv.ProofStats, error),
+	func(s, t spv.NodeID, wire []byte) error,
+	error,
+) {
+	v := owner.Verifier()
+	switch m {
+	case spv.DIJ:
+		p, err := owner.OutsourceDIJ()
+		if err != nil {
+			return nil, nil, err
+		}
+		return func(s, t spv.NodeID) ([]byte, spv.ProofStats, error) {
+				proof, err := p.Query(s, t)
+				if err != nil {
+					return nil, spv.ProofStats{}, err
+				}
+				return proof.AppendBinary(nil), proof.Stats(), nil
+			}, func(s, t spv.NodeID, wire []byte) error {
+				proof, _, err := spv.DecodeDIJProof(wire)
+				if err != nil {
+					return err
+				}
+				return spv.VerifyDIJ(v, s, t, proof)
+			}, nil
+	case spv.FULL:
+		p, err := owner.OutsourceFULL()
+		if err != nil {
+			return nil, nil, err
+		}
+		return func(s, t spv.NodeID) ([]byte, spv.ProofStats, error) {
+				proof, err := p.Query(s, t)
+				if err != nil {
+					return nil, spv.ProofStats{}, err
+				}
+				return proof.AppendBinary(nil), proof.Stats(), nil
+			}, func(s, t spv.NodeID, wire []byte) error {
+				proof, _, err := spv.DecodeFULLProof(wire)
+				if err != nil {
+					return err
+				}
+				return spv.VerifyFULL(v, s, t, proof)
+			}, nil
+	case spv.LDM:
+		p, err := owner.OutsourceLDM()
+		if err != nil {
+			return nil, nil, err
+		}
+		return func(s, t spv.NodeID) ([]byte, spv.ProofStats, error) {
+				proof, err := p.Query(s, t)
+				if err != nil {
+					return nil, spv.ProofStats{}, err
+				}
+				return proof.AppendBinary(nil), proof.Stats(), nil
+			}, func(s, t spv.NodeID, wire []byte) error {
+				proof, _, err := spv.DecodeLDMProof(wire)
+				if err != nil {
+					return err
+				}
+				return spv.VerifyLDM(v, s, t, proof)
+			}, nil
+	default:
+		p, err := owner.OutsourceHYP()
+		if err != nil {
+			return nil, nil, err
+		}
+		return func(s, t spv.NodeID) ([]byte, spv.ProofStats, error) {
+				proof, err := p.Query(s, t)
+				if err != nil {
+					return nil, spv.ProofStats{}, err
+				}
+				return proof.AppendBinary(nil), proof.Stats(), nil
+			}, func(s, t spv.NodeID, wire []byte) error {
+				proof, _, err := spv.DecodeHYPProof(wire)
+				if err != nil {
+					return err
+				}
+				return spv.VerifyHYP(v, s, t, proof)
+			}, nil
+	}
+}

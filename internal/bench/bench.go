@@ -1,0 +1,259 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§VI): workload generation, parameter
+// sweeps, all four methods, and the same rows/series the paper reports —
+// communication overhead in KBytes split into S-prf/T-prf, item counts,
+// and offline construction times.
+//
+// Defaults mirror Table II, adapted to the documented 1/10-scale synthetic
+// datasets (DESIGN.md §3, EXPERIMENTS.md): dataset DE, Hilbert ordering,
+// Merkle fanout 2, query range 4,000 (the paper's 2,000 scaled ×2 to keep
+// the Dijkstra-ball node fraction comparable at 1/10 density — the paper's
+// own 2,000 is also swept in Fig 11b), 100 queries per data point.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/authhints/spv/internal/core"
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/netgen"
+	"github.com/authhints/spv/internal/workload"
+)
+
+// Setup carries the experiment-wide knobs.
+type Setup struct {
+	Dataset    netgen.Dataset
+	Scale      float64 // dataset scale factor (default 0.1)
+	QueryRange float64 // workload target distance (default 4,000)
+	Queries    int     // queries per data point (default 100)
+	Seed       int64
+	Config     core.Config
+}
+
+// DefaultSetup returns the default experiment setting.
+func DefaultSetup() Setup {
+	return Setup{
+		Dataset:    netgen.DE,
+		Scale:      0.1,
+		QueryRange: 4000,
+		Queries:    100,
+		Seed:       1,
+		Config:     core.DefaultConfig(),
+	}
+}
+
+// Table is one regenerated figure or table: labeled rows of named columns.
+type Table struct {
+	ID      string // e.g. "fig8a"
+	Title   string
+	Columns []string
+	Rows    []Row
+}
+
+// Row is one labeled series point.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	out := fmt.Sprintf("== %s: %s ==\n", t.ID, t.Title)
+	out += fmt.Sprintf("%-22s", "")
+	for _, c := range t.Columns {
+		out += fmt.Sprintf("%14s", c)
+	}
+	out += "\n"
+	for _, r := range t.Rows {
+		out += fmt.Sprintf("%-22s", r.Label)
+		for _, v := range r.Values {
+			switch {
+			case v == float64(int64(v)) && v < 1e15:
+				out += fmt.Sprintf("%14.0f", v)
+			case v >= 100:
+				out += fmt.Sprintf("%14.1f", v)
+			default:
+				out += fmt.Sprintf("%14.3f", v)
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// world is a built three-party deployment plus workload.
+type world struct {
+	g       *graph.Graph
+	owner   *core.Owner
+	queries []workload.Query
+
+	dij  *core.DIJProvider
+	full *core.FULLProvider
+	ldm  *core.LDMProvider
+	hyp  *core.HYPProvider
+
+	buildDIJ  time.Duration
+	buildFULL time.Duration
+	buildLDM  time.Duration
+	buildHYP  time.Duration
+}
+
+// buildWorld constructs the network, owner, selected providers and
+// workload. methods selects which providers to build (empty = all four).
+func buildWorld(s Setup, methods ...core.Method) (*world, error) {
+	g, err := netgen.Generate(s.Dataset, netgen.Config{Scale: s.Scale, Seed: s.Seed * 7919})
+	if err != nil {
+		return nil, err
+	}
+	owner, err := core.NewOwner(g, s.Config)
+	if err != nil {
+		return nil, err
+	}
+	w := &world{g: g, owner: owner}
+	if w.queries, err = workload.Generate(g, s.Queries, s.QueryRange, s.Seed); err != nil {
+		return nil, err
+	}
+	want := map[core.Method]bool{}
+	if len(methods) == 0 {
+		methods = core.Methods()
+	}
+	for _, m := range methods {
+		want[m] = true
+	}
+	if want[core.DIJ] {
+		start := time.Now()
+		if w.dij, err = owner.OutsourceDIJ(); err != nil {
+			return nil, err
+		}
+		w.buildDIJ = time.Since(start)
+	}
+	if want[core.FULL] {
+		start := time.Now()
+		if w.full, err = owner.OutsourceFULL(); err != nil {
+			return nil, err
+		}
+		w.buildFULL = time.Since(start)
+	}
+	if want[core.LDM] {
+		start := time.Now()
+		if w.ldm, err = owner.OutsourceLDM(); err != nil {
+			return nil, err
+		}
+		w.buildLDM = time.Since(start)
+	}
+	if want[core.HYP] {
+		start := time.Now()
+		if w.hyp, err = owner.OutsourceHYP(); err != nil {
+			return nil, err
+		}
+		w.buildHYP = time.Since(start)
+	}
+	return w, nil
+}
+
+// methodStats runs the whole workload through one method, verifying every
+// proof, and returns the average ProofStats plus timing.
+type methodStats struct {
+	core.ProofStats               // workload averages
+	queryTime       time.Duration // provider-side, per query
+	verifyTime      time.Duration // client-side, per query
+}
+
+func (w *world) run(m core.Method) (methodStats, error) {
+	var agg core.ProofStats
+	var qt, vt time.Duration
+	verifier := w.owner.Verifier()
+	for _, q := range w.queries {
+		switch m {
+		case core.DIJ:
+			start := time.Now()
+			p, err := w.dij.Query(q.S, q.T)
+			if err != nil {
+				return methodStats{}, fmt.Errorf("DIJ query %d→%d: %w", q.S, q.T, err)
+			}
+			qt += time.Since(start)
+			start = time.Now()
+			if err := core.VerifyDIJ(verifier, q.S, q.T, p); err != nil {
+				return methodStats{}, fmt.Errorf("DIJ verify %d→%d: %w", q.S, q.T, err)
+			}
+			vt += time.Since(start)
+			agg = addStats(agg, p.Stats())
+		case core.FULL:
+			start := time.Now()
+			p, err := w.full.Query(q.S, q.T)
+			if err != nil {
+				return methodStats{}, fmt.Errorf("FULL query %d→%d: %w", q.S, q.T, err)
+			}
+			qt += time.Since(start)
+			start = time.Now()
+			if err := core.VerifyFULL(verifier, q.S, q.T, p); err != nil {
+				return methodStats{}, fmt.Errorf("FULL verify %d→%d: %w", q.S, q.T, err)
+			}
+			vt += time.Since(start)
+			agg = addStats(agg, p.Stats())
+		case core.LDM:
+			start := time.Now()
+			p, err := w.ldm.Query(q.S, q.T)
+			if err != nil {
+				return methodStats{}, fmt.Errorf("LDM query %d→%d: %w", q.S, q.T, err)
+			}
+			qt += time.Since(start)
+			start = time.Now()
+			if err := core.VerifyLDM(verifier, q.S, q.T, p); err != nil {
+				return methodStats{}, fmt.Errorf("LDM verify %d→%d: %w", q.S, q.T, err)
+			}
+			vt += time.Since(start)
+			agg = addStats(agg, p.Stats())
+		case core.HYP:
+			start := time.Now()
+			p, err := w.hyp.Query(q.S, q.T)
+			if err != nil {
+				return methodStats{}, fmt.Errorf("HYP query %d→%d: %w", q.S, q.T, err)
+			}
+			qt += time.Since(start)
+			start = time.Now()
+			if err := core.VerifyHYP(verifier, q.S, q.T, p); err != nil {
+				return methodStats{}, fmt.Errorf("HYP verify %d→%d: %w", q.S, q.T, err)
+			}
+			vt += time.Since(start)
+			agg = addStats(agg, p.Stats())
+		}
+	}
+	n := len(w.queries)
+	avg := core.ProofStats{
+		SBytes: agg.SBytes / n, TBytes: agg.TBytes / n,
+		SItems: agg.SItems / n, TItems: agg.TItems / n,
+		Base: agg.Base / n,
+	}
+	return methodStats{
+		ProofStats: avg,
+		queryTime:  qt / time.Duration(n),
+		verifyTime: vt / time.Duration(n),
+	}, nil
+}
+
+func addStats(a, b core.ProofStats) core.ProofStats {
+	return core.ProofStats{
+		SBytes: a.SBytes + b.SBytes, TBytes: a.TBytes + b.TBytes,
+		SItems: a.SItems + b.SItems, TItems: a.TItems + b.TItems,
+		Base: a.Base + b.Base,
+	}
+}
+
+// kb converts bytes to KBytes.
+func kb(b int) float64 { return float64(b) / 1024 }
+
+// regenerateWorkload rebuilds the query set for a new range on an existing
+// world (Fig 11b varies the range without rebuilding the ADSs).
+func regenerateWorkload(w *world, s Setup) ([]workload.Query, error) {
+	return workload.Generate(w.g, s.Queries, s.QueryRange, s.Seed)
+}
+
+// numBorders reports the HYP provider's border-node count (Fig 13b).
+func numBorders(w *world) int {
+	if w.hyp == nil {
+		return 0
+	}
+	return w.hyp.NumBorders()
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/authhints/spv/internal/core"
+)
+
+// smallSetup keeps harness tests fast: tiny network, few queries.
+func smallSetup() Setup {
+	s := DefaultSetup()
+	s.Scale = 0.012 // ≈350 nodes for DE
+	s.Queries = 4
+	s.QueryRange = 3000
+	s.Config.Landmarks = 8
+	s.Config.Cells = 16
+	return s
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run("fig99", smallSetup()); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestAllFiguresSmoke(t *testing.T) {
+	// Every figure must run end to end on a miniature setting and produce a
+	// non-empty, well-formed table. Sweeps exercise their full parameter
+	// lists, so this also covers fanout/ordering/cells/landmark plumbing.
+	if testing.Short() {
+		t.Skip("harness smoke test is slow")
+	}
+	for _, id := range Figures {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			table, err := Run(id, smallSetup())
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if table.ID != id {
+				t.Errorf("table ID %q, want %q", table.ID, id)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatalf("%s: empty table", id)
+			}
+			for _, r := range table.Rows {
+				if id == "table2" {
+					continue // parameter dump has free-form rows
+				}
+				if len(r.Values) != len(table.Columns) {
+					t.Errorf("%s row %q has %d values for %d columns",
+						id, r.Label, len(r.Values), len(table.Columns))
+				}
+			}
+			text := table.Format()
+			if !strings.Contains(text, id) || len(strings.Split(text, "\n")) < 3 {
+				t.Errorf("%s: malformed format output", id)
+			}
+		})
+	}
+}
+
+func TestFig8aShape(t *testing.T) {
+	// The headline result must hold even on the miniature setting: FULL's
+	// ΓS is tiny (a single authenticated distance) and DIJ's ΓS dominates
+	// everything else's.
+	table, err := Fig8a(smallSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[string]Row{}
+	for _, r := range table.Rows {
+		byMethod[r.Label] = r
+	}
+	dijS := byMethod[string(core.DIJ)].Values[0]
+	fullS := byMethod[string(core.FULL)].Values[0]
+	if fullS >= dijS {
+		t.Errorf("FULL S-prf %.2fKB not below DIJ %.2fKB", fullS, dijS)
+	}
+	for _, m := range []string{"FULL", "LDM", "HYP"} {
+		if byMethod[m].Values[2] <= 0 {
+			t.Errorf("%s total is zero", m)
+		}
+	}
+}
+
+func TestWorldRunRejectsMissingProvider(t *testing.T) {
+	s := smallSetup()
+	w, err := buildWorld(s, core.DIJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.full != nil || w.ldm != nil || w.hyp != nil {
+		t.Error("unrequested providers were built")
+	}
+	if _, err := w.run(core.DIJ); err != nil {
+		t.Errorf("DIJ run: %v", err)
+	}
+}

@@ -1,0 +1,473 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/authhints/spv/internal/core"
+	"github.com/authhints/spv/internal/netgen"
+	"github.com/authhints/spv/internal/order"
+)
+
+// Figure IDs in the paper's order. Every entry regenerates one figure (or
+// the Table II configuration dump) with Run.
+var Figures = []string{
+	"table2", "fig8a", "fig8b", "fig8c", "fig9a", "fig9b",
+	"fig10", "fig11a", "fig11b", "fig12a", "fig12b", "fig13a", "fig13b",
+	"verify", "extA", "extB",
+}
+
+// Run regenerates one figure by ID.
+func Run(id string, s Setup) (Table, error) {
+	switch id {
+	case "table2":
+		return Table2(s), nil
+	case "fig8a":
+		return Fig8a(s)
+	case "fig8b":
+		return Fig8b(s)
+	case "fig8c":
+		return Fig8c(s)
+	case "fig9a":
+		return Fig9a(s)
+	case "fig9b":
+		return Fig9b(s)
+	case "fig10":
+		return Fig10(s)
+	case "fig11a":
+		return Fig11a(s)
+	case "fig11b":
+		return Fig11b(s)
+	case "fig12a":
+		return Fig12a(s)
+	case "fig12b":
+		return Fig12b(s)
+	case "fig13a":
+		return Fig13a(s)
+	case "fig13b":
+		return Fig13b(s)
+	case "verify":
+		return VerifyLatency(s)
+	case "extA":
+		return ExtAQuantBits(s)
+	case "extB":
+		return ExtBCompression(s)
+	}
+	return Table{}, fmt.Errorf("bench: unknown figure %q", id)
+}
+
+// Table2 dumps the experiment parameter space (the paper's Table II) with
+// this reproduction's defaults.
+func Table2(s Setup) Table {
+	return Table{
+		ID:      "table2",
+		Title:   "experiment parameters (defaults in row labels)",
+		Columns: []string{"default"},
+		Rows: []Row{
+			{Label: "datasets DE/ARG/IND/NA (scale)", Values: []float64{s.Scale}},
+			{Label: "orderings bfs/dfs/hbt/kd/rand", Values: []float64{0}},
+			{Label: "query range (default)", Values: []float64{s.QueryRange}},
+			{Label: "Merkle fanout (default)", Values: []float64{float64(s.Config.Fanout)}},
+			{Label: "landmarks c (default)", Values: []float64{float64(s.Config.Landmarks)}},
+			{Label: "quant bits b", Values: []float64{float64(s.Config.QuantBits)}},
+			{Label: "compression xi", Values: []float64{s.Config.Xi}},
+			{Label: "HYP cells p (default)", Values: []float64{float64(s.Config.Cells)}},
+			{Label: "queries per point", Values: []float64{float64(s.Queries)}},
+		},
+	}
+}
+
+// Fig8a: communication overhead (KBytes) of the four methods in the default
+// setting, split into S-prf and T-prf.
+func Fig8a(s Setup) (Table, error) {
+	w, err := buildWorld(s)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "fig8a",
+		Title:   "communication overhead, default setting [KBytes]",
+		Columns: []string{"S-prf KB", "T-prf KB", "total KB"},
+	}
+	for _, m := range core.Methods() {
+		ms, err := w.run(m)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  string(m),
+			Values: []float64{kb(ms.SBytes), kb(ms.TBytes), kb(ms.TotalBytes())},
+		})
+	}
+	return t, nil
+}
+
+// Fig8b: number of items in ΓS and ΓT in the default setting.
+func Fig8b(s Setup) (Table, error) {
+	w, err := buildWorld(s)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "fig8b",
+		Title:   "number of items in proofs, default setting",
+		Columns: []string{"S-prf items", "T-prf items", "total"},
+	}
+	for _, m := range core.Methods() {
+		ms, err := w.run(m)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  string(m),
+			Values: []float64{float64(ms.SItems), float64(ms.TItems), float64(ms.TotalItems())},
+		})
+	}
+	return t, nil
+}
+
+// Fig8c: offline construction time (seconds) of the authenticated hints in
+// the default setting. DIJ is omitted as in the paper (no hints).
+func Fig8c(s Setup) (Table, error) {
+	w, err := buildWorld(s, core.FULL, core.LDM, core.HYP)
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		ID:      "fig8c",
+		Title:   "offline construction time, default setting [sec]",
+		Columns: []string{"seconds"},
+		Rows: []Row{
+			{Label: "FULL", Values: []float64{w.buildFULL.Seconds()}},
+			{Label: "LDM", Values: []float64{w.buildLDM.Seconds()}},
+			{Label: "HYP", Values: []float64{w.buildHYP.Seconds()}},
+		},
+	}, nil
+}
+
+// fig9Scale shrinks the dataset sweep so FULL's quadratic hint construction
+// stays laptop-friendly on the larger datasets (documented in
+// EXPERIMENTS.md; raise via Setup.Scale for bigger runs).
+const fig9Scale = 0.05
+
+// Fig9a: communication overhead across the four datasets.
+func Fig9a(s Setup) (Table, error) {
+	t := Table{
+		ID:      "fig9a",
+		Title:   "communication overhead per dataset [KBytes total (S-prf)]",
+		Columns: []string{"DIJ", "FULL", "LDM", "HYP"},
+	}
+	for _, d := range netgen.Datasets() {
+		ds := s
+		ds.Dataset = d
+		if s.Scale >= 0.1 {
+			ds.Scale = fig9Scale
+		}
+		w, err := buildWorld(ds)
+		if err != nil {
+			return Table{}, err
+		}
+		row := Row{Label: string(d)}
+		for _, m := range core.Methods() {
+			ms, err := w.run(m)
+			if err != nil {
+				return Table{}, err
+			}
+			row.Values = append(row.Values, kb(ms.TotalBytes()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig9b: offline construction time across the four datasets.
+func Fig9b(s Setup) (Table, error) {
+	t := Table{
+		ID:      "fig9b",
+		Title:   "construction time per dataset [sec]",
+		Columns: []string{"FULL", "LDM", "HYP"},
+	}
+	for _, d := range netgen.Datasets() {
+		ds := s
+		ds.Dataset = d
+		if s.Scale >= 0.1 {
+			ds.Scale = fig9Scale
+		}
+		w, err := buildWorld(ds, core.FULL, core.LDM, core.HYP)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: string(d),
+			Values: []float64{
+				w.buildFULL.Seconds(), w.buildLDM.Seconds(), w.buildHYP.Seconds(),
+			},
+		})
+	}
+	return t, nil
+}
+
+// Fig10: communication overhead under the five graph-node orderings.
+func Fig10(s Setup) (Table, error) {
+	t := Table{
+		ID:      "fig10",
+		Title:   "communication overhead per node ordering [KBytes total]",
+		Columns: []string{"DIJ", "FULL", "LDM", "HYP"},
+	}
+	for _, o := range order.Methods() {
+		os := s
+		os.Config.Ordering = o
+		w, err := buildWorld(os)
+		if err != nil {
+			return Table{}, err
+		}
+		row := Row{Label: string(o)}
+		for _, m := range core.Methods() {
+			ms, err := w.run(m)
+			if err != nil {
+				return Table{}, err
+			}
+			row.Values = append(row.Values, kb(ms.TotalBytes()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig11a: communication overhead vs Merkle tree fanout.
+func Fig11a(s Setup) (Table, error) {
+	t := Table{
+		ID:      "fig11a",
+		Title:   "communication overhead vs Merkle fanout [KBytes total]",
+		Columns: []string{"DIJ", "FULL", "LDM", "HYP"},
+	}
+	for _, f := range []int{2, 4, 8, 16, 32} {
+		fs := s
+		fs.Config.Fanout = f
+		w, err := buildWorld(fs)
+		if err != nil {
+			return Table{}, err
+		}
+		row := Row{Label: fmt.Sprintf("fanout %d", f)}
+		for _, m := range core.Methods() {
+			ms, err := w.run(m)
+			if err != nil {
+				return Table{}, err
+			}
+			row.Values = append(row.Values, kb(ms.TotalBytes()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig11b: communication overhead vs query range (paper values ×1000).
+func Fig11b(s Setup) (Table, error) {
+	t := Table{
+		ID:      "fig11b",
+		Title:   "communication overhead vs query range [KBytes total]",
+		Columns: []string{"DIJ", "FULL", "LDM", "HYP"},
+	}
+	w, err := buildWorld(s) // one world; workloads vary per range
+	if err != nil {
+		return Table{}, err
+	}
+	for _, r := range []float64{250, 500, 1000, 2000, 4000, 8000} {
+		rs := s
+		rs.QueryRange = r
+		queries, err := regenerateWorkload(w, rs)
+		if err != nil {
+			return Table{}, err
+		}
+		w.queries = queries
+		row := Row{Label: fmt.Sprintf("range %.0f", r)}
+		for _, m := range core.Methods() {
+			ms, err := w.run(m)
+			if err != nil {
+				return Table{}, err
+			}
+			row.Values = append(row.Values, kb(ms.TotalBytes()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig12a: LDM communication overhead vs number of landmarks, sweeping the
+// paper's absolute values.
+func Fig12a(s Setup) (Table, error) {
+	t := Table{
+		ID:      "fig12a",
+		Title:   "LDM communication overhead vs landmarks [KBytes]",
+		Columns: []string{"S-prf KB", "T-prf KB", "total KB", "tuples"},
+	}
+	for _, c := range []int{50, 100, 200, 400, 800} {
+		cs := s
+		cs.Config.Landmarks = c
+		w, err := buildWorld(cs, core.LDM)
+		if err != nil {
+			return Table{}, err
+		}
+		ms, err := w.run(core.LDM)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  fmt.Sprintf("c=%d", c),
+			Values: []float64{kb(ms.SBytes), kb(ms.TBytes), kb(ms.TotalBytes()), float64(ms.SItems)},
+		})
+	}
+	return t, nil
+}
+
+// Fig12b: LDM construction time vs number of landmarks.
+func Fig12b(s Setup) (Table, error) {
+	t := Table{
+		ID:      "fig12b",
+		Title:   "LDM construction time vs landmarks [sec]",
+		Columns: []string{"seconds"},
+	}
+	for _, c := range []int{50, 100, 200, 400, 800} {
+		cs := s
+		cs.Config.Landmarks = c
+		w, err := buildWorld(cs, core.LDM)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  fmt.Sprintf("c=%d", c),
+			Values: []float64{w.buildLDM.Seconds()},
+		})
+	}
+	return t, nil
+}
+
+// Fig13a: HYP communication overhead vs number of cells.
+func Fig13a(s Setup) (Table, error) {
+	t := Table{
+		ID:      "fig13a",
+		Title:   "HYP communication overhead vs cells [KBytes]",
+		Columns: []string{"S-prf KB", "T-prf KB", "total KB"},
+	}
+	for _, p := range []int{25, 49, 100, 225, 400, 625} {
+		ps := s
+		ps.Config.Cells = p
+		w, err := buildWorld(ps, core.HYP)
+		if err != nil {
+			return Table{}, err
+		}
+		ms, err := w.run(core.HYP)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  fmt.Sprintf("p=%d", p),
+			Values: []float64{kb(ms.SBytes), kb(ms.TBytes), kb(ms.TotalBytes())},
+		})
+	}
+	return t, nil
+}
+
+// Fig13b: HYP construction time vs number of cells.
+func Fig13b(s Setup) (Table, error) {
+	t := Table{
+		ID:      "fig13b",
+		Title:   "HYP construction time vs cells [sec]",
+		Columns: []string{"seconds", "borders"},
+	}
+	for _, p := range []int{25, 49, 100, 225, 400, 625} {
+		ps := s
+		ps.Config.Cells = p
+		w, err := buildWorld(ps, core.HYP)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  fmt.Sprintf("p=%d", p),
+			Values: []float64{w.buildHYP.Seconds(), float64(numBorders(w))},
+		})
+	}
+	return t, nil
+}
+
+// VerifyLatency: per-query provider and client times (the paper's §VI text:
+// client verification < 100 ms for FULL/LDM/HYP, ~1.5 s for DIJ at their
+// scale).
+func VerifyLatency(s Setup) (Table, error) {
+	w, err := buildWorld(s)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:      "verify",
+		Title:   "per-query latency [ms]",
+		Columns: []string{"provider ms", "client ms"},
+	}
+	for _, m := range core.Methods() {
+		ms, err := w.run(m)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label: string(m),
+			Values: []float64{
+				float64(ms.queryTime.Microseconds()) / 1000,
+				float64(ms.verifyTime.Microseconds()) / 1000,
+			},
+		})
+	}
+	return t, nil
+}
+
+// ExtAQuantBits: ablation the paper defers (§VI-A): LDM proof size vs
+// quantization bits b.
+func ExtAQuantBits(s Setup) (Table, error) {
+	t := Table{
+		ID:      "extA",
+		Title:   "LDM vs quantization bits b [KBytes]",
+		Columns: []string{"S-prf KB", "total KB", "tuples"},
+	}
+	for _, b := range []int{4, 8, 12, 16, 24} {
+		bs := s
+		bs.Config.QuantBits = b
+		w, err := buildWorld(bs, core.LDM)
+		if err != nil {
+			return Table{}, err
+		}
+		ms, err := w.run(core.LDM)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  fmt.Sprintf("b=%d", b),
+			Values: []float64{kb(ms.SBytes), kb(ms.TotalBytes()), float64(ms.SItems)},
+		})
+	}
+	return t, nil
+}
+
+// ExtBCompression: ablation the paper defers: LDM proof size vs compression
+// threshold ξ.
+func ExtBCompression(s Setup) (Table, error) {
+	t := Table{
+		ID:      "extB",
+		Title:   "LDM vs compression threshold xi [KBytes]",
+		Columns: []string{"S-prf KB", "total KB", "tuples"},
+	}
+	for _, xi := range []float64{0, 25, 50, 100, 200, 400} {
+		xs := s
+		xs.Config.Xi = xi
+		w, err := buildWorld(xs, core.LDM)
+		if err != nil {
+			return Table{}, err
+		}
+		ms, err := w.run(core.LDM)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  fmt.Sprintf("xi=%.0f", xi),
+			Values: []float64{kb(ms.SBytes), kb(ms.TotalBytes()), float64(ms.SItems)},
+		})
+	}
+	return t, nil
+}

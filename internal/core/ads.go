@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/mht"
+	"github.com/authhints/spv/internal/order"
+)
+
+// networkADS is the graph-node Merkle tree of §III-B: extended-tuples Φ(v)
+// laid out as leaves under a graph-node ordering, hashed into a tree of the
+// configured fanout. It is shared by all four methods (with method-specific
+// tuple extras) and lives on the provider's side; clients only ever see
+// tuples plus mht proofs.
+type networkADS struct {
+	ord  *order.Ordering
+	tree *mht.Tree
+	msgs [][]byte // canonical tuple encoding per leaf position
+}
+
+// buildNetworkADS encodes every node's extended-tuple (with the method's
+// extra bytes) in ordering sequence and folds them into the Merkle tree.
+func buildNetworkADS(g *graph.Graph, cfg Config, extraFn func(graph.NodeID) []byte) (*networkADS, error) {
+	ord, err := order.Compute(g, cfg.Ordering, cfg.OrderSeed)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	msgs := make([][]byte, n)
+	leaves := make([][]byte, n)
+	for pos, v := range ord.Seq {
+		t := g.TupleOf(v)
+		if extraFn != nil {
+			t.Extra = extraFn(v)
+		}
+		msg := t.AppendBinary(nil)
+		msgs[pos] = msg
+		leaves[pos] = cfg.Hash.Sum(msg)
+	}
+	tree, err := mht.Build(cfg.Hash, cfg.Fanout, leaves)
+	if err != nil {
+		return nil, err
+	}
+	return &networkADS{ord: ord, tree: tree, msgs: msgs}, nil
+}
+
+// Root returns the tree root the owner signs.
+func (a *networkADS) Root() []byte { return a.tree.Root() }
+
+// Pos returns the leaf position of node v.
+func (a *networkADS) Pos(v graph.NodeID) int { return a.ord.Pos[v] }
+
+// TupleBytes returns the canonical encoding of node v's tuple.
+func (a *networkADS) TupleBytes(v graph.NodeID) []byte { return a.msgs[a.ord.Pos[v]] }
+
+// Records assembles the wire records (position + bytes) for a node set.
+func (a *networkADS) Records(nodes []graph.NodeID) []tupleRecord {
+	recs := make([]tupleRecord, 0, len(nodes))
+	for _, v := range nodes {
+		recs = append(recs, tupleRecord{Pos: uint32(a.ord.Pos[v]), Bytes: a.msgs[a.ord.Pos[v]]})
+	}
+	return recs
+}
+
+// Prove builds the integrity proof for a node set.
+func (a *networkADS) Prove(nodes []graph.NodeID) (*mht.Proof, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("core: no nodes to prove")
+	}
+	indices := make([]int, 0, len(nodes))
+	seen := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		p := a.ord.Pos[v]
+		if !seen[p] {
+			seen[p] = true
+			indices = append(indices, p)
+		}
+	}
+	return a.tree.Prove(indices)
+}

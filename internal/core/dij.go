@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/mht"
+	"github.com/authhints/spv/internal/sp"
+)
+
+// This file implements DIJ, Dijkstra subgraph verification (paper §IV-A):
+// no pre-computed hints; the shortest path proof is the subgraph of every
+// node within dist(vs, vt) of the source (Lemma 1), and the client verifies
+// by re-running Dijkstra over the proof.
+
+// dijSigCtx binds DIJ root signatures to the method name.
+var dijSigCtx = []byte("spv/DIJ/network/v1\x00")
+
+// providerSlack slightly inflates the provider's containment bound so that
+// a client summing the same weights in a different order can never demand a
+// tuple the provider excluded.
+const providerSlack = 1 + 4*distTolerance
+
+// DIJProvider is the service provider's state for the DIJ method.
+type DIJProvider struct {
+	g       *graph.Graph
+	ads     *networkADS
+	rootSig []byte
+}
+
+// OutsourceDIJ builds the DIJ provider bundle: the network Merkle tree over
+// plain extended-tuples plus the signed root. DIJ needs no authenticated
+// hints, so this is the cheapest possible outsourcing.
+func (o *Owner) OutsourceDIJ() (*DIJProvider, error) {
+	ads, err := buildNetworkADS(o.g, o.cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	rootSig, err := o.signRoot(dijSigCtx, ads.Root())
+	if err != nil {
+		return nil, err
+	}
+	return &DIJProvider{g: o.g, ads: ads, rootSig: rootSig}, nil
+}
+
+// DIJProof is the answer to a DIJ query: the result path, the subgraph
+// proof ΓS (Lemma 1's tuple set), and the integrity proof ΓT (Merkle
+// digests plus the signed root).
+type DIJProof struct {
+	Path    graph.Path
+	Dist    float64
+	Tuples  []tupleRecord
+	MHT     *mht.Proof
+	RootSig []byte
+}
+
+// Query runs Algorithm 1 for DIJ: compute the shortest path, collect
+// Γ = {Φ(v) | dist(vs, v) ≤ dist(vs, vt)}, and derive the integrity proof.
+func (p *DIJProvider) Query(vs, vt graph.NodeID) (*DIJProof, error) {
+	if err := checkEndpoints(p.g, vs, vt); err != nil {
+		return nil, err
+	}
+	dist, path := sp.DijkstraTo(p.g, vs, vt)
+	if path == nil {
+		return nil, fmt.Errorf("core: no path from %d to %d", vs, vt)
+	}
+	_, settled := sp.DijkstraBounded(p.g, vs, dist*providerSlack)
+	mhtProof, err := p.ads.Prove(settled)
+	if err != nil {
+		return nil, err
+	}
+	return &DIJProof{
+		Path:    path,
+		Dist:    dist,
+		Tuples:  p.ads.Records(settled),
+		MHT:     mhtProof,
+		RootSig: p.rootSig,
+	}, nil
+}
+
+func checkEndpoints(g *graph.Graph, vs, vt graph.NodeID) error {
+	if vs < 0 || int(vs) >= g.NumNodes() || vt < 0 || int(vt) >= g.NumNodes() {
+		return fmt.Errorf("core: endpoints (%d, %d) out of range", vs, vt)
+	}
+	if vs == vt {
+		return fmt.Errorf("core: source equals target (%d)", vs)
+	}
+	return nil
+}
+
+// VerifyDIJ is the client side of §IV-A: authenticate the subgraph, re-run
+// Dijkstra over it, and check that the reported path is a real path whose
+// length equals the re-computed shortest distance. A nil error means the
+// path is verified correct (authentic and optimal).
+func VerifyDIJ(verifier sigVerifier, vs, vt graph.NodeID, proof *DIJProof) error {
+	if proof == nil || proof.MHT == nil {
+		return reject(fmt.Errorf("%w: missing parts", ErrMalformedProof))
+	}
+	parsed, err := parseTuples(proof.MHT.Alg, proof.Tuples, nil)
+	if err != nil {
+		return reject(err)
+	}
+	if err := verifyTupleRoot(parsed, proof.MHT, dijSigCtx, proof.RootSig, verifier); err != nil {
+		return err
+	}
+	// Path structure: endpoints, real edges (certified by tuples), length.
+	claimed, err := checkClaimedPath(parsed.tuples, proof.Path, vs, vt, proof.Dist)
+	if err != nil {
+		return err
+	}
+	// Re-run Dijkstra over the proof subgraph (Lemma 1).
+	recomputed, err := tupleDijkstra(parsed.tuples, vs, vt, claimed)
+	if err != nil {
+		return reject(err)
+	}
+	return checkOptimal(recomputed, claimed)
+}
+
+// checkClaimedPath validates the reported path against authenticated
+// tuples: endpoints match the query, every hop is a certified edge, and the
+// claimed distance equals the path's weight sum. It returns the verified
+// path length.
+func checkClaimedPath(tuples map[graph.NodeID]graph.Tuple, path graph.Path, vs, vt graph.NodeID, claimed float64) (float64, error) {
+	if len(path) < 2 || path.Source() != vs || path.Target() != vt {
+		return 0, reject(fmt.Errorf("%w: endpoints", ErrPathMismatch))
+	}
+	sum, err := path.DistInTuples(tuples)
+	if err != nil {
+		return 0, reject(fmt.Errorf("%w: %v", ErrPathMismatch, err))
+	}
+	if !distEqual(sum, claimed) || math.IsNaN(claimed) {
+		return 0, reject(fmt.Errorf("%w: claimed distance %g, path sums to %g", ErrPathMismatch, claimed, sum))
+	}
+	return sum, nil
+}
+
+// checkOptimal compares the re-computed shortest distance with the claimed
+// path length.
+func checkOptimal(recomputed, claimed float64) error {
+	if recomputed == sp.Unreachable {
+		return reject(fmt.Errorf("%w: proof subgraph does not even reach the target", ErrIncompleteProof))
+	}
+	if !distEqual(recomputed, claimed) {
+		if recomputed < claimed {
+			return reject(fmt.Errorf("%w: shortest is %g, path is %g", ErrNotShortest, recomputed, claimed))
+		}
+		return reject(fmt.Errorf("%w: subgraph distance %g exceeds claimed %g", ErrIncompleteProof, recomputed, claimed))
+	}
+	return nil
+}
+
+// --- metrics & wire format ---
+
+// Stats returns the proof's communication breakdown: ΓS is the tuple set,
+// ΓT is the Merkle digests plus signature (the paper's S-prf / T-prf split).
+func (pr *DIJProof) Stats() ProofStats {
+	return ProofStats{
+		SBytes: tupleBlockSize(pr.Tuples),
+		TBytes: pr.MHT.EncodedSize() + 4 + len(pr.RootSig),
+		SItems: len(pr.Tuples),
+		TItems: pr.MHT.NumEntries() + 1,
+		Base:   pathWireSize(pr.Path) + 8,
+	}
+}
+
+// AppendBinary serializes the proof:
+//
+//	path | dist float64 | tuple block | mht proof | rootSig
+func (pr *DIJProof) AppendBinary(buf []byte) []byte {
+	buf = appendPath(buf, pr.Path)
+	buf = appendFloat(buf, pr.Dist)
+	buf = appendTupleBlock(buf, pr.Tuples)
+	buf = pr.MHT.AppendBinary(buf)
+	return appendBytes(buf, pr.RootSig)
+}
+
+// DecodeDIJProof parses a serialized DIJ proof.
+func DecodeDIJProof(buf []byte) (*DIJProof, int, error) {
+	pr := &DIJProof{}
+	path, n, err := decodePath(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	pr.Path = path
+	off := n
+	pr.Dist, n, err = decodeFloat(buf[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	off += n
+	pr.Tuples, n, err = decodeTupleBlock(buf[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	off += n
+	mp, n, err := mht.DecodeProof(buf[off:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrMalformedProof, err)
+	}
+	pr.MHT = mp
+	off += n
+	rootSig, n, err := decodeBytes(buf[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	pr.RootSig = append([]byte(nil), rootSig...)
+	return pr, off + n, nil
+}

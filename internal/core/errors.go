@@ -1,0 +1,36 @@
+package core
+
+import "errors"
+
+// Verification failures. Every rejected proof wraps ErrRejected, so callers
+// can distinguish "the path is not verified" from operational errors.
+var (
+	// ErrRejected is the root of all verification failures.
+	ErrRejected = errors.New("core: verification rejected")
+
+	// ErrBadSignature reports that an ADS root signature did not verify.
+	ErrBadSignature = errors.New("core: bad root signature")
+
+	// ErrIncompleteProof reports that the shortest path proof is missing
+	// tuples or entries the verification procedure requires.
+	ErrIncompleteProof = errors.New("core: incomplete proof")
+
+	// ErrPathMismatch reports that the reported path is broken: wrong
+	// endpoints, non-existent edges, or a length that disagrees with the
+	// verified shortest path distance.
+	ErrPathMismatch = errors.New("core: path mismatch")
+
+	// ErrNotShortest reports that the verified shortest path distance is
+	// shorter than the reported path: the provider returned a sub-optimal
+	// path.
+	ErrNotShortest = errors.New("core: reported path is not shortest")
+
+	// ErrMalformedProof reports undecodable or self-inconsistent proof
+	// bytes.
+	ErrMalformedProof = errors.New("core: malformed proof")
+)
+
+// reject wraps a specific failure under ErrRejected.
+func reject(err error) error {
+	return errors.Join(ErrRejected, err)
+}

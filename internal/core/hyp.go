@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/authhints/spv/internal/geom"
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/hiti"
+	"github.com/authhints/spv/internal/mbt"
+	"github.com/authhints/spv/internal/mht"
+	"github.com/authhints/spv/internal/sp"
+)
+
+// This file implements HYP, hyper-graph verification (paper §V-B): the
+// owner builds a 2-level HiTi structure — grid cells, border flags and
+// materialized border-pair distances W* in a distance Merkle B-tree — and
+// annotates every extended-tuple with its cell and border flag (Eq. 7).
+//
+// A query proof combines (1) a coarse subgraph proof: the full source and
+// target cells plus the hyper-edges between their borders, and (2) a fine
+// distance proof: the tuples of the reported path. The client re-computes
+// the exact shortest distance by Theorem 2: intra-cell Dijkstra in both
+// cells stitched through authenticated hyper-edge weights.
+
+var (
+	hypNetCtx  = []byte("spv/HYP/network/v1\x00")
+	hypDistCtx = []byte("spv/HYP/distance/v1\x00")
+)
+
+// HYPProvider is the service provider's state for the HYP method.
+type HYPProvider struct {
+	g       *graph.Graph
+	hyper   *hiti.Hyper
+	ads     *networkADS
+	distMBT *mbt.Tree
+	netSig  []byte
+	distSig []byte
+}
+
+// OutsourceHYP builds the HiTi hyper-graph (one Dijkstra per border node),
+// the hyper-edge distance Merkle B-tree and the annotated network tree, and
+// signs both roots.
+func (o *Owner) OutsourceHYP() (*HYPProvider, error) {
+	hyper, err := hiti.Build(o.g, o.cfg.Cells)
+	if err != nil {
+		return nil, err
+	}
+	ads, err := buildNetworkADS(o.g, o.cfg, hyper.Extra)
+	if err != nil {
+		return nil, err
+	}
+	p := &HYPProvider{g: o.g, hyper: hyper, ads: ads}
+	entries := hyper.Entries()
+	if len(entries) > 0 {
+		p.distMBT, err = mbt.Build(o.cfg.Hash, o.cfg.Fanout, entries)
+		if err != nil {
+			return nil, err
+		}
+		p.distSig, err = o.signRoot(hypDistCtx, p.distMBT.Root())
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.netSig, err = o.signRoot(hypNetCtx, ads.Root())
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// HYPProof is the answer to a HYP query.
+type HYPProof struct {
+	Path    graph.Path
+	Dist    float64
+	Tuples  []tupleRecord // all source/target cell tuples + fine path tuples
+	MHT     *mht.Proof
+	Hyper   *mbt.Proof // hyper-edges between the two cells' borders (nil if none)
+	NetSig  []byte
+	DistSig []byte
+}
+
+// NumBorders reports how many border nodes the HiTi partition produced
+// (experiment instrumentation for the Fig 13 sweep).
+func (p *HYPProvider) NumBorders() int { return p.hyper.NumBorders() }
+
+// Query runs Algorithm 1 for HYP: coarse proof over the source and target
+// cells plus their border hyper-edges, fine proof over the path.
+func (p *HYPProvider) Query(vs, vt graph.NodeID) (*HYPProof, error) {
+	if err := checkEndpoints(p.g, vs, vt); err != nil {
+		return nil, err
+	}
+	dist, path := sp.DijkstraTo(p.g, vs, vt)
+	if path == nil {
+		return nil, fmt.Errorf("core: no path from %d to %d", vs, vt)
+	}
+	cs, ct := p.hyper.CellOf[vs], p.hyper.CellOf[vt]
+
+	include := make(map[graph.NodeID]bool)
+	for _, v := range p.hyper.NodesOf(cs) {
+		include[v] = true
+	}
+	for _, v := range p.hyper.NodesOf(ct) {
+		include[v] = true
+	}
+	for _, v := range path { // fine proof: intermediate-cell path nodes
+		include[v] = true
+	}
+	nodes := make([]graph.NodeID, 0, len(include))
+	for v := range include {
+		nodes = append(nodes, v)
+	}
+	mhtProof, err := p.ads.Prove(nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	proof := &HYPProof{
+		Path:    path,
+		Dist:    dist,
+		Tuples:  p.ads.Records(nodes),
+		MHT:     mhtProof,
+		NetSig:  p.netSig,
+		DistSig: p.distSig,
+	}
+	keys := borderPairKeys(p.hyper, cs, ct)
+	if len(keys) > 0 {
+		proof.Hyper, err = p.distMBT.ProveKeys(keys)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return proof, nil
+}
+
+// borderPairKeys enumerates the canonical hyper-edge keys between the
+// borders of the source and target cells (all pairs within one cell when
+// the cells coincide).
+func borderPairKeys(h *hiti.Hyper, cs, ct geom.CellID) []mbt.Key {
+	bs := h.BordersOf(cs)
+	bt := h.BordersOf(ct)
+	seen := make(map[mbt.Key]bool, len(bs)*len(bt))
+	keys := make([]mbt.Key, 0, len(bs)*len(bt))
+	for _, a := range bs {
+		for _, b := range bt {
+			k := hiti.HyperKey(a, b, cs, ct)
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}
+
+// hypMeta is the client-side view of a tuple's authenticated HYP
+// annotations.
+type hypMeta struct {
+	cell     geom.CellID
+	isBorder bool
+}
+
+// VerifyHYP is the client side of §V-B.
+func VerifyHYP(verifier sigVerifier, vs, vt graph.NodeID, proof *HYPProof) error {
+	if proof == nil || proof.MHT == nil {
+		return reject(fmt.Errorf("%w: missing parts", ErrMalformedProof))
+	}
+	meta := make(map[graph.NodeID]hypMeta)
+	parsed, err := parseTuples(proof.MHT.Alg, proof.Tuples, func(t *graph.Tuple, rest []byte) (int, error) {
+		cell, isBorder, err := hiti.DecodeExtra(rest)
+		if err != nil {
+			return 0, err
+		}
+		meta[t.ID] = hypMeta{cell: cell, isBorder: isBorder}
+		return hiti.ExtraSize, nil
+	})
+	if err != nil {
+		return reject(err)
+	}
+	if err := verifyTupleRoot(parsed, proof.MHT, hypNetCtx, proof.NetSig, verifier); err != nil {
+		return err
+	}
+	// Authenticate the hyper-edge entries (if any) and index them.
+	hyperW := make(map[mbt.Key]float64)
+	if proof.Hyper != nil {
+		distRoot, err := proof.Hyper.Root()
+		if err != nil {
+			return reject(fmt.Errorf("%w: %v", ErrIncompleteProof, err))
+		}
+		msg := append(append([]byte(nil), hypDistCtx...), distRoot...)
+		if err := verifier.Verify(msg, proof.DistSig); err != nil {
+			return reject(ErrBadSignature)
+		}
+		for _, e := range proof.Hyper.Entries {
+			hyperW[e.Key] = e.Value
+		}
+	}
+
+	claimed, err := checkClaimedPath(parsed.tuples, proof.Path, vs, vt, proof.Dist)
+	if err != nil {
+		return err
+	}
+
+	// Coarse re-computation (Theorem 2): intra-cell searches stitched with
+	// authenticated hyper-edges.
+	msMeta, ok := meta[vs]
+	if !ok {
+		return reject(fmt.Errorf("%w: no tuple for source %d", ErrIncompleteProof, vs))
+	}
+	mtMeta, ok := meta[vt]
+	if !ok {
+		return reject(fmt.Errorf("%w: no tuple for target %d", ErrIncompleteProof, vt))
+	}
+	dS, err := cellDijkstra(parsed.tuples, meta, vs)
+	if err != nil {
+		return reject(err)
+	}
+	dT, err := cellDijkstra(parsed.tuples, meta, vt)
+	if err != nil {
+		return reject(err)
+	}
+
+	coarse := math.MaxFloat64
+	if msMeta.cell == mtMeta.cell {
+		if d, ok := dS[vt]; ok && d < coarse {
+			coarse = d
+		}
+	}
+	for bs, ds := range dS {
+		if !meta[bs].isBorder {
+			continue
+		}
+		for bt, dt := range dT {
+			if !meta[bt].isBorder {
+				continue
+			}
+			w, ok := hyperW[hiti.HyperKey(bs, bt, meta[bs].cell, meta[bt].cell)]
+			if !ok {
+				return reject(fmt.Errorf("%w: hyper-edge (%d, %d) missing from proof",
+					ErrIncompleteProof, bs, bt))
+			}
+			if w == sp.Unreachable {
+				continue
+			}
+			if c := ds + w + dt; c < coarse {
+				coarse = c
+			}
+		}
+	}
+	if coarse == math.MaxFloat64 {
+		return reject(fmt.Errorf("%w: coarse graph does not connect source and target", ErrIncompleteProof))
+	}
+	return checkOptimal(coarse, claimed)
+}
+
+// Stats returns the communication breakdown: ΓS is the coarse+fine tuples
+// plus the hyper-edge entries; ΓT is the Merkle digests plus signatures.
+func (pr *HYPProof) Stats() ProofStats {
+	s := ProofStats{
+		SBytes: tupleBlockSize(pr.Tuples),
+		SItems: len(pr.Tuples),
+		TBytes: pr.MHT.EncodedSize() + 4 + len(pr.NetSig) + 4 + len(pr.DistSig),
+		TItems: pr.MHT.NumEntries() + 1,
+		Base:   pathWireSize(pr.Path) + 8,
+	}
+	if pr.Hyper != nil {
+		s.SBytes += 4 + len(pr.Hyper.Entries)*(16+4)
+		s.SItems += len(pr.Hyper.Entries)
+		s.TBytes += pr.Hyper.MHT.EncodedSize()
+		s.TItems += pr.Hyper.MHT.NumEntries() + 1
+	}
+	return s
+}
+
+// AppendBinary serializes the proof:
+//
+//	path | dist | tuple block | mht | hasHyper u8 [| hyper proof] | netSig | distSig
+func (pr *HYPProof) AppendBinary(buf []byte) []byte {
+	buf = appendPath(buf, pr.Path)
+	buf = appendFloat(buf, pr.Dist)
+	buf = appendTupleBlock(buf, pr.Tuples)
+	buf = pr.MHT.AppendBinary(buf)
+	if pr.Hyper != nil {
+		buf = append(buf, 1)
+		buf = pr.Hyper.AppendBinary(buf)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendBytes(buf, pr.NetSig)
+	return appendBytes(buf, pr.DistSig)
+}
+
+// DecodeHYPProof parses a serialized HYP proof.
+func DecodeHYPProof(buf []byte) (*HYPProof, int, error) {
+	pr := &HYPProof{}
+	path, off, err := decodePath(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	pr.Path = path
+	d, n, err := decodeFloat(buf[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	pr.Dist = d
+	off += n
+	pr.Tuples, n, err = decodeTupleBlock(buf[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	off += n
+	mp, n, err := mht.DecodeProof(buf[off:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrMalformedProof, err)
+	}
+	pr.MHT = mp
+	off += n
+	if len(buf[off:]) < 1 {
+		return nil, 0, fmt.Errorf("%w: hyper flag truncated", ErrMalformedProof)
+	}
+	hasHyper := buf[off]
+	off++
+	if hasHyper == 1 {
+		hp, n, err := mbt.DecodeProof(buf[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: %v", ErrMalformedProof, err)
+		}
+		pr.Hyper = hp
+		off += n
+	} else if hasHyper != 0 {
+		return nil, 0, fmt.Errorf("%w: bad hyper flag %d", ErrMalformedProof, hasHyper)
+	}
+	netSig, n, err := decodeBytes(buf[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	pr.NetSig = append([]byte(nil), netSig...)
+	off += n
+	distSig, n, err := decodeBytes(buf[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	pr.DistSig = append([]byte(nil), distSig...)
+	return pr, off + n, nil
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/hints/landmark"
+	"github.com/authhints/spv/internal/mht"
+	"github.com/authhints/spv/internal/sp"
+)
+
+// This file implements LDM, landmark-based verification (paper §V-A): the
+// owner embeds quantized, compressed landmark distance vectors into the
+// extended-tuples; the provider ships the A*-containment subgraph of
+// Lemma 2; the client re-runs A* with the Lemma 4 lower bound.
+
+// ldmSigCtxBase binds LDM signatures to the method; the full context also
+// covers the public hint parameters (c, b, λ), so a provider cannot reuse a
+// root under altered parameters.
+var ldmSigCtxBase = []byte("spv/LDM/network/v1\x00")
+
+func ldmSigCtx(p landmark.Params) []byte {
+	buf := append([]byte(nil), ldmSigCtxBase...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.C))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.Bits))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(p.Lambda))
+	return buf
+}
+
+// LDMProvider is the service provider's state for the LDM method.
+type LDMProvider struct {
+	g       *graph.Graph
+	hints   *landmark.Hints
+	ads     *networkADS
+	rootSig []byte
+}
+
+// OutsourceLDM builds the landmark hints (c Dijkstra runs + quantization +
+// compression), embeds each node's payload into its extended-tuple, builds
+// the network Merkle tree and signs its root together with the hint
+// parameters.
+func (o *Owner) OutsourceLDM() (*LDMProvider, error) {
+	h, _, err := landmark.Build(o.g, landmark.Options{
+		C:        o.cfg.Landmarks,
+		Bits:     o.cfg.QuantBits,
+		Xi:       o.cfg.Xi,
+		Strategy: o.cfg.Strategy,
+		Seed:     o.cfg.HintSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ads, err := buildNetworkADS(o.g, o.cfg, func(v graph.NodeID) []byte {
+		return h.PayloadOf(v).AppendBinary(h.Bits, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	params := landmark.Params{C: h.C(), Bits: h.Bits, Lambda: h.Lambda}
+	rootSig, err := o.signRoot(ldmSigCtx(params), ads.Root())
+	if err != nil {
+		return nil, err
+	}
+	return &LDMProvider{g: o.g, hints: h, ads: ads, rootSig: rootSig}, nil
+}
+
+// LDMProof is the answer to an LDM query: the path, the hint parameters,
+// the Lemma 2 subgraph tuples (with embedded landmark payloads), and the
+// integrity proof.
+type LDMProof struct {
+	Path    graph.Path
+	Dist    float64
+	Params  landmark.Params
+	Tuples  []tupleRecord
+	MHT     *mht.Proof
+	RootSig []byte
+}
+
+// Query runs Algorithm 1 for LDM: collect Γ = {Φ(v), Φ(v') | (v,v') ∈ E,
+// dist(vs,v) + distLB(v,vt) ≤ dist(vs,vt)} (Lemma 2), closed over the
+// reference nodes whose vectors compressed payloads point at.
+func (p *LDMProvider) Query(vs, vt graph.NodeID) (*LDMProof, error) {
+	if err := checkEndpoints(p.g, vs, vt); err != nil {
+		return nil, err
+	}
+	dist, path := sp.DijkstraTo(p.g, vs, vt)
+	if path == nil {
+		return nil, fmt.Errorf("core: no path from %d to %d", vs, vt)
+	}
+	bound := dist * providerSlack
+	tree, settled := sp.DijkstraBounded(p.g, vs, bound)
+
+	include := make(map[graph.NodeID]bool)
+	for _, v := range settled {
+		if tree.Dist[v]+p.hints.LB(v, vt) <= bound {
+			include[v] = true
+			for _, e := range p.g.Neighbors(v) {
+				include[e.To] = true
+			}
+		}
+	}
+	// Close over reference nodes: compressed payloads are only evaluable
+	// when the representative's vector is also present.
+	nodes := make([]graph.NodeID, 0, len(include)+8)
+	for v := range include {
+		nodes = append(nodes, v)
+	}
+	for _, v := range nodes {
+		if ref := p.hints.Ref[v]; ref != v && !include[ref] {
+			include[ref] = true
+			nodes = append(nodes, ref)
+		}
+	}
+	mhtProof, err := p.ads.Prove(nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &LDMProof{
+		Path:    path,
+		Dist:    dist,
+		Params:  landmark.Params{C: p.hints.C(), Bits: p.hints.Bits, Lambda: p.hints.Lambda},
+		Tuples:  p.ads.Records(nodes),
+		MHT:     mhtProof,
+		RootSig: p.rootSig,
+	}, nil
+}
+
+// VerifyLDM is the client side of §V-A: authenticate the subgraph (payloads
+// included), then re-run A* with the compressed landmark lower bound and
+// compare against the reported path.
+func VerifyLDM(verifier sigVerifier, vs, vt graph.NodeID, proof *LDMProof) error {
+	if proof == nil || proof.MHT == nil {
+		return reject(fmt.Errorf("%w: missing parts", ErrMalformedProof))
+	}
+	if proof.Params.C <= 0 || proof.Params.Bits <= 0 || proof.Params.Bits > 30 ||
+		proof.Params.Lambda <= 0 || math.IsNaN(proof.Params.Lambda) || math.IsInf(proof.Params.Lambda, 0) {
+		return reject(fmt.Errorf("%w: bad hint parameters %+v", ErrMalformedProof, proof.Params))
+	}
+	resolver := landmark.NewResolver(proof.Params)
+	parsed, err := parseTuples(proof.MHT.Alg, proof.Tuples, func(t *graph.Tuple, rest []byte) (int, error) {
+		payload, n, err := landmark.DecodePayload(rest, proof.Params.C, proof.Params.Bits)
+		if err != nil {
+			return 0, err
+		}
+		resolver.Add(t.ID, payload)
+		return n, nil
+	})
+	if err != nil {
+		return reject(err)
+	}
+	if err := verifyTupleRoot(parsed, proof.MHT, ldmSigCtx(proof.Params), proof.RootSig, verifier); err != nil {
+		return err
+	}
+	claimed, err := checkClaimedPath(parsed.tuples, proof.Path, vs, vt, proof.Dist)
+	if err != nil {
+		return err
+	}
+	recomputed, err := tupleAStar(parsed.tuples, vs, vt, resolver.LB, claimed)
+	if err != nil {
+		return reject(err)
+	}
+	return checkOptimal(recomputed, claimed)
+}
+
+// Stats returns the communication breakdown: ΓS is the (payload-carrying)
+// tuple set, ΓT the Merkle digests plus signature. The hint parameters ride
+// in the base bytes.
+func (pr *LDMProof) Stats() ProofStats {
+	return ProofStats{
+		SBytes: tupleBlockSize(pr.Tuples),
+		SItems: len(pr.Tuples),
+		TBytes: pr.MHT.EncodedSize() + 4 + len(pr.RootSig),
+		TItems: pr.MHT.NumEntries() + 1,
+		Base:   pathWireSize(pr.Path) + 8 + 16,
+	}
+}
+
+// AppendBinary serializes the proof:
+//
+//	path | dist | c u32 | bits u32 | lambda f64 | tuple block | mht | sig
+func (pr *LDMProof) AppendBinary(buf []byte) []byte {
+	buf = appendPath(buf, pr.Path)
+	buf = appendFloat(buf, pr.Dist)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(pr.Params.C))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(pr.Params.Bits))
+	buf = appendFloat(buf, pr.Params.Lambda)
+	buf = appendTupleBlock(buf, pr.Tuples)
+	buf = pr.MHT.AppendBinary(buf)
+	return appendBytes(buf, pr.RootSig)
+}
+
+// DecodeLDMProof parses a serialized LDM proof.
+func DecodeLDMProof(buf []byte) (*LDMProof, int, error) {
+	pr := &LDMProof{}
+	path, off, err := decodePath(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	pr.Path = path
+	d, n, err := decodeFloat(buf[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	pr.Dist = d
+	off += n
+	if len(buf[off:]) < 16 {
+		return nil, 0, fmt.Errorf("%w: LDM params truncated", ErrMalformedProof)
+	}
+	pr.Params.C = int(binary.BigEndian.Uint32(buf[off:]))
+	pr.Params.Bits = int(binary.BigEndian.Uint32(buf[off+4:]))
+	off += 8
+	pr.Params.Lambda, n, err = decodeFloat(buf[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	off += n
+	pr.Tuples, n, err = decodeTupleBlock(buf[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	off += n
+	mp, n, err := mht.DecodeProof(buf[off:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrMalformedProof, err)
+	}
+	pr.MHT = mp
+	off += n
+	rootSig, n, err := decodeBytes(buf[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	pr.RootSig = append([]byte(nil), rootSig...)
+	return pr, off + n, nil
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ProofStats is the communication breakdown of a query proof, matching the
+// paper's reporting: SBytes/SItems for the shortest path proof ΓS (tuples,
+// distance entries), TBytes/TItems for the integrity proof ΓT (Merkle
+// digests, signatures), and Base for the result itself (the path and its
+// distance), which the paper does not count as proof.
+type ProofStats struct {
+	SBytes int
+	TBytes int
+	SItems int
+	TItems int
+	Base   int
+}
+
+// TotalBytes returns the full communication overhead in bytes (ΓS + ΓT).
+func (s ProofStats) TotalBytes() int { return s.SBytes + s.TBytes }
+
+// KBytes returns the communication overhead in KBytes, the paper's unit.
+func (s ProofStats) KBytes() float64 { return float64(s.TotalBytes()) / 1024 }
+
+// TotalItems returns the number of items in ΓS and ΓT combined.
+func (s ProofStats) TotalItems() int { return s.SItems + s.TItems }
+
+// add accumulates another component into the stats.
+func (s ProofStats) add(o ProofStats) ProofStats {
+	return ProofStats{
+		SBytes: s.SBytes + o.SBytes,
+		TBytes: s.TBytes + o.TBytes,
+		SItems: s.SItems + o.SItems,
+		TItems: s.TItems + o.TItems,
+		Base:   s.Base + o.Base,
+	}
+}
+
+// appendFloat writes a float64 big-endian.
+func appendFloat(buf []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+// decodeFloat reads a float64.
+func decodeFloat(buf []byte) (float64, int, error) {
+	if len(buf) < 8 {
+		return 0, 0, fmt.Errorf("%w: float truncated", ErrMalformedProof)
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(buf)), 8, nil
+}

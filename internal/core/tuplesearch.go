@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/sp"
+)
+
+// This file implements the client-side re-execution searches: shortest path
+// algorithms that run over a set of authenticated tuples instead of a graph,
+// and that treat any *required* but missing tuple as proof invalidity. They
+// are the heart of subgraph-proof verification (§IV-A, §V-A).
+
+// tupleDijkstra runs Dijkstra from src over the subgraph defined by tuples,
+// stopping once the frontier passes `bound` (the claimed shortest path
+// distance). Every node settled at distance ≤ bound must have a tuple —
+// that is exactly Lemma 1's containment requirement — otherwise an
+// ErrIncompleteProof is returned. It returns the subgraph distance of dst
+// (sp.Unreachable if not reached within bound).
+func tupleDijkstra(tuples map[graph.NodeID]graph.Tuple, src, dst graph.NodeID, bound float64) (float64, error) {
+	dist := make(map[graph.NodeID]float64, len(tuples))
+	h := sp.NewHeap(64)
+	dist[src] = 0
+	h.Push(src, 0)
+	done := make(map[graph.NodeID]bool, len(tuples))
+	for h.Len() > 0 {
+		v, d := h.Pop()
+		if d > bound*(1+distTolerance) {
+			break
+		}
+		done[v] = true
+		t, ok := tuples[v]
+		if !ok {
+			return 0, fmt.Errorf("%w: node %d required by Dijkstra re-run is missing (dist %g ≤ bound %g)",
+				ErrIncompleteProof, v, d, bound)
+		}
+		for _, e := range t.Adj {
+			if done[e.To] {
+				continue
+			}
+			nd := d + e.W
+			if old, seen := dist[e.To]; !seen || nd < old {
+				if !seen {
+					h.Push(e.To, nd)
+				} else {
+					h.DecreaseKey(e.To, nd)
+				}
+				dist[e.To] = nd
+			}
+		}
+	}
+	if d, ok := dist[dst]; ok && done[dst] {
+		return d, nil
+	}
+	return sp.Unreachable, nil
+}
+
+// tupleAStar runs A* from src to dst over the subgraph defined by tuples,
+// with the lower bound lb (Lemma 4's compressed landmark bound). Closed
+// nodes are re-opened on improvement, so plain admissibility of lb suffices
+// for optimality. Per Lemma 2, every node the search expands with
+// f ≤ bound must have a tuple, and so must every neighbor of an expanded
+// node (their lower bounds are needed to order the frontier); violations
+// return ErrIncompleteProof. lb errors (missing landmark payloads) are
+// treated the same way.
+func tupleAStar(tuples map[graph.NodeID]graph.Tuple, src, dst graph.NodeID,
+	lb func(u, v graph.NodeID) (float64, error), bound float64) (float64, error) {
+
+	g := make(map[graph.NodeID]float64, len(tuples))
+	h := sp.NewHeap(64)
+	lbSrc, err := lb(src, dst)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrIncompleteProof, err)
+	}
+	g[src] = 0
+	h.Push(src, lbSrc)
+
+	best := sp.Unreachable
+	slack := bound * (1 + distTolerance)
+	for h.Len() > 0 {
+		if best < sp.Unreachable && h.Peek() >= best {
+			break
+		}
+		v, f := h.Pop()
+		if f > slack {
+			// Nodes beyond the claimed distance can only certify longer
+			// paths; the claim check below handles rejection.
+			break
+		}
+		if v == dst {
+			best = g[v]
+			continue
+		}
+		t, ok := tuples[v]
+		if !ok {
+			return 0, fmt.Errorf("%w: node %d required by A* re-run is missing (f %g ≤ bound %g)",
+				ErrIncompleteProof, v, f, bound)
+		}
+		for _, e := range t.Adj {
+			nd := g[v] + e.W
+			if old, seen := g[e.To]; seen && nd >= old {
+				continue
+			}
+			if _, ok := tuples[e.To]; !ok {
+				return 0, fmt.Errorf("%w: neighbor %d of expanded node %d is missing",
+					ErrIncompleteProof, e.To, v)
+			}
+			lbN, err := lb(e.To, dst)
+			if err != nil {
+				return 0, fmt.Errorf("%w: %v", ErrIncompleteProof, err)
+			}
+			g[e.To] = nd
+			fN := nd + lbN
+			if h.Contains(e.To) {
+				h.DecreaseKey(e.To, fN)
+			} else {
+				h.Push(e.To, fN) // re-opens closed nodes as needed
+			}
+		}
+	}
+	if best == sp.Unreachable {
+		if d, ok := g[dst]; ok {
+			// dst was reached but never popped within the bound: its g is an
+			// upper bound that the claim check will compare.
+			return d, nil
+		}
+		return sp.Unreachable, nil
+	}
+	return best, nil
+}
+
+// cellDijkstra runs the HYP client's intra-cell search (§V-B): Dijkstra
+// from src restricted to edges between tuples of the same cell, using the
+// authenticated cell/border annotations in `meta`. Expanding a *non-border*
+// node requires all its neighbors' tuples (an authentic non-border node has
+// all neighbors in-cell, so absence means the provider pruned the cell);
+// expanding a border node silently skips absent neighbors (they live in
+// other cells). It returns the distances of all settled same-cell nodes.
+func cellDijkstra(tuples map[graph.NodeID]graph.Tuple, meta map[graph.NodeID]hypMeta, src graph.NodeID) (map[graph.NodeID]float64, error) {
+	srcMeta, ok := meta[src]
+	if !ok {
+		return nil, fmt.Errorf("%w: no tuple for query endpoint %d", ErrIncompleteProof, src)
+	}
+	cell := srcMeta.cell
+	dist := map[graph.NodeID]float64{src: 0}
+	done := map[graph.NodeID]bool{}
+	h := sp.NewHeap(16)
+	h.Push(src, 0)
+	for h.Len() > 0 {
+		v, d := h.Pop()
+		done[v] = true
+		t := tuples[v] // settled nodes always have tuples (checked on relax)
+		m := meta[v]
+		for _, e := range t.Adj {
+			if done[e.To] {
+				continue
+			}
+			nm, present := meta[e.To]
+			if !present {
+				if !m.isBorder {
+					return nil, fmt.Errorf("%w: non-border node %d has missing neighbor %d (cell pruned)",
+						ErrIncompleteProof, v, e.To)
+				}
+				continue // border nodes legitimately touch other cells
+			}
+			if nm.cell != cell {
+				continue // cross-cell edge: covered by hyper-edges
+			}
+			nd := d + e.W
+			if old, seen := dist[e.To]; !seen || nd < old {
+				if !seen {
+					h.Push(e.To, nd)
+				} else {
+					h.DecreaseKey(e.To, nd)
+				}
+				dist[e.To] = nd
+			}
+		}
+	}
+	// Drop tentative (unsettled) values.
+	for v := range dist {
+		if !done[v] {
+			delete(dist, v)
+		}
+	}
+	return dist, nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/authhints/spv/internal/digest"
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/mht"
+)
+
+// tupleRecord is one authenticated tuple on the wire: its Merkle leaf
+// position and its canonical byte encoding. The digest of Bytes is the leaf
+// digest at Pos; lying about either surfaces as a root mismatch.
+type tupleRecord struct {
+	Pos   uint32
+	Bytes []byte
+}
+
+// appendTupleBlock serializes a tuple set:
+//
+//	count uint32 | count × (pos uint32, len uint32, bytes)
+func appendTupleBlock(buf []byte, recs []tupleRecord) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(recs)))
+	for _, r := range recs {
+		buf = binary.BigEndian.AppendUint32(buf, r.Pos)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Bytes)))
+		buf = append(buf, r.Bytes...)
+	}
+	return buf
+}
+
+// tupleBlockSize returns the wire size of a tuple set.
+func tupleBlockSize(recs []tupleRecord) int {
+	n := 4
+	for _, r := range recs {
+		n += 8 + len(r.Bytes)
+	}
+	return n
+}
+
+// decodeTupleBlock parses a tuple block, returning the records and bytes
+// consumed.
+func decodeTupleBlock(buf []byte) ([]tupleRecord, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("%w: tuple block truncated", ErrMalformedProof)
+	}
+	count := int(binary.BigEndian.Uint32(buf))
+	off := 4
+	const maxTuples = 1 << 26 // sanity bound against corrupt counts
+	if count < 0 || count > maxTuples {
+		return nil, 0, fmt.Errorf("%w: absurd tuple count %d", ErrMalformedProof, count)
+	}
+	recs := make([]tupleRecord, 0, count)
+	for i := 0; i < count; i++ {
+		if len(buf[off:]) < 8 {
+			return nil, 0, fmt.Errorf("%w: tuple record %d truncated", ErrMalformedProof, i)
+		}
+		pos := binary.BigEndian.Uint32(buf[off:])
+		size := int(binary.BigEndian.Uint32(buf[off+4:]))
+		off += 8
+		if size < 0 || len(buf[off:]) < size {
+			return nil, 0, fmt.Errorf("%w: tuple record %d body truncated", ErrMalformedProof, i)
+		}
+		recs = append(recs, tupleRecord{Pos: pos, Bytes: buf[off : off+size]})
+		off += size
+	}
+	return recs, off, nil
+}
+
+// parsedTuples is the client-side view of an authenticated tuple set.
+type parsedTuples struct {
+	tuples map[graph.NodeID]graph.Tuple
+	known  map[int][]byte // leaf position → digest, for root reconstruction
+}
+
+// parseTuples decodes each record into a tuple, checking full consumption
+// and rejecting records that disagree about a node. parseExtra, when
+// non-nil, is given the bytes after the base tuple and returns how many it
+// consumed.
+func parseTuples(alg digest.Alg, recs []tupleRecord, parseExtra func(t *graph.Tuple, rest []byte) (int, error)) (*parsedTuples, error) {
+	out := &parsedTuples{
+		tuples: make(map[graph.NodeID]graph.Tuple, len(recs)),
+		known:  make(map[int][]byte, len(recs)),
+	}
+	for i, r := range recs {
+		t, n, err := graph.DecodeTuple(r.Bytes, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrMalformedProof, i, err)
+		}
+		if parseExtra != nil {
+			used, err := parseExtra(&t, r.Bytes[n:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: record %d extra: %v", ErrMalformedProof, i, err)
+			}
+			n += used
+		}
+		if n != len(r.Bytes) {
+			return nil, fmt.Errorf("%w: record %d has %d trailing bytes", ErrMalformedProof, i, len(r.Bytes)-n)
+		}
+		if prev, dup := out.tuples[t.ID]; dup {
+			if !tupleEqual(prev, t) {
+				return nil, fmt.Errorf("%w: conflicting tuples for node %d", ErrMalformedProof, t.ID)
+			}
+			continue
+		}
+		out.tuples[t.ID] = t
+		out.known[int(r.Pos)] = alg.Sum(r.Bytes)
+	}
+	return out, nil
+}
+
+func tupleEqual(a, b graph.Tuple) bool {
+	if a.ID != b.ID || a.X != b.X || a.Y != b.Y || len(a.Adj) != len(b.Adj) {
+		return false
+	}
+	for i := range a.Adj {
+		if a.Adj[i] != b.Adj[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyTupleRoot reconstructs the Merkle root from parsed tuples plus the
+// integrity proof and checks the owner's signature over the given context.
+func verifyTupleRoot(p *parsedTuples, proof *mht.Proof, sigCtx []byte, signature []byte, v sigVerifier) error {
+	root, err := mht.Reconstruct(proof, p.known)
+	if err != nil {
+		return reject(fmt.Errorf("%w: %v", ErrIncompleteProof, err))
+	}
+	msg := append(append([]byte(nil), sigCtx...), root...)
+	if err := v.Verify(msg, signature); err != nil {
+		return reject(ErrBadSignature)
+	}
+	return nil
+}
+
+// sigVerifier is the slice of sig.Verifier the client needs (an interface
+// keeps tests free to stub it).
+type sigVerifier interface {
+	Verify(msg, signature []byte) error
+}
+
+// appendBytes writes a length-prefixed byte string.
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+// decodeBytes reads a length-prefixed byte string.
+func decodeBytes(buf []byte) ([]byte, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("%w: byte string truncated", ErrMalformedProof)
+	}
+	size := int(binary.BigEndian.Uint32(buf))
+	if size < 0 || len(buf[4:]) < size {
+		return nil, 0, fmt.Errorf("%w: byte string body truncated", ErrMalformedProof)
+	}
+	return buf[4 : 4+size], 4 + size, nil
+}
+
+// appendPath writes a node path.
+func appendPath(buf []byte, p graph.Path) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p)))
+	for _, v := range p {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+// pathWireSize returns the encoded size of a path.
+func pathWireSize(p graph.Path) int { return 4 + 4*len(p) }
+
+// decodePath reads a node path.
+func decodePath(buf []byte) (graph.Path, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("%w: path truncated", ErrMalformedProof)
+	}
+	count := int(binary.BigEndian.Uint32(buf))
+	const maxPath = 1 << 24
+	if count < 0 || count > maxPath || len(buf[4:]) < 4*count {
+		return nil, 0, fmt.Errorf("%w: path body truncated", ErrMalformedProof)
+	}
+	p := make(graph.Path, count)
+	for i := 0; i < count; i++ {
+		p[i] = graph.NodeID(binary.BigEndian.Uint32(buf[4+4*i:]))
+	}
+	return p, 4 + 4*count, nil
+}

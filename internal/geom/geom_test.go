@@ -1,0 +1,231 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHilbertRoundTripSmall(t *testing.T) {
+	const k = 4
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < 1<<k; x++ {
+		for y := uint32(0); y < 1<<k; y++ {
+			d := HilbertD(k, x, y)
+			if seen[d] {
+				t.Fatalf("duplicate Hilbert distance %d at (%d,%d)", d, x, y)
+			}
+			seen[d] = true
+			rx, ry := HilbertXY(k, d)
+			if rx != x || ry != y {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d)", x, y, d, rx, ry)
+			}
+		}
+	}
+	if len(seen) != 1<<(2*k) {
+		t.Fatalf("expected %d distinct distances, got %d", 1<<(2*k), len(seen))
+	}
+}
+
+func TestHilbertCurveContinuity(t *testing.T) {
+	// Consecutive curve positions must be 4-adjacent grid cells; this is the
+	// locality property that makes hbt ordering produce small proofs.
+	const k = 5
+	px, py := HilbertXY(k, 0)
+	for d := uint64(1); d < 1<<(2*k); d++ {
+		x, y := HilbertXY(k, d)
+		dx := math.Abs(float64(x) - float64(px))
+		dy := math.Abs(float64(y) - float64(py))
+		if dx+dy != 1 {
+			t.Fatalf("curve jump at d=%d: (%d,%d) -> (%d,%d)", d, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func TestHilbertRoundTripProperty(t *testing.T) {
+	f := func(xr, yr uint32) bool {
+		x := xr % (1 << HilbertOrder)
+		y := yr % (1 << HilbertOrder)
+		d := HilbertD(HilbertOrder, x, y)
+		rx, ry := HilbertXY(HilbertOrder, d)
+		return rx == x && ry == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHilbertKeyClamping(t *testing.T) {
+	// Outside-the-box coordinates must clamp, not wrap or panic.
+	inside := HilbertKey(5000, 5000, 0, 0, 10000)
+	_ = inside
+	for _, c := range [][2]float64{{-100, 5000}, {10500, 5000}, {5000, -1}, {20000, 20000}} {
+		k := HilbertKey(c[0], c[1], 0, 0, 10000)
+		if k >= 1<<(2*HilbertOrder) {
+			t.Errorf("key for (%v,%v) out of range: %d", c[0], c[1], k)
+		}
+	}
+	if a, b := HilbertKey(1, 1, 0, 0, 0), HilbertKey(9, 9, 0, 0, 0); a != b {
+		t.Error("degenerate extent should map all points to one key")
+	}
+}
+
+func TestKDOrderIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, Idx: i}
+		}
+		order := KDOrder(pts)
+		if len(order) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, idx := range order {
+			if idx < 0 || idx >= n || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKDOrderLocality(t *testing.T) {
+	// For a uniform sample, the average distance between consecutive points
+	// in kd order must beat random order by a wide margin.
+	rng := rand.New(rand.NewSource(42))
+	n := 2000
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 10000, Y: rng.Float64() * 10000, Idx: i}
+	}
+	order := KDOrder(pts)
+	kdHop := avgHop(pts, order)
+	randOrder := rng.Perm(n)
+	randHop := avgHop(pts, randOrder)
+	if kdHop*2 > randHop {
+		t.Errorf("kd order hop %v not clearly better than random %v", kdHop, randHop)
+	}
+}
+
+func avgHop(pts []Point, order []int) float64 {
+	total := 0.0
+	for i := 1; i < len(order); i++ {
+		a, b := pts[order[i-1]], pts[order[i]]
+		total += math.Hypot(a.X-b.X, a.Y-b.Y)
+	}
+	return total / float64(len(order)-1)
+}
+
+func TestKDOrderDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]Point, 501)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64(), Idx: i}
+	}
+	a := KDOrder(pts)
+	b := KDOrder(pts)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic kd order at %d", i)
+		}
+	}
+}
+
+func TestSelectMedianProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.NormFloat64(), Y: rng.NormFloat64(), Idx: i}
+		}
+		k := rng.Intn(n)
+		axis := rng.Intn(2)
+		cp := append([]Point(nil), pts...)
+		selectMedian(cp, k, axis)
+		key := func(q Point) float64 {
+			if axis == 0 {
+				return q.X
+			}
+			return q.Y
+		}
+		want := make([]float64, n)
+		for i, q := range pts {
+			want[i] = key(q)
+		}
+		sort.Float64s(want)
+		return key(cp[k]) == want[k]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridCellAssignment(t *testing.T) {
+	g, err := NewGrid(0, 0, 10000, 10000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Side != 10 || g.NumCells() != 100 {
+		t.Fatalf("grid side %d cells %d, want 10, 100", g.Side, g.NumCells())
+	}
+	cases := []struct {
+		x, y     float64
+		row, col int
+	}{
+		{0, 0, 0, 0},
+		{999, 999, 0, 0},
+		{1000, 0, 0, 1},
+		{0, 1000, 1, 0},
+		{9999, 9999, 9, 9},
+		{10000, 10000, 9, 9}, // far edge clamps
+		{-5, -5, 0, 0},       // below range clamps
+		{20000, 5000, 5, 9},  // beyond range clamps
+	}
+	for _, c := range cases {
+		cell := g.Cell(c.x, c.y)
+		row, col := g.RowCol(cell)
+		if row != c.row || col != c.col {
+			t.Errorf("Cell(%v,%v) = (%d,%d), want (%d,%d)", c.x, c.y, row, col, c.row, c.col)
+		}
+	}
+}
+
+func TestGridNonSquareCounts(t *testing.T) {
+	for _, p := range []int{25, 49, 100, 225, 400, 625} {
+		g, err := NewGrid(0, 0, 10000, 8000, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumCells() != p {
+			t.Errorf("p=%d: got %d cells", p, g.NumCells())
+		}
+	}
+	if _, err := NewGrid(0, 0, 1, 1, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := NewGrid(0, 0, 1, 1, -4); err == nil {
+		t.Error("negative p accepted")
+	}
+}
+
+func TestGridEveryPointInRange(t *testing.T) {
+	g, _ := NewGrid(0, 0, 10000, 10000, 49)
+	f := func(x, y float64) bool {
+		c := g.Cell(math.Mod(math.Abs(x), 30000)-10000, math.Mod(math.Abs(y), 30000)-10000)
+		return c >= 0 && int(c) < g.NumCells()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid partitions the bounding box [MinX, MinX+Extent] × [MinY, MinY+Extent]
+// into Side × Side square cells, identified by CellID = row*Side + col.
+// It implements the Euclidean grid used to build the HiTi hyper-graph
+// (paper §V-B: "the nodes in the network are partitioned into grid cells
+// based on their coordinates").
+type Grid struct {
+	MinX, MinY float64
+	Extent     float64
+	Side       int
+}
+
+// CellID identifies a grid cell.
+type CellID int32
+
+// NewGrid builds a grid with approximately p cells over the given bounding
+// box: Side = round(sqrt(p)), so p should be a perfect square for an exact
+// match (the paper uses p ∈ {25, 49, 100, 225, 400, 625}).
+func NewGrid(minX, minY, maxX, maxY float64, p int) (*Grid, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("geom: cell count %d must be positive", p)
+	}
+	side := int(math.Round(math.Sqrt(float64(p))))
+	if side < 1 {
+		side = 1
+	}
+	extent := math.Max(maxX-minX, maxY-minY)
+	if extent <= 0 {
+		extent = 1
+	}
+	return &Grid{MinX: minX, MinY: minY, Extent: extent, Side: side}, nil
+}
+
+// NumCells returns Side².
+func (g *Grid) NumCells() int { return g.Side * g.Side }
+
+// Cell returns the cell containing (x, y). Points on or beyond the far edge
+// clamp into the last row/column, so every point maps to a valid cell.
+func (g *Grid) Cell(x, y float64) CellID {
+	col := g.axisCell(x - g.MinX)
+	row := g.axisCell(y - g.MinY)
+	return CellID(row*g.Side + col)
+}
+
+func (g *Grid) axisCell(off float64) int {
+	c := int(off / g.Extent * float64(g.Side))
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.Side {
+		c = g.Side - 1
+	}
+	return c
+}
+
+// RowCol splits a CellID into (row, col).
+func (g *Grid) RowCol(c CellID) (row, col int) {
+	return int(c) / g.Side, int(c) % g.Side
+}

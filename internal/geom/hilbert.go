@@ -1,0 +1,86 @@
+// Package geom provides the spatial primitives behind graph-node orderings
+// and HiTi grid partitioning: a Hilbert space-filling curve, a kd-tree
+// ordering, and a uniform grid.
+//
+// None of these primitives ever feeds shortest path lower bounds — the paper
+// explicitly targets networks whose weights are not Euclidean — they only
+// organize nodes so that Merkle-tree leaves of spatially close nodes sit
+// close together (small integrity proofs, §III-B) and define HiTi cells
+// (§V-B).
+package geom
+
+// HilbertOrder is the number of bits per axis of the discrete Hilbert grid.
+// 2^16 × 2^16 cells comfortably exceed the [0..10,000]² coordinate space.
+const HilbertOrder = 16
+
+// HilbertD returns the distance along the order-k Hilbert curve of the grid
+// cell (x, y), for x, y in [0, 2^k). It implements the classic
+// rotate-and-accumulate conversion.
+func HilbertD(k uint, x, y uint32) uint64 {
+	var d uint64
+	for s := uint32(1) << (k - 1); s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = hilbertRot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// HilbertXY is the inverse of HilbertD: it returns the grid cell at distance
+// d along the order-k Hilbert curve.
+func HilbertXY(k uint, d uint64) (x, y uint32) {
+	t := d
+	for s := uint32(1); s < uint32(1)<<k; s <<= 1 {
+		rx := uint32(1) & uint32(t/2)
+		ry := uint32(1) & uint32(t^uint64(rx))
+		x, y = hilbertRot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// hilbertRot rotates/flips a quadrant appropriately.
+func hilbertRot(s, x, y, rx, ry uint32) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// HilbertKey maps continuous coordinates within [min, min+extent]² to a
+// Hilbert curve position, for sorting spatial points in curve order.
+// Degenerate extents map everything to cell (0,0).
+func HilbertKey(x, y, minX, minY, extent float64) uint64 {
+	side := float64(uint32(1) << HilbertOrder)
+	var gx, gy uint32
+	if extent > 0 {
+		fx := (x - minX) / extent
+		fy := (y - minY) / extent
+		gx = clampGrid(fx * side)
+		gy = clampGrid(fy * side)
+	}
+	return HilbertD(HilbertOrder, gx, gy)
+}
+
+func clampGrid(v float64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	max := float64(uint32(1)<<HilbertOrder) - 1
+	if v > max {
+		return uint32(max)
+	}
+	return uint32(v)
+}

@@ -1,0 +1,89 @@
+package geom
+
+import "sort"
+
+// Point is a 2-D point with an external index (e.g. a graph NodeID).
+type Point struct {
+	X, Y float64
+	Idx  int
+}
+
+// KDOrder returns the indices of pts in kd-tree leaf order: the points are
+// recursively median-split on alternating axes, and the left subtree is
+// emitted before the right. Spatially close points end up close in the
+// output sequence, which is the property the kd graph-node ordering (§III-B)
+// exploits for compact Merkle proofs.
+//
+// The input slice is not modified.
+func KDOrder(pts []Point) []int {
+	work := append([]Point(nil), pts...)
+	out := make([]int, 0, len(pts))
+	var rec func(p []Point, axis int)
+	rec = func(p []Point, axis int) {
+		if len(p) == 0 {
+			return
+		}
+		if len(p) == 1 {
+			out = append(out, p[0].Idx)
+			return
+		}
+		mid := len(p) / 2
+		selectMedian(p, mid, axis)
+		rec(p[:mid], 1-axis)
+		out = append(out, p[mid].Idx)
+		rec(p[mid+1:], 1-axis)
+	}
+	rec(work, 0)
+	return out
+}
+
+// selectMedian partially sorts p so that p[k] holds the k-th smallest point
+// on the given axis (quickselect with median-of-three pivots, falling back to
+// full sort on tiny ranges).
+func selectMedian(p []Point, k, axis int) {
+	lo, hi := 0, len(p)-1
+	key := func(q Point) float64 {
+		if axis == 0 {
+			return q.X
+		}
+		return q.Y
+	}
+	for hi-lo > 12 {
+		// Median-of-three pivot.
+		mid := (lo + hi) / 2
+		if key(p[mid]) < key(p[lo]) {
+			p[mid], p[lo] = p[lo], p[mid]
+		}
+		if key(p[hi]) < key(p[lo]) {
+			p[hi], p[lo] = p[lo], p[hi]
+		}
+		if key(p[hi]) < key(p[mid]) {
+			p[hi], p[mid] = p[mid], p[hi]
+		}
+		pivot := key(p[mid])
+		i, j := lo, hi
+		for i <= j {
+			for key(p[i]) < pivot {
+				i++
+			}
+			for key(p[j]) > pivot {
+				j--
+			}
+			if i <= j {
+				p[i], p[j] = p[j], p[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+	sub := p[lo : hi+1]
+	sort.Slice(sub, func(a, b int) bool { return key(sub[a]) < key(sub[b]) })
+}

@@ -1,0 +1,360 @@
+// Package graph implements the weighted spatial graph substrate used by all
+// verification methods: nodes with coordinates, undirected weighted
+// adjacency, the extended-tuple Φ(v) representation from the paper
+// (§III-B, Eq. 1), and binary (de)serialization.
+//
+// Road networks are modeled exactly as in the paper: G = (V, E, W) where V
+// is a set of junctions with (x, y) coordinates, E is a set of undirected
+// road segments and W maps each segment to a non-negative weight (travel
+// distance, driving time, toll fee, ...). Euclidean lower bounds are never
+// assumed; weights are opaque non-negative values.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node. IDs are dense indices in [0, NumNodes).
+type NodeID int32
+
+// Invalid is a sentinel NodeID used for "no node" (e.g. absent parents in
+// shortest path trees).
+const Invalid NodeID = -1
+
+// Edge is one directed half of an undirected road segment: the neighbor it
+// leads to and the segment weight W(v, To).
+type Edge struct {
+	To NodeID
+	W  float64
+}
+
+// Graph is a weighted spatial graph with undirected edges. The zero value is
+// an empty graph ready for AddNode/AddEdge.
+//
+// Graph is not safe for concurrent mutation; concurrent reads are safe.
+type Graph struct {
+	xs, ys []float64
+	adj    [][]Edge
+	edges  int
+}
+
+// New returns an empty graph with capacity hints for n nodes.
+func New(n int) *Graph {
+	return &Graph{
+		xs:  make([]float64, 0, n),
+		ys:  make([]float64, 0, n),
+		adj: make([][]Edge, 0, n),
+	}
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns |E| counting each undirected edge once.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AddNode appends a node with coordinates (x, y) and returns its ID.
+func (g *Graph) AddNode(x, y float64) NodeID {
+	g.xs = append(g.xs, x)
+	g.ys = append(g.ys, y)
+	g.adj = append(g.adj, nil)
+	return NodeID(len(g.adj) - 1)
+}
+
+// ErrBadEdge is returned by AddEdge for malformed edges.
+var ErrBadEdge = errors.New("graph: bad edge")
+
+// AddEdge inserts the undirected edge (u, v) with weight w. Self-loops,
+// negative weights, duplicate edges, NaN/Inf weights and out-of-range
+// endpoints are rejected.
+func (g *Graph) AddEdge(u, v NodeID, w float64) error {
+	switch {
+	case u == v:
+		return fmt.Errorf("%w: self-loop at %d", ErrBadEdge, u)
+	case !g.valid(u) || !g.valid(v):
+		return fmt.Errorf("%w: endpoint out of range (%d, %d)", ErrBadEdge, u, v)
+	case w < 0 || math.IsNaN(w) || math.IsInf(w, 0):
+		return fmt.Errorf("%w: weight %v", ErrBadEdge, w)
+	case g.HasEdge(u, v):
+		return fmt.Errorf("%w: duplicate edge (%d, %d)", ErrBadEdge, u, v)
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, W: w})
+	g.adj[v] = append(g.adj[v], Edge{To: u, W: w})
+	g.edges++
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; for tests and generators
+// that construct edges known to be valid.
+func (g *Graph) MustAddEdge(u, v NodeID, w float64) {
+	if err := g.AddEdge(u, v, w); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) valid(v NodeID) bool { return v >= 0 && int(v) < len(g.adj) }
+
+// RemoveEdge deletes the undirected edge (u, v), reporting whether it
+// existed.
+func (g *Graph) RemoveEdge(u, v NodeID) bool {
+	if !g.valid(u) || !g.valid(v) || !g.HasEdge(u, v) {
+		return false
+	}
+	g.adj[u] = dropEdge(g.adj[u], v)
+	g.adj[v] = dropEdge(g.adj[v], u)
+	g.edges--
+	return true
+}
+
+func dropEdge(adj []Edge, to NodeID) []Edge {
+	out := adj[:0]
+	for _, e := range adj {
+		if e.To != to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// X returns the x coordinate of v.
+func (g *Graph) X(v NodeID) float64 { return g.xs[v] }
+
+// Y returns the y coordinate of v.
+func (g *Graph) Y(v NodeID) float64 { return g.ys[v] }
+
+// Neighbors returns the adjacency list of v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []Edge { return g.adj[v] }
+
+// Degree returns the number of edges incident to v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if !g.valid(u) || !g.valid(v) {
+		return false
+	}
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeWeight returns the weight of edge (u, v) and whether it exists.
+func (g *Graph) EdgeWeight(u, v NodeID) (float64, bool) {
+	if !g.valid(u) || !g.valid(v) {
+		return 0, false
+	}
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return e.W, true
+		}
+	}
+	return 0, false
+}
+
+// Euclid returns the Euclidean distance between the coordinates of u and v.
+// It is used only for spatial organization (orderings, grid cells), never as
+// a shortest path lower bound, matching the paper's assumption that edge
+// weights need not be Euclidean.
+func (g *Graph) Euclid(u, v NodeID) float64 {
+	dx, dy := g.xs[u]-g.xs[v], g.ys[u]-g.ys[v]
+	return math.Hypot(dx, dy)
+}
+
+// SortAdjacency sorts every adjacency list by neighbor ID. Canonical
+// adjacency order is required before computing tuple digests so that owner,
+// provider and client all hash identical bytes.
+func (g *Graph) SortAdjacency() {
+	for _, a := range g.adj {
+		sort.Slice(a, func(i, j int) bool { return a[i].To < a[j].To })
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		xs:    append([]float64(nil), g.xs...),
+		ys:    append([]float64(nil), g.ys...),
+		adj:   make([][]Edge, len(g.adj)),
+		edges: g.edges,
+	}
+	for i, a := range g.adj {
+		c.adj[i] = append([]Edge(nil), a...)
+	}
+	return c
+}
+
+// Validate checks structural invariants: symmetric adjacency, no self loops,
+// no duplicates, non-negative finite weights, matching edge count.
+func (g *Graph) Validate() error {
+	count := 0
+	for u, a := range g.adj {
+		seen := make(map[NodeID]bool, len(a))
+		for _, e := range a {
+			if !g.valid(e.To) {
+				return fmt.Errorf("graph: node %d has edge to out-of-range %d", u, e.To)
+			}
+			if e.To == NodeID(u) {
+				return fmt.Errorf("graph: self-loop at %d", u)
+			}
+			if seen[e.To] {
+				return fmt.Errorf("graph: duplicate edge (%d, %d)", u, e.To)
+			}
+			seen[e.To] = true
+			if e.W < 0 || math.IsNaN(e.W) || math.IsInf(e.W, 0) {
+				return fmt.Errorf("graph: bad weight %v on (%d, %d)", e.W, u, e.To)
+			}
+			w, ok := g.EdgeWeight(e.To, NodeID(u))
+			if !ok || w != e.W {
+				return fmt.Errorf("graph: asymmetric edge (%d, %d)", u, e.To)
+			}
+			count++
+		}
+	}
+	if count != 2*g.edges {
+		return fmt.Errorf("graph: edge count %d does not match adjacency (%d half-edges)", g.edges, count)
+	}
+	return nil
+}
+
+// ConnectedComponents returns, for every node, the index of its connected
+// component, along with the number of components. Component indices are
+// assigned in order of first appearance.
+func (g *Graph) ConnectedComponents() (comp []int, n int) {
+	comp = make([]int, g.NumNodes())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []NodeID
+	for s := 0; s < g.NumNodes(); s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = n
+		stack = append(stack[:0], NodeID(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.adj[v] {
+				if comp[e.To] < 0 {
+					comp[e.To] = n
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		n++
+	}
+	return comp, n
+}
+
+// IsConnected reports whether all nodes belong to one component.
+func (g *Graph) IsConnected() bool {
+	if g.NumNodes() == 0 {
+		return true
+	}
+	_, n := g.ConnectedComponents()
+	return n == 1
+}
+
+// LargestComponent returns the subgraph induced by the largest connected
+// component and a mapping old→new node IDs (Invalid for dropped nodes).
+func (g *Graph) LargestComponent() (*Graph, []NodeID) {
+	comp, n := g.ConnectedComponents()
+	if n <= 1 {
+		m := make([]NodeID, g.NumNodes())
+		for i := range m {
+			m[i] = NodeID(i)
+		}
+		return g.Clone(), m
+	}
+	sizes := make([]int, n)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	keep := func(v NodeID) bool { return comp[v] == best }
+	return g.Induced(keep)
+}
+
+// Induced returns the subgraph induced by the nodes for which keep returns
+// true, along with the old→new ID mapping (Invalid for dropped nodes).
+func (g *Graph) Induced(keep func(NodeID) bool) (*Graph, []NodeID) {
+	mapping := make([]NodeID, g.NumNodes())
+	sub := New(g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		if keep(NodeID(v)) {
+			mapping[v] = sub.AddNode(g.xs[v], g.ys[v])
+		} else {
+			mapping[v] = Invalid
+		}
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if mapping[u] == Invalid {
+			continue
+		}
+		for _, e := range g.adj[u] {
+			if e.To > NodeID(u) && mapping[e.To] != Invalid {
+				sub.MustAddEdge(mapping[u], mapping[e.To], e.W)
+			}
+		}
+	}
+	return sub, mapping
+}
+
+// TotalWeight returns the sum of all edge weights (each undirected edge
+// counted once).
+func (g *Graph) TotalWeight() float64 {
+	total := 0.0
+	for u, a := range g.adj {
+		for _, e := range a {
+			if e.To > NodeID(u) {
+				total += e.W
+			}
+		}
+	}
+	return total
+}
+
+// Bounds returns the bounding box of all node coordinates. For an empty
+// graph it returns zeros.
+func (g *Graph) Bounds() (minX, minY, maxX, maxY float64) {
+	if g.NumNodes() == 0 {
+		return 0, 0, 0, 0
+	}
+	minX, maxX = g.xs[0], g.xs[0]
+	minY, maxY = g.ys[0], g.ys[0]
+	for i := 1; i < g.NumNodes(); i++ {
+		minX = math.Min(minX, g.xs[i])
+		maxX = math.Max(maxX, g.xs[i])
+		minY = math.Min(minY, g.ys[i])
+		maxY = math.Max(maxY, g.ys[i])
+	}
+	return minX, minY, maxX, maxY
+}
+
+// Normalize rescales all coordinates into [0, span] on both axes, preserving
+// aspect ratio, matching the paper's normalization of each network into a
+// [0..10,000] range.
+func (g *Graph) Normalize(span float64) {
+	minX, minY, maxX, maxY := g.Bounds()
+	ext := math.Max(maxX-minX, maxY-minY)
+	if ext == 0 {
+		return
+	}
+	s := span / ext
+	for i := range g.xs {
+		g.xs[i] = (g.xs[i] - minX) * s
+		g.ys[i] = (g.ys[i] - minY) * s
+	}
+}

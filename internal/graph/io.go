@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary graph format:
+//
+//	magic "SPVG" | version uint32 | n uint32 | m uint32 |
+//	n × (x float64, y float64) |
+//	m × (u uint32, v uint32, w float64)
+//
+// Each undirected edge appears once with u < v.
+const (
+	magic      = "SPVG"
+	fmtVersion = 1
+)
+
+// WriteTo serializes the graph in the binary SPVG format.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(data any) error {
+		if err := binary.Write(bw, binary.BigEndian, data); err != nil {
+			return err
+		}
+		n += int64(binary.Size(data))
+		return nil
+	}
+	if _, err := bw.WriteString(magic); err != nil {
+		return n, err
+	}
+	n += int64(len(magic))
+	if err := write(uint32(fmtVersion)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(g.NumNodes())); err != nil {
+		return n, err
+	}
+	if err := write(uint32(g.NumEdges())); err != nil {
+		return n, err
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if err := write(math.Float64bits(g.xs[i])); err != nil {
+			return n, err
+		}
+		if err := write(math.Float64bits(g.ys[i])); err != nil {
+			return n, err
+		}
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, e := range g.adj[u] {
+			if e.To <= NodeID(u) {
+				continue
+			}
+			if err := write(uint32(u)); err != nil {
+				return n, err
+			}
+			if err := write(uint32(e.To)); err != nil {
+				return n, err
+			}
+			if err := write(math.Float64bits(e.W)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read deserializes a graph written by WriteTo.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("graph: bad magic %q", head)
+	}
+	var version, n, m uint32
+	for _, p := range []*uint32{&version, &n, &m} {
+		if err := binary.Read(br, binary.BigEndian, p); err != nil {
+			return nil, fmt.Errorf("graph: reading header: %w", err)
+		}
+	}
+	if version != fmtVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	g := New(int(n))
+	for i := uint32(0); i < n; i++ {
+		var xb, yb uint64
+		if err := binary.Read(br, binary.BigEndian, &xb); err != nil {
+			return nil, fmt.Errorf("graph: reading node %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.BigEndian, &yb); err != nil {
+			return nil, fmt.Errorf("graph: reading node %d: %w", i, err)
+		}
+		g.AddNode(math.Float64frombits(xb), math.Float64frombits(yb))
+	}
+	for i := uint32(0); i < m; i++ {
+		var u, v uint32
+		var wb uint64
+		if err := binary.Read(br, binary.BigEndian, &u); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.BigEndian, &v); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.BigEndian, &wb); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		if err := g.AddEdge(NodeID(u), NodeID(v), math.Float64frombits(wb)); err != nil {
+			return nil, fmt.Errorf("graph: edge %d: %w", i, err)
+		}
+	}
+	return g, nil
+}
+
+// WriteEdgeList emits a human-readable text form: one header line
+// "n m", then n lines "x y", then m lines "u v w".
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if _, err := fmt.Fprintf(bw, "%g %g\n", g.xs[i], g.ys[i]); err != nil {
+			return err
+		}
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, e := range g.adj[u] {
+			if e.To > NodeID(u) {
+				if _, err := fmt.Fprintf(bw, "%d %d %g\n", u, e.To, e.W); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text form written by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var n, m int
+	if _, err := fmt.Fscan(br, &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: reading edge-list header: %w", err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative sizes %d %d", n, m)
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		var x, y float64
+		if _, err := fmt.Fscan(br, &x, &y); err != nil {
+			return nil, fmt.Errorf("graph: reading node %d: %w", i, err)
+		}
+		g.AddNode(x, y)
+	}
+	for i := 0; i < m; i++ {
+		var u, v int
+		var w float64
+		if _, err := fmt.Fscan(br, &u, &v, &w); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		if err := g.AddEdge(NodeID(u), NodeID(v), w); err != nil {
+			return nil, fmt.Errorf("graph: edge %d: %w", i, err)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,232 @@
+// Package hiti implements the 2-level HiTi hyper-graph of the HYP method
+// (paper §V-B, after [28]): a Euclidean grid partition of the nodes into p
+// cells, border-node detection, and materialized hyper-edge weights
+// W*(u, v) = dist(u, v) between *all* pairs of border nodes (the paper's
+// footnote 1 departs from [28] exactly here: hyper-edges exist for any pair
+// of border nodes, not just borders of the same cell).
+//
+// The per-node cell identifier and border flag become part of the
+// authenticated extended-tuple Φ(v) (Eq. 7); the hyper-edge weights go into
+// a distance Merkle B-tree. Theorem 2 (border passage) makes the coarse
+// source-cell/target-cell subgraph plus these hyper-edges sufficient to
+// reproduce exact shortest path distances.
+package hiti
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/authhints/spv/internal/geom"
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/mbt"
+	"github.com/authhints/spv/internal/sp"
+)
+
+// Hyper is the owner-computed HiTi structure for a graph.
+type Hyper struct {
+	Grid     *geom.Grid
+	CellOf   []geom.CellID  // cell identifier per node
+	IsBorder []bool         // border flag per node
+	Borders  []graph.NodeID // all border nodes, ascending
+
+	borderIdx map[graph.NodeID]int // node → row in W
+	w         [][]float64          // W*[i][j]: dist between Borders[i], Borders[j]
+	cellNodes map[geom.CellID][]graph.NodeID
+}
+
+// Build partitions g into approximately p grid cells and materializes all
+// border-pair distances (one bounded Dijkstra per border node; parallelized).
+func Build(g *graph.Graph, p int) (*Hyper, error) {
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("hiti: empty graph")
+	}
+	if g.NumNodes() >= MaxNodes {
+		return nil, fmt.Errorf("hiti: %d nodes exceed key capacity %d", g.NumNodes(), MaxNodes)
+	}
+	minX, minY, maxX, maxY := g.Bounds()
+	grid, err := geom.NewGrid(minX, minY, maxX, maxY, p)
+	if err != nil {
+		return nil, err
+	}
+	if grid.NumCells() > MaxCells {
+		return nil, fmt.Errorf("hiti: %d cells exceed key capacity %d", grid.NumCells(), MaxCells)
+	}
+	n := g.NumNodes()
+	h := &Hyper{
+		Grid:      grid,
+		CellOf:    make([]geom.CellID, n),
+		IsBorder:  make([]bool, n),
+		borderIdx: make(map[graph.NodeID]int),
+		cellNodes: make(map[geom.CellID][]graph.NodeID),
+	}
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		c := grid.Cell(g.X(id), g.Y(id))
+		h.CellOf[v] = c
+		h.cellNodes[c] = append(h.cellNodes[c], id)
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range g.Neighbors(graph.NodeID(v)) {
+			if h.CellOf[e.To] != h.CellOf[v] {
+				h.IsBorder[v] = true
+				break
+			}
+		}
+		if h.IsBorder[v] {
+			h.Borders = append(h.Borders, graph.NodeID(v))
+		}
+	}
+	for i, b := range h.Borders {
+		h.borderIdx[b] = i
+	}
+
+	// Materialize W*: one Dijkstra per border node, all borders as targets.
+	b := len(h.Borders)
+	h.w = make([][]float64, b)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > b {
+		workers = b
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, b)
+	for i := 0; i < b; i++ {
+		next <- i
+	}
+	close(next)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				h.w[i] = sp.DijkstraToTargets(g, h.Borders[i], h.Borders)
+			}
+		}()
+	}
+	wg.Wait()
+	return h, nil
+}
+
+// NumBorders returns the number of border nodes.
+func (h *Hyper) NumBorders() int { return len(h.Borders) }
+
+// BordersOf returns the border nodes of a cell, ascending.
+func (h *Hyper) BordersOf(c geom.CellID) []graph.NodeID {
+	var out []graph.NodeID
+	for _, v := range h.cellNodes[c] {
+		if h.IsBorder[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// NodesOf returns all nodes of a cell, ascending.
+func (h *Hyper) NodesOf(c geom.CellID) []graph.NodeID {
+	nodes := append([]graph.NodeID(nil), h.cellNodes[c]...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// HyperEdge returns W*(u, v) for two border nodes, or false if either is not
+// a border node.
+func (h *Hyper) HyperEdge(u, v graph.NodeID) (float64, bool) {
+	i, ok := h.borderIdx[u]
+	if !ok {
+		return 0, false
+	}
+	j, ok := h.borderIdx[v]
+	if !ok {
+		return 0, false
+	}
+	return h.w[i][j], true
+}
+
+// Hyper-edge key layout: the distance Merkle B-tree is keyed cell-pair
+// first, border-pair second —
+//
+//	cell_a (10 bits) | cell_b (10 bits) | node_a (22 bits) | node_b (22 bits)
+//
+// with (cell_a, node_a) ≤ (cell_b, node_b) canonically. Every hyper-edge a
+// query needs lies between the borders of exactly two cells, so this layout
+// makes them contiguous B-tree leaves and the multi-key verification object
+// collapses to a near-single path of sibling digests. This is a provider-
+// side layout choice the client never has to trust: keys are reconstructed
+// from authenticated cell annotations and bound by the root signature.
+const (
+	cellBits = 10
+	nodeBits = 22
+	// MaxCells and MaxNodes bound what the key layout can address.
+	MaxCells = 1 << cellBits
+	MaxNodes = 1 << nodeBits
+)
+
+// HyperKey is the canonical MBT key for the border pair (u, v) living in
+// cells (cu, cv).
+func HyperKey(u, v graph.NodeID, cu, cv geom.CellID) mbt.Key {
+	if cv < cu || (cv == cu && v < u) {
+		u, v = v, u
+		cu, cv = cv, cu
+	}
+	return mbt.Key(uint64(cu)<<(cellBits+2*nodeBits) |
+		uint64(cv)<<(2*nodeBits) |
+		uint64(u)<<nodeBits |
+		uint64(v))
+}
+
+// Entries materializes all hyper-edges as Merkle B-tree entries under
+// canonical keys, including self-pairs (weight 0) so that border sets of
+// size one still yield a provable key set.
+func (h *Hyper) Entries() []mbt.Entry {
+	b := len(h.Borders)
+	out := make([]mbt.Entry, 0, b*(b+1)/2)
+	for i := 0; i < b; i++ {
+		for j := i; j < b; j++ {
+			u, v := h.Borders[i], h.Borders[j]
+			out = append(out, mbt.Entry{
+				Key:   HyperKey(u, v, h.CellOf[u], h.CellOf[v]),
+				Value: h.w[i][j],
+			})
+		}
+	}
+	return out
+}
+
+// NumHyperEdges returns the number of canonical hyper-edge entries.
+func (h *Hyper) NumHyperEdges() int {
+	b := len(h.Borders)
+	return b * (b + 1) / 2
+}
+
+// --- Extended-tuple extras (Eq. 7) ---
+
+// ExtraSize is the wire size of the HYP per-node tuple extra: a 4-byte cell
+// identifier plus a 1-byte border flag.
+const ExtraSize = 5
+
+// Extra encodes the Eq. 7 additions (v.c, v.is_border) for node v.
+func (h *Hyper) Extra(v graph.NodeID) []byte {
+	buf := make([]byte, ExtraSize)
+	binary.BigEndian.PutUint32(buf, uint32(h.CellOf[v]))
+	if h.IsBorder[v] {
+		buf[4] = 1
+	}
+	return buf
+}
+
+// DecodeExtra parses a tuple extra produced by Extra.
+func DecodeExtra(buf []byte) (cell geom.CellID, isBorder bool, err error) {
+	if len(buf) < ExtraSize {
+		return 0, false, fmt.Errorf("hiti: tuple extra truncated (%d bytes)", len(buf))
+	}
+	flag := buf[4]
+	if flag > 1 {
+		return 0, false, fmt.Errorf("hiti: bad border flag %d", flag)
+	}
+	return geom.CellID(binary.BigEndian.Uint32(buf)), flag == 1, nil
+}

@@ -1,0 +1,367 @@
+package hiti
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/authhints/spv/internal/geom"
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/sp"
+)
+
+// spatialGraph builds a connected graph whose edges mostly join nearby
+// nodes, like a road network.
+func spatialGraph(rng *rand.Rand, n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(rng.Float64()*10000, rng.Float64()*10000)
+	}
+	// Connect each node to its nearest already-placed node (spatial MST-ish),
+	// then add a few extra local edges.
+	for v := 1; v < n; v++ {
+		best, bestD := 0, math.MaxFloat64
+		for u := 0; u < v; u++ {
+			if d := g.Euclid(graph.NodeID(u), graph.NodeID(v)); d < bestD {
+				best, bestD = u, d
+			}
+		}
+		g.MustAddEdge(graph.NodeID(best), graph.NodeID(v), bestD+1)
+	}
+	for k := 0; k < n/4; k++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, g.Euclid(u, v)+1)
+		}
+	}
+	return g
+}
+
+func TestBuildBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := spatialGraph(rng, 200)
+	h, err := Build(g, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Grid.NumCells() != 25 {
+		t.Errorf("grid has %d cells, want 25", h.Grid.NumCells())
+	}
+	if h.NumBorders() == 0 {
+		t.Fatal("no border nodes found")
+	}
+	// Border definition: adjacent to a node in another cell.
+	for v := 0; v < g.NumNodes(); v++ {
+		want := false
+		for _, e := range g.Neighbors(graph.NodeID(v)) {
+			if h.CellOf[e.To] != h.CellOf[v] {
+				want = true
+				break
+			}
+		}
+		if h.IsBorder[v] != want {
+			t.Errorf("node %d border flag %v, want %v", v, h.IsBorder[v], want)
+		}
+	}
+}
+
+func TestEmptyGraphRejected(t *testing.T) {
+	if _, err := Build(graph.New(0), 25); err == nil {
+		t.Error("empty graph accepted")
+	}
+	g := graph.New(1)
+	g.AddNode(1, 1)
+	if _, err := Build(g, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+// TestHyperEdgeWeightsAreExactDistances: W*(u,v) must equal dist(u,v)
+// computed independently.
+func TestHyperEdgeWeightsAreExactDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := spatialGraph(rng, 150)
+	h, err := Build(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		u := h.Borders[rng.Intn(h.NumBorders())]
+		v := h.Borders[rng.Intn(h.NumBorders())]
+		got, ok := h.HyperEdge(u, v)
+		if !ok {
+			t.Fatalf("HyperEdge(%d,%d) missing", u, v)
+		}
+		want, _ := sp.DijkstraTo(g, u, v)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("W*(%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+	if _, ok := h.HyperEdge(u0NonBorder(h, g), h.Borders[0]); ok {
+		t.Error("HyperEdge with non-border endpoint succeeded")
+	}
+}
+
+func u0NonBorder(h *Hyper, g *graph.Graph) graph.NodeID {
+	for v := 0; v < g.NumNodes(); v++ {
+		if !h.IsBorder[v] {
+			return graph.NodeID(v)
+		}
+	}
+	return 0
+}
+
+// TestTheorem2BorderPassage verifies the paper's Theorem 2 mechanically: for
+// random (vs, vt) in different cells, min over border pairs of
+// dcell(vs,bs) + W*(bs,bt) + dcell(bt,vt) equals dist(vs,vt), where dcell is
+// restricted to intra-cell edges.
+func TestTheorem2BorderPassage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := spatialGraph(rng, 60+rng.Intn(100))
+		h, err := Build(g, 9+rng.Intn(3)*8)
+		if err != nil {
+			return false
+		}
+		vs := graph.NodeID(rng.Intn(g.NumNodes()))
+		vt := graph.NodeID(rng.Intn(g.NumNodes()))
+		want, _ := sp.DijkstraTo(g, vs, vt)
+
+		got := coarseMin(g, h, vs, vt)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Logf("seed %d: coarse %v, want %v (cells %d,%d)", seed, got, want, h.CellOf[vs], h.CellOf[vt])
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// coarseMin mirrors the client-side coarse computation: Dijkstra restricted
+// to intra-cell edges of the source and target cells, stitched with
+// hyper-edges.
+func coarseMin(g *graph.Graph, h *Hyper, vs, vt graph.NodeID) float64 {
+	cs, ct := h.CellOf[vs], h.CellOf[vt]
+	dS := cellDijkstra(g, h, cs, vs)
+	dT := cellDijkstra(g, h, ct, vt)
+	best := math.MaxFloat64
+	if cs == ct {
+		if d, ok := dS[vt]; ok && d < best {
+			best = d
+		}
+	}
+	for _, bs := range h.BordersOf(cs) {
+		ds, ok := dS[bs]
+		if !ok {
+			continue
+		}
+		for _, bt := range h.BordersOf(ct) {
+			dt, ok := dT[bt]
+			if !ok {
+				continue
+			}
+			w, ok := h.HyperEdge(bs, bt)
+			if !ok || w == sp.Unreachable {
+				continue
+			}
+			if ds+w+dt < best {
+				best = ds + w + dt
+			}
+		}
+	}
+	return best
+}
+
+// cellDijkstra runs Dijkstra from src using only edges whose endpoints are
+// both in cell c.
+func cellDijkstra(g *graph.Graph, h *Hyper, c geom.CellID, src graph.NodeID) map[graph.NodeID]float64 {
+	if h.CellOf[src] != c {
+		return nil
+	}
+	dist := map[graph.NodeID]float64{src: 0}
+	done := map[graph.NodeID]bool{}
+	for {
+		var u graph.NodeID
+		best := math.MaxFloat64
+		found := false
+		for v, d := range dist {
+			if !done[v] && d < best {
+				best, u, found = d, v, true
+			}
+		}
+		if !found {
+			return dist
+		}
+		done[u] = true
+		for _, e := range g.Neighbors(u) {
+			if h.CellOf[e.To] != c {
+				continue
+			}
+			if nd := best + e.W; nd < distOr(dist, e.To) {
+				dist[e.To] = nd
+			}
+		}
+	}
+}
+
+func distOr(m map[graph.NodeID]float64, v graph.NodeID) float64 {
+	if d, ok := m[v]; ok {
+		return d
+	}
+	return math.MaxFloat64
+}
+
+func TestEntriesCoverAllPairsOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := spatialGraph(rng, 80)
+	h, err := Build(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := h.Entries()
+	if len(entries) != h.NumHyperEdges() {
+		t.Fatalf("%d entries, want %d", len(entries), h.NumHyperEdges())
+	}
+	seen := map[uint64]bool{}
+	for _, e := range entries {
+		u := graph.NodeID((uint64(e.Key) >> nodeBits) & (MaxNodes - 1))
+		v := graph.NodeID(uint64(e.Key) & (MaxNodes - 1))
+		if seen[uint64(e.Key)] {
+			t.Errorf("duplicate key (%d,%d)", u, v)
+		}
+		seen[uint64(e.Key)] = true
+		if e.Key != HyperKey(u, v, h.CellOf[u], h.CellOf[v]) {
+			t.Errorf("key for (%d,%d) not canonical", u, v)
+		}
+		// The canonical key may transpose (u, v); W*[i][j] and W*[j][i] come
+		// from different Dijkstra runs and agree only up to float rounding.
+		w, ok := h.HyperEdge(u, v)
+		if !ok || math.Abs(w-e.Value) > 1e-9*(1+w) {
+			t.Errorf("entry (%d,%d) value %v, HyperEdge %v ok=%v", u, v, e.Value, w, ok)
+		}
+	}
+}
+
+func TestHyperKeyCanonical(t *testing.T) {
+	if HyperKey(5, 3, 2, 1) != HyperKey(3, 5, 1, 2) {
+		t.Error("HyperKey not symmetric under swap")
+	}
+	if HyperKey(9, 2, 4, 4) != HyperKey(2, 9, 4, 4) {
+		t.Error("HyperKey not symmetric within a cell")
+	}
+	// Cell ordering dominates node ordering.
+	a := HyperKey(9, 2, 1, 7)
+	b := HyperKey(2, 9, 7, 1)
+	if a != b {
+		t.Error("HyperKey not canonical across cells")
+	}
+	// Keys from the same cell pair must be contiguous: the cell-pair prefix
+	// occupies the high bits.
+	k1 := HyperKey(1, 2, 3, 5)
+	k2 := HyperKey(7, 9, 3, 5)
+	if k1>>uint(2*nodeBits) != k2>>uint(2*nodeBits) {
+		t.Error("same cell pair produced different key prefixes")
+	}
+	k3 := HyperKey(1, 2, 3, 6)
+	if k1>>uint(2*nodeBits) == k3>>uint(2*nodeBits) {
+		t.Error("different cell pairs share a key prefix")
+	}
+}
+
+func TestExtraRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := spatialGraph(rng, 60)
+	h, err := Build(g, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		extra := h.Extra(graph.NodeID(v))
+		if len(extra) != ExtraSize {
+			t.Fatalf("extra has %d bytes", len(extra))
+		}
+		cell, isBorder, err := DecodeExtra(extra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cell != h.CellOf[v] || isBorder != h.IsBorder[v] {
+			t.Errorf("node %d extra round trip (%d,%v), want (%d,%v)",
+				v, cell, isBorder, h.CellOf[v], h.IsBorder[v])
+		}
+	}
+	if _, _, err := DecodeExtra([]byte{1, 2}); err == nil {
+		t.Error("truncated extra decoded")
+	}
+	if _, _, err := DecodeExtra([]byte{0, 0, 0, 0, 7}); err == nil {
+		t.Error("bad border flag decoded")
+	}
+}
+
+func TestMoreCellsMoreBorders(t *testing.T) {
+	// Finer grids cut more edges, so the border count must not decrease.
+	rng := rand.New(rand.NewSource(5))
+	g := spatialGraph(rng, 300)
+	prev := 0
+	for _, p := range []int{4, 25, 100, 400} {
+		h, err := Build(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.NumBorders() < prev {
+			t.Errorf("p=%d has %d borders, fewer than coarser grid's %d", p, h.NumBorders(), prev)
+		}
+		prev = h.NumBorders()
+	}
+}
+
+func TestSingleCellNoBorders(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := spatialGraph(rng, 40)
+	h, err := Build(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBorders() != 0 {
+		t.Errorf("single cell has %d borders", h.NumBorders())
+	}
+	if len(h.Entries()) != 0 {
+		t.Error("single cell has hyper-edges")
+	}
+	// Same-cell coarse distance must still work (pure intra-cell Dijkstra).
+	want, _ := sp.DijkstraTo(g, 0, 5)
+	got := coarseMin(g, h, 0, 5)
+	if math.Abs(got-want) > 1e-9*(1+want) {
+		t.Errorf("single-cell coarse %v, want %v", got, want)
+	}
+}
+
+func TestNodesOfPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := spatialGraph(rng, 120)
+	h, err := Build(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for c := geom.CellID(0); int(c) < h.Grid.NumCells(); c++ {
+		nodes := h.NodesOf(c)
+		total += len(nodes)
+		for i := 1; i < len(nodes); i++ {
+			if nodes[i-1] >= nodes[i] {
+				t.Fatalf("cell %d nodes not ascending", c)
+			}
+		}
+		for _, v := range nodes {
+			if h.CellOf[v] != c {
+				t.Fatalf("node %d listed in wrong cell", v)
+			}
+		}
+	}
+	if total != g.NumNodes() {
+		t.Errorf("cells cover %d nodes, want %d", total, g.NumNodes())
+	}
+}

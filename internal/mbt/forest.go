@@ -1,0 +1,215 @@
+package mbt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"github.com/authhints/spv/internal/digest"
+	"github.com/authhints/spv/internal/mht"
+)
+
+// Forest is the FULL method's distance ADS: a two-level Merkle tree over the
+// implicit |V|×|V| matrix of materialized distances. Leaves are entries
+// ⟨i, j, dist(i, j)⟩ in row-major order; each source row folds into a row
+// subtree whose root becomes a leaf of the top tree.
+//
+// Only the |V| row roots are retained: O(|V|) memory instead of O(|V|²).
+// Proof generation regenerates the needed row with the RowFn callback
+// (one Dijkstra run in FULL) and rebuilds its subtree transiently.
+type Forest struct {
+	alg    digest.Alg
+	fanout int
+	n      int
+	top    *mht.Tree
+	rowFn  func(i int) []float64
+}
+
+// ForestBuilder accumulates row roots in source order.
+type ForestBuilder struct {
+	alg      digest.Alg
+	fanout   int
+	n        int
+	rowRoots [][]byte
+	buf      []byte
+}
+
+// NewForestBuilder prepares a builder for an n×n matrix.
+func NewForestBuilder(alg digest.Alg, fanout, n int) (*ForestBuilder, error) {
+	if !alg.Valid() {
+		return nil, fmt.Errorf("mbt: invalid hash algorithm %d", alg)
+	}
+	if n <= 0 {
+		return nil, errors.New("mbt: empty forest")
+	}
+	if fanout < 2 || fanout > mht.MaxFanout {
+		return nil, fmt.Errorf("mbt: fanout %d out of range", fanout)
+	}
+	return &ForestBuilder{alg: alg, fanout: fanout, n: n, rowRoots: make([][]byte, 0, n)}, nil
+}
+
+// AddRow folds row i (which must arrive in order: 0, 1, 2, ...) into its
+// subtree root. vals[j] is dist(i, j) and must have length n.
+func (b *ForestBuilder) AddRow(vals []float64) error {
+	i := len(b.rowRoots)
+	if i >= b.n {
+		return fmt.Errorf("mbt: too many rows (n=%d)", b.n)
+	}
+	if len(vals) != b.n {
+		return fmt.Errorf("mbt: row %d has %d values, want %d", i, len(vals), b.n)
+	}
+	root, err := b.rowRoot(i, vals)
+	if err != nil {
+		return err
+	}
+	b.rowRoots = append(b.rowRoots, root)
+	return nil
+}
+
+func (b *ForestBuilder) rowRoot(i int, vals []float64) ([]byte, error) {
+	t, err := b.rowTree(i, vals)
+	if err != nil {
+		return nil, err
+	}
+	return t.Root(), nil
+}
+
+func (b *ForestBuilder) rowTree(i int, vals []float64) (*mht.Tree, error) {
+	leaves := make([][]byte, b.n)
+	for j := 0; j < b.n; j++ {
+		e := Entry{Key: MakeKey(uint32(i), uint32(j)), Value: vals[j]}
+		b.buf = e.AppendBinary(b.buf[:0])
+		leaves[j] = b.alg.Sum(b.buf)
+	}
+	return mht.Build(b.alg, b.fanout, leaves)
+}
+
+// Finish builds the top tree. rowFn must regenerate row i on demand for
+// proof generation (it is the provider's half; clients never need it).
+func (b *ForestBuilder) Finish(rowFn func(i int) []float64) (*Forest, error) {
+	if len(b.rowRoots) != b.n {
+		return nil, fmt.Errorf("mbt: %d rows added, want %d", len(b.rowRoots), b.n)
+	}
+	top, err := mht.Build(b.alg, b.fanout, b.rowRoots)
+	if err != nil {
+		return nil, err
+	}
+	return &Forest{alg: b.alg, fanout: b.fanout, n: b.n, top: top, rowFn: rowFn}, nil
+}
+
+// Root returns the forest root digest (signed by the data owner).
+func (f *Forest) Root() []byte { return f.top.Root() }
+
+// N returns the matrix dimension |V|.
+func (f *Forest) N() int { return f.n }
+
+// ForestProof authenticates a single entry ⟨i, j, dist⟩ against the forest
+// root: the entry, a proof inside row i's subtree, and a proof of row i's
+// root inside the top tree.
+type ForestProof struct {
+	Entry Entry
+	Row   *mht.Proof // proves leaf j within the row subtree
+	Top   *mht.Proof // proves row root i within the top tree
+}
+
+// Prove generates the verification object for dist(i, j).
+func (f *Forest) Prove(i, j int) (*ForestProof, error) {
+	if i < 0 || i >= f.n || j < 0 || j >= f.n {
+		return nil, fmt.Errorf("mbt: pair (%d, %d) out of range [0, %d)", i, j, f.n)
+	}
+	vals := f.rowFn(i)
+	if len(vals) != f.n {
+		return nil, fmt.Errorf("mbt: row function returned %d values, want %d", len(vals), f.n)
+	}
+	b := &ForestBuilder{alg: f.alg, fanout: f.fanout, n: f.n}
+	rowTree, err := b.rowTree(i, vals)
+	if err != nil {
+		return nil, err
+	}
+	// Detect drift between construction-time and proof-time rows early: a
+	// stale provider cache would otherwise surface as an opaque client-side
+	// root mismatch.
+	if !bytes.Equal(rowTree.Root(), f.top.Leaf(i)) {
+		return nil, fmt.Errorf("mbt: row %d regenerated with different contents", i)
+	}
+	rowProof, err := rowTree.Prove([]int{j})
+	if err != nil {
+		return nil, err
+	}
+	topProof, err := f.top.Prove([]int{i})
+	if err != nil {
+		return nil, err
+	}
+	return &ForestProof{
+		Entry: Entry{Key: MakeKey(uint32(i), uint32(j)), Value: vals[j]},
+		Row:   rowProof,
+		Top:   topProof,
+	}, nil
+}
+
+// Root reconstructs the forest root implied by the proof, without trusted
+// input, for signature binding.
+func (p *ForestProof) Root() ([]byte, error) {
+	if p.Row == nil || p.Top == nil {
+		return nil, errors.New("mbt: forest proof missing parts")
+	}
+	i, j := p.Entry.Key.Split()
+	leaf := p.Row.Alg.Sum(p.Entry.AppendBinary(nil))
+	rowRoot, err := mht.Reconstruct(p.Row, map[int][]byte{int(j): leaf})
+	if err != nil {
+		return nil, fmt.Errorf("mbt: row reconstruction: %w", err)
+	}
+	topRoot, err := mht.Reconstruct(p.Top, map[int][]byte{int(i): rowRoot})
+	if err != nil {
+		return nil, fmt.Errorf("mbt: top reconstruction: %w", err)
+	}
+	return topRoot, nil
+}
+
+// Verify checks the proof against the trusted forest root. On success,
+// Entry is an authentic materialized distance.
+func (p *ForestProof) Verify(root []byte) error {
+	got, err := p.Root()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, root) {
+		return errors.New("mbt: root mismatch")
+	}
+	return nil
+}
+
+// EncodedSize returns the wire size of the proof.
+func (p *ForestProof) EncodedSize() int {
+	return entrySize + p.Row.EncodedSize() + p.Top.EncodedSize()
+}
+
+// NumItems counts proof items (1 entry + Merkle digests).
+func (p *ForestProof) NumItems() int { return 1 + p.Row.NumEntries() + p.Top.NumEntries() }
+
+// AppendBinary serializes the proof: entry | row proof | top proof.
+func (p *ForestProof) AppendBinary(buf []byte) []byte {
+	buf = p.Entry.AppendBinary(buf)
+	buf = p.Row.AppendBinary(buf)
+	return p.Top.AppendBinary(buf)
+}
+
+// DecodeForestProof parses a serialized forest proof.
+func DecodeForestProof(buf []byte) (*ForestProof, int, error) {
+	e, err := decodeEntry(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	off := entrySize
+	row, n, err := mht.DecodeProof(buf[off:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("mbt: row proof: %w", err)
+	}
+	off += n
+	top, n, err := mht.DecodeProof(buf[off:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("mbt: top proof: %w", err)
+	}
+	off += n
+	return &ForestProof{Entry: e, Row: row, Top: top}, off, nil
+}

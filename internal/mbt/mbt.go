@@ -1,0 +1,258 @@
+// Package mbt implements Merkle B-trees over materialized shortest path
+// distances, the distance ADS of the FULL and HYP methods (paper §IV-B,
+// §V-B): tuples ⟨vi.id, vj.id, dist(vi, vj)⟩ stored under the composite key
+// (vi.id, vj.id), authenticated bottom-up into a signed root, with
+// verification objects for point lookups.
+//
+// Two variants are provided:
+//
+//   - Tree: an in-memory tree over an explicit sorted key set (HYP's
+//     hyper-edge distances, where only border pairs are materialized).
+//   - Forest: a two-level tree over the implicit |V|×|V| all-pairs matrix
+//     (FULL), which never holds the quadratic matrix in memory: per-source
+//     row subtrees are folded into a root during construction and
+//     regenerated on demand for proofs.
+package mbt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/authhints/spv/internal/digest"
+	"github.com/authhints/spv/internal/mht"
+)
+
+// Key is the composite (vi.id, vj.id) search key.
+type Key uint64
+
+// MakeKey packs two node IDs into a composite key that sorts by (i, j).
+func MakeKey(i, j uint32) Key { return Key(uint64(i)<<32 | uint64(j)) }
+
+// Split unpacks the composite key.
+func (k Key) Split() (i, j uint32) { return uint32(k >> 32), uint32(k) }
+
+// Entry is one authenticated distance tuple.
+type Entry struct {
+	Key   Key
+	Value float64
+}
+
+// entrySize is the wire size of an entry: 8-byte key + 8-byte distance.
+const entrySize = 16
+
+// AppendBinary appends the canonical entry encoding (hashed into leaves and
+// sent inside proofs).
+func (e Entry) AppendBinary(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Key))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(e.Value))
+	return buf
+}
+
+func decodeEntry(buf []byte) (Entry, error) {
+	if len(buf) < entrySize {
+		return Entry{}, fmt.Errorf("mbt: entry truncated (%d bytes)", len(buf))
+	}
+	return Entry{
+		Key:   Key(binary.BigEndian.Uint64(buf)),
+		Value: math.Float64frombits(binary.BigEndian.Uint64(buf[8:])),
+	}, nil
+}
+
+// Tree is an in-memory Merkle B-tree over an explicit sorted key set.
+type Tree struct {
+	keys []Key
+	vals []float64
+	mt   *mht.Tree
+}
+
+// Build constructs a tree from entries (sorted internally; duplicate keys
+// are rejected).
+func Build(alg digest.Alg, fanout int, entries []Entry) (*Tree, error) {
+	if len(entries) == 0 {
+		return nil, errors.New("mbt: no entries")
+	}
+	sorted := append([]Entry(nil), entries...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Key < sorted[b].Key })
+	t := &Tree{
+		keys: make([]Key, len(sorted)),
+		vals: make([]float64, len(sorted)),
+	}
+	leaves := make([][]byte, len(sorted))
+	var buf []byte
+	for i, e := range sorted {
+		if i > 0 && e.Key == sorted[i-1].Key {
+			return nil, fmt.Errorf("mbt: duplicate key %d", e.Key)
+		}
+		t.keys[i] = e.Key
+		t.vals[i] = e.Value
+		buf = e.AppendBinary(buf[:0])
+		leaves[i] = alg.Sum(buf)
+	}
+	mt, err := mht.Build(alg, fanout, leaves)
+	if err != nil {
+		return nil, err
+	}
+	t.mt = mt
+	return t, nil
+}
+
+// Root returns the signed-root digest of the tree.
+func (t *Tree) Root() []byte { return t.mt.Root() }
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return len(t.keys) }
+
+// Lookup returns the value stored under key.
+func (t *Tree) Lookup(key Key) (float64, bool) {
+	i := sort.Search(len(t.keys), func(i int) bool { return t.keys[i] >= key })
+	if i < len(t.keys) && t.keys[i] == key {
+		return t.vals[i], true
+	}
+	return 0, false
+}
+
+// ProvenEntry is an entry plus its leaf position, as carried in proofs.
+type ProvenEntry struct {
+	Entry
+	Index uint32
+}
+
+// Proof is the verification object for a set of point lookups: the claimed
+// entries (with leaf positions) and the Merkle integrity proof binding them
+// to the signed root.
+type Proof struct {
+	Entries []ProvenEntry
+	MHT     *mht.Proof
+}
+
+// ProveKeys builds a proof for the given keys. All keys must exist.
+func (t *Tree) ProveKeys(keys []Key) (*Proof, error) {
+	if len(keys) == 0 {
+		return nil, errors.New("mbt: no keys to prove")
+	}
+	seen := make(map[Key]bool, len(keys))
+	p := &Proof{}
+	var indices []int
+	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		i := sort.Search(len(t.keys), func(i int) bool { return t.keys[i] >= k })
+		if i >= len(t.keys) || t.keys[i] != k {
+			return nil, fmt.Errorf("mbt: key %d not present", k)
+		}
+		p.Entries = append(p.Entries, ProvenEntry{
+			Entry: Entry{Key: k, Value: t.vals[i]},
+			Index: uint32(i),
+		})
+		indices = append(indices, i)
+	}
+	mp, err := t.mt.Prove(indices)
+	if err != nil {
+		return nil, err
+	}
+	p.MHT = mp
+	return p, nil
+}
+
+// Root reconstructs the tree root implied by the proof's entries and Merkle
+// digests, without any trusted input. Callers bind the result to the data
+// owner by checking a signature over it (or by comparing against a known
+// root via Verify).
+func (p *Proof) Root() ([]byte, error) {
+	if p.MHT == nil {
+		return nil, errors.New("mbt: proof missing Merkle part")
+	}
+	known := make(map[int][]byte, len(p.Entries))
+	var buf []byte
+	for _, e := range p.Entries {
+		buf = e.Entry.AppendBinary(buf[:0])
+		d := p.MHT.Alg.Sum(buf)
+		if prev, dup := known[int(e.Index)]; dup && !bytes.Equal(prev, d) {
+			return nil, fmt.Errorf("mbt: conflicting entries at leaf %d", e.Index)
+		}
+		known[int(e.Index)] = d
+	}
+	return mht.Reconstruct(p.MHT, known)
+}
+
+// Verify reconstructs the root from the proof and compares it to the
+// trusted root digest. On success the entries in the proof are authentic:
+// each (key, value) pair was materialized by the data owner.
+func (p *Proof) Verify(root []byte) error {
+	got, err := p.Root()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, root) {
+		return errors.New("mbt: root mismatch")
+	}
+	return nil
+}
+
+// Value returns the proven value for key, or an error if the proof does not
+// contain it. Call after Verify.
+func (p *Proof) Value(key Key) (float64, error) {
+	for _, e := range p.Entries {
+		if e.Key == key {
+			return e.Value, nil
+		}
+	}
+	return 0, fmt.Errorf("mbt: proof has no entry for key %d", key)
+}
+
+// EncodedSize returns the wire size of the proof: proven entries plus the
+// Merkle entries (the distance-ADS share of the communication overhead).
+func (p *Proof) EncodedSize() int {
+	return 4 + len(p.Entries)*(entrySize+4) + p.MHT.EncodedSize()
+}
+
+// NumItems counts the items in the proof, matching the paper's "number of
+// items" metric: one per proven entry plus one per Merkle digest.
+func (p *Proof) NumItems() int { return len(p.Entries) + p.MHT.NumEntries() }
+
+// AppendBinary serializes the proof:
+//
+//	numEntries uint32 | entries × (key, value, index uint32) | mht proof
+func (p *Proof) AppendBinary(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Entries)))
+	for _, e := range p.Entries {
+		buf = e.Entry.AppendBinary(buf)
+		buf = binary.BigEndian.AppendUint32(buf, e.Index)
+	}
+	return p.MHT.AppendBinary(buf)
+}
+
+// DecodeProof parses a proof serialized by AppendBinary, returning the
+// number of bytes consumed.
+func DecodeProof(buf []byte) (*Proof, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("mbt: proof truncated")
+	}
+	count := int(binary.BigEndian.Uint32(buf))
+	off := 4
+	p := &Proof{Entries: make([]ProvenEntry, 0, count)}
+	for i := 0; i < count; i++ {
+		if len(buf[off:]) < entrySize+4 {
+			return nil, 0, fmt.Errorf("mbt: proof entry %d truncated", i)
+		}
+		e, err := decodeEntry(buf[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		idx := binary.BigEndian.Uint32(buf[off+entrySize:])
+		p.Entries = append(p.Entries, ProvenEntry{Entry: e, Index: idx})
+		off += entrySize + 4
+	}
+	mp, n, err := mht.DecodeProof(buf[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	p.MHT = mp
+	return p, off + n, nil
+}

@@ -1,0 +1,378 @@
+package mbt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/authhints/spv/internal/digest"
+)
+
+func testEntries(n int) []Entry {
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Entry{Key: MakeKey(uint32(i/7), uint32(i%7)), Value: float64(i) * 1.5})
+	}
+	return out
+}
+
+func TestMakeKeySplit(t *testing.T) {
+	f := func(i, j uint32) bool {
+		a, b := MakeKey(i, j).Split()
+		return a == i && b == j
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Ordering: keys sort by (i, j) lexicographically.
+	if MakeKey(1, 0) <= MakeKey(0, 0xffffffff) {
+		t.Error("key ordering broken across i boundary")
+	}
+	if MakeKey(3, 5) <= MakeKey(3, 4) {
+		t.Error("key ordering broken within row")
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build(digest.SHA1, 4, nil); err == nil {
+		t.Error("empty entries accepted")
+	}
+	dup := []Entry{{Key: 1, Value: 2}, {Key: 1, Value: 3}}
+	if _, err := Build(digest.SHA1, 4, dup); err == nil {
+		t.Error("duplicate keys accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	tr, err := Build(digest.SHA1, 4, testEntries(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 50 {
+		t.Errorf("Len = %d, want 50", tr.Len())
+	}
+	v, ok := tr.Lookup(MakeKey(2, 3)) // entry 17 → value 25.5
+	if !ok || v != 25.5 {
+		t.Errorf("Lookup = %v, %v; want 25.5, true", v, ok)
+	}
+	if _, ok := tr.Lookup(MakeKey(99, 99)); ok {
+		t.Error("absent key found")
+	}
+}
+
+func TestProveVerifySingleKey(t *testing.T) {
+	tr, _ := Build(digest.SHA1, 4, testEntries(50))
+	p, err := tr.ProveKeys([]Key{MakeKey(3, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(tr.Root()); err != nil {
+		t.Errorf("valid proof rejected: %v", err)
+	}
+	v, err := p.Value(MakeKey(3, 2))
+	if err != nil || v != testEntries(50)[23].Value {
+		t.Errorf("Value = %v, %v", v, err)
+	}
+	if _, err := p.Value(MakeKey(9, 9)); err == nil {
+		t.Error("Value for unproven key succeeded")
+	}
+}
+
+func TestProveVerifyMultiKeyProperty(t *testing.T) {
+	entries := testEntries(200)
+	tr, _ := Build(digest.SHA1, 8, entries)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(20)
+		keys := make([]Key, k)
+		for i := range keys {
+			keys[i] = entries[rng.Intn(len(entries))].Key
+		}
+		p, err := tr.ProveKeys(keys)
+		if err != nil {
+			t.Logf("prove: %v", err)
+			return false
+		}
+		if err := p.Verify(tr.Root()); err != nil {
+			t.Logf("verify: %v", err)
+			return false
+		}
+		for _, key := range keys {
+			want, _ := tr.Lookup(key)
+			got, err := p.Value(key)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProveKeysRejectsMissing(t *testing.T) {
+	tr, _ := Build(digest.SHA1, 4, testEntries(10))
+	if _, err := tr.ProveKeys([]Key{MakeKey(42, 42)}); err == nil {
+		t.Error("proof for absent key succeeded")
+	}
+	if _, err := tr.ProveKeys(nil); err == nil {
+		t.Error("empty key set accepted")
+	}
+}
+
+func TestProofTamperDetection(t *testing.T) {
+	tr, _ := Build(digest.SHA1, 4, testEntries(64))
+	key := MakeKey(4, 4)
+
+	// Inflated distance value.
+	p, _ := tr.ProveKeys([]Key{key})
+	p.Entries[0].Value += 1
+	if err := p.Verify(tr.Root()); err == nil {
+		t.Error("tampered value verified")
+	}
+	// Re-pointed key: claim the proven entry is for a different pair.
+	p2, _ := tr.ProveKeys([]Key{key})
+	p2.Entries[0].Key = MakeKey(5, 5)
+	if err := p2.Verify(tr.Root()); err == nil {
+		t.Error("re-keyed entry verified")
+	}
+	// Index shifting.
+	p3, _ := tr.ProveKeys([]Key{key})
+	p3.Entries[0].Index++
+	if err := p3.Verify(tr.Root()); err == nil {
+		t.Error("index-shifted entry verified")
+	}
+	// Foreign root.
+	p4, _ := tr.ProveKeys([]Key{key})
+	other, _ := Build(digest.SHA1, 4, testEntries(63))
+	if err := p4.Verify(other.Root()); err == nil {
+		t.Error("proof verified against foreign root")
+	}
+}
+
+func TestProofSerializationRoundTrip(t *testing.T) {
+	tr, _ := Build(digest.SHA256, 4, testEntries(100))
+	p, _ := tr.ProveKeys([]Key{MakeKey(0, 0), MakeKey(14, 1)})
+	enc := p.AppendBinary(nil)
+	if len(enc) != p.EncodedSize() {
+		t.Errorf("encoded %d bytes, EncodedSize %d", len(enc), p.EncodedSize())
+	}
+	dec, n, err := DecodeProof(enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("decode: %v (consumed %d of %d)", err, n, len(enc))
+	}
+	if err := dec.Verify(tr.Root()); err != nil {
+		t.Errorf("decoded proof rejected: %v", err)
+	}
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, _, err := DecodeProof(enc[:cut]); err == nil {
+			t.Errorf("truncated proof (%d bytes) decoded", cut)
+		}
+	}
+}
+
+// --- Forest (FULL's lazy two-level tree) ---
+
+// testMatrix builds a deterministic n×n "distance" matrix.
+func testMatrix(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			d := float64((i-j)*(i-j)%97) + 0.25
+			if i == j {
+				d = 0
+			}
+			m[i][j] = d
+		}
+	}
+	return m
+}
+
+func buildForest(t testing.TB, n, fanout int) (*Forest, [][]float64) {
+	t.Helper()
+	m := testMatrix(n)
+	b, err := NewForestBuilder(digest.SHA1, fanout, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := b.AddRow(m[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := b.Finish(func(i int) []float64 { return m[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, m
+}
+
+func TestForestProveVerify(t *testing.T) {
+	f, m := buildForest(t, 33, 4)
+	for _, pair := range [][2]int{{0, 0}, {0, 32}, {32, 0}, {17, 21}, {32, 32}} {
+		p, err := f.Prove(pair[0], pair[1])
+		if err != nil {
+			t.Fatalf("prove(%v): %v", pair, err)
+		}
+		if p.Entry.Value != m[pair[0]][pair[1]] {
+			t.Errorf("prove(%v) value %v, want %v", pair, p.Entry.Value, m[pair[0]][pair[1]])
+		}
+		if err := p.Verify(f.Root()); err != nil {
+			t.Errorf("verify(%v): %v", pair, err)
+		}
+	}
+}
+
+func TestForestProofTamperDetection(t *testing.T) {
+	f, _ := buildForest(t, 20, 2)
+	p, _ := f.Prove(5, 7)
+	p.Entry.Value *= 2
+	if err := p.Verify(f.Root()); err == nil {
+		t.Error("tampered forest value verified")
+	}
+	p2, _ := f.Prove(5, 7)
+	p2.Entry.Key = MakeKey(5, 8)
+	if err := p2.Verify(f.Root()); err == nil {
+		t.Error("re-keyed forest entry verified")
+	}
+	p3, _ := f.Prove(5, 7)
+	p3.Row.Entries[0].Digest[3] ^= 0x80
+	if err := p3.Verify(f.Root()); err == nil {
+		t.Error("tampered row proof verified")
+	}
+}
+
+func TestForestRejectsBadShape(t *testing.T) {
+	if _, err := NewForestBuilder(digest.SHA1, 2, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewForestBuilder(digest.SHA1, 1, 5); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	b, _ := NewForestBuilder(digest.SHA1, 2, 3)
+	if err := b.AddRow([]float64{1, 2}); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, err := b.Finish(nil); err == nil {
+		t.Error("finish with missing rows accepted")
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.AddRow([]float64{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddRow([]float64{1, 2, 3}); err == nil {
+		t.Error("extra row accepted")
+	}
+}
+
+func TestForestOutOfRangeProve(t *testing.T) {
+	f, _ := buildForest(t, 5, 2)
+	for _, pair := range [][2]int{{-1, 0}, {0, -1}, {5, 0}, {0, 5}} {
+		if _, err := f.Prove(pair[0], pair[1]); err == nil {
+			t.Errorf("prove(%v) succeeded", pair)
+		}
+	}
+}
+
+func TestForestDetectsRowDrift(t *testing.T) {
+	// If the provider's row function returns different data than what the
+	// owner folded into the root, Prove must fail loudly.
+	m := testMatrix(10)
+	b, _ := NewForestBuilder(digest.SHA1, 2, 10)
+	for i := 0; i < 10; i++ {
+		if err := b.AddRow(m[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := b.Finish(func(i int) []float64 {
+		row := append([]float64(nil), m[i]...)
+		row[0] += 1 // drift
+		return row
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Prove(3, 3); err == nil {
+		t.Error("drifted row accepted at prove time")
+	}
+}
+
+func TestForestProofSerializationRoundTrip(t *testing.T) {
+	f, _ := buildForest(t, 26, 3)
+	p, _ := f.Prove(11, 19)
+	enc := p.AppendBinary(nil)
+	if len(enc) != p.EncodedSize() {
+		t.Errorf("encoded %d bytes, EncodedSize %d", len(enc), p.EncodedSize())
+	}
+	dec, n, err := DecodeForestProof(enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("decode: %v (consumed %d of %d)", err, n, len(enc))
+	}
+	if err := dec.Verify(f.Root()); err != nil {
+		t.Errorf("decoded proof rejected: %v", err)
+	}
+	if dec.NumItems() != p.NumItems() {
+		t.Errorf("NumItems mismatch after round trip")
+	}
+}
+
+func TestForestMatchesExplicitTree(t *testing.T) {
+	// A forest over an n×n matrix must produce the same proofs semantics as
+	// an explicit tree over the same entries: both authenticate the same
+	// (key, value) pairs. Roots differ (different shapes) but verification
+	// behaviour must agree: every entry provable in one is provable in the
+	// other with the same value.
+	n := 9
+	m := testMatrix(n)
+	f, _ := buildForest(t, n, 3)
+	var entries []Entry
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			entries = append(entries, Entry{Key: MakeKey(uint32(i), uint32(j)), Value: m[i][j]})
+		}
+	}
+	tr, err := Build(digest.SHA1, 3, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		fp, err := f.Prove(i, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fp.Verify(f.Root()); err != nil {
+			t.Fatal(err)
+		}
+		tp, err := tr.ProveKeys([]Key{MakeKey(uint32(i), uint32(j))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tp.Verify(tr.Root()); err != nil {
+			t.Fatal(err)
+		}
+		tv, _ := tp.Value(MakeKey(uint32(i), uint32(j)))
+		if fp.Entry.Value != tv {
+			t.Errorf("(%d,%d): forest %v vs tree %v", i, j, fp.Entry.Value, tv)
+		}
+	}
+}
+
+func TestForestRootChangesWithData(t *testing.T) {
+	f1, _ := buildForest(t, 12, 2)
+	m := testMatrix(12)
+	m[3][4] += 0.5
+	b, _ := NewForestBuilder(digest.SHA1, 2, 12)
+	for i := 0; i < 12; i++ {
+		b.AddRow(m[i])
+	}
+	f2, _ := b.Finish(func(i int) []float64 { return m[i] })
+	if bytes.Equal(f1.Root(), f2.Root()) {
+		t.Error("different matrices produced identical roots")
+	}
+}

@@ -1,0 +1,351 @@
+// Package mht implements the Merkle hash tree (MHT, [11] in the paper) used
+// to authenticate graph data: a tree of configurable fanout whose leaves are
+// the digests of the authenticated messages (extended-tuples Φ(v), distance
+// tuples, ...) in a fixed ordering chosen by the data owner, and whose root
+// is signed.
+//
+// The package provides multi-leaf proofs exactly per the paper's rule
+// (§III-B): a hash entry h_i enters the integrity proof ΓT iff (i) the
+// subtree of h_i contains no message from ΓS, and (ii) the parent of h_i
+// does not itself satisfy (i). Clients reconstruct the root from their
+// message digests plus the proof entries and compare it against the owner's
+// signature.
+package mht
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/authhints/spv/internal/digest"
+)
+
+// MaxFanout bounds the tree fanout; the paper evaluates 2..32.
+const MaxFanout = 256
+
+// Tree is an immutable Merkle hash tree. levels[0] holds the leaf digests;
+// levels[len-1] holds the single root digest. Each internal digest is
+// H(child_0 ◦ ... ◦ child_{k-1}) over its (up to fanout) children.
+//
+// Children are grouped B⁺-tree style: a level of w nodes forms ⌈w/f⌉ groups
+// with sizes as equal as possible, so no group is less than half full. This
+// matches the paper's Figure 3, where four level-2 entries under fanout 3
+// split into two groups of two (padded with ⊥ in the figure), not 3+1.
+type Tree struct {
+	alg    digest.Alg
+	fanout int
+	levels [][][]byte
+}
+
+// grouping describes how one level of w nodes is partitioned into parent
+// groups under fanout f.
+type grouping struct {
+	groups int // number of parent groups
+	base   int // minimum group size
+	rem    int // first rem groups hold base+1 children
+}
+
+func groupLevel(w, f int) grouping {
+	g := grouping{groups: (w + f - 1) / f}
+	g.base = w / g.groups
+	g.rem = w % g.groups
+	return g
+}
+
+// childRange returns the half-open child index range of parent p.
+func (g grouping) childRange(p int) (first, last int) {
+	if p < g.rem {
+		first = p * (g.base + 1)
+		return first, first + g.base + 1
+	}
+	first = g.rem*(g.base+1) + (p-g.rem)*g.base
+	return first, first + g.base
+}
+
+// parentOf returns the parent group index of child c.
+func (g grouping) parentOf(c int) int {
+	boundary := g.rem * (g.base + 1)
+	if c < boundary {
+		return c / (g.base + 1)
+	}
+	return g.rem + (c-boundary)/g.base
+}
+
+// Build constructs a tree over the given leaf digests. The leaf slice is
+// retained (not copied); callers must not mutate it afterwards.
+func Build(alg digest.Alg, fanout int, leaves [][]byte) (*Tree, error) {
+	if !alg.Valid() {
+		return nil, fmt.Errorf("mht: invalid hash algorithm %d", alg)
+	}
+	if fanout < 2 || fanout > MaxFanout {
+		return nil, fmt.Errorf("mht: fanout %d out of range [2, %d]", fanout, MaxFanout)
+	}
+	if len(leaves) == 0 {
+		return nil, errors.New("mht: no leaves")
+	}
+	for i, l := range leaves {
+		if len(l) != alg.Size() {
+			return nil, fmt.Errorf("mht: leaf %d has %d bytes, want %d", i, len(l), alg.Size())
+		}
+	}
+	t := &Tree{alg: alg, fanout: fanout}
+	t.levels = append(t.levels, leaves)
+	for len(t.levels[len(t.levels)-1]) > 1 {
+		cur := t.levels[len(t.levels)-1]
+		grp := groupLevel(len(cur), fanout)
+		next := make([][]byte, grp.groups)
+		for p := 0; p < grp.groups; p++ {
+			first, last := grp.childRange(p)
+			h := alg.New()
+			for _, child := range cur[first:last] {
+				h.Write(child)
+			}
+			next[p] = h.Sum(nil)
+		}
+		t.levels = append(t.levels, next)
+	}
+	return t, nil
+}
+
+// BuildFromMessages hashes each message and builds the tree over the digests.
+func BuildFromMessages(alg digest.Alg, fanout int, msgs [][]byte) (*Tree, error) {
+	leaves := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		leaves[i] = alg.Sum(m)
+	}
+	return Build(alg, fanout, leaves)
+}
+
+// Root returns the root digest.
+func (t *Tree) Root() []byte { return t.levels[len(t.levels)-1][0] }
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int { return len(t.levels[0]) }
+
+// Fanout returns the tree fanout.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// Alg returns the tree's hash algorithm.
+func (t *Tree) Alg() digest.Alg { return t.alg }
+
+// Height returns the number of levels including leaves.
+func (t *Tree) Height() int { return len(t.levels) }
+
+// Leaf returns the digest of leaf i.
+func (t *Tree) Leaf(i int) []byte { return t.levels[0][i] }
+
+// Entry is one hash entry of an integrity proof: the digest at (Level,
+// Index) in the tree, where Level 0 is the leaf level.
+type Entry struct {
+	Level  uint8
+	Index  uint32
+	Digest []byte
+}
+
+// Proof is the integrity proof ΓT for a set of leaves: the minimal set of
+// subtree digests that, combined with the proven leaves, reconstructs the
+// root. NumLeaves and Fanout describe the tree shape the verifier must
+// assume; lying about either simply yields a root mismatch.
+type Proof struct {
+	Alg       digest.Alg
+	Fanout    uint16
+	NumLeaves uint32
+	Entries   []Entry
+}
+
+// Prove builds the proof for the given (deduplicated, in-range) leaf
+// indices, applying the paper's two conditions to select entries.
+func (t *Tree) Prove(indices []int) (*Proof, error) {
+	if len(indices) == 0 {
+		return nil, errors.New("mht: empty index set")
+	}
+	// covered[level] marks positions whose subtree contains a proven leaf.
+	covered := make([]map[uint32]bool, len(t.levels))
+	for l := range covered {
+		covered[l] = make(map[uint32]bool)
+	}
+	for _, idx := range indices {
+		if idx < 0 || idx >= t.NumLeaves() {
+			return nil, fmt.Errorf("mht: leaf index %d out of range [0, %d)", idx, t.NumLeaves())
+		}
+		pos := idx
+		for l := 0; l < len(t.levels); l++ {
+			if covered[l][uint32(pos)] {
+				break
+			}
+			covered[l][uint32(pos)] = true
+			if l+1 < len(t.levels) {
+				pos = groupLevel(len(t.levels[l]), t.fanout).parentOf(pos)
+			}
+		}
+	}
+	p := &Proof{
+		Alg:       t.alg,
+		Fanout:    uint16(t.fanout),
+		NumLeaves: uint32(t.NumLeaves()),
+	}
+	// An entry is emitted when its subtree is unproven but its parent's is
+	// proven (condition (ii) ⇔ the entry's parent is covered).
+	for l := 0; l < len(t.levels)-1; l++ {
+		grp := groupLevel(len(t.levels[l]), t.fanout)
+		for i := range t.levels[l] {
+			if covered[l][uint32(i)] || !covered[l+1][uint32(grp.parentOf(i))] {
+				continue
+			}
+			p.Entries = append(p.Entries, Entry{Level: uint8(l), Index: uint32(i), Digest: t.levels[l][i]})
+		}
+	}
+	sort.Slice(p.Entries, func(a, b int) bool {
+		if p.Entries[a].Level != p.Entries[b].Level {
+			return p.Entries[a].Level < p.Entries[b].Level
+		}
+		return p.Entries[a].Index < p.Entries[b].Index
+	})
+	return p, nil
+}
+
+// ErrIncomplete reports that the proof and known leaves do not cover the
+// tree, so the root cannot be reconstructed.
+var ErrIncomplete = errors.New("mht: proof incomplete")
+
+// Reconstruct computes the root digest from the verifier's own leaf digests
+// (keyed by leaf index) and the proof entries, without access to the tree.
+// It fails if any needed digest is missing or the shape is inconsistent.
+func Reconstruct(p *Proof, known map[int][]byte) ([]byte, error) {
+	if !p.Alg.Valid() {
+		return nil, fmt.Errorf("mht: invalid algorithm %d in proof", p.Alg)
+	}
+	fanout := int(p.Fanout)
+	if fanout < 2 || fanout > MaxFanout {
+		return nil, fmt.Errorf("mht: invalid fanout %d in proof", fanout)
+	}
+	n := int(p.NumLeaves)
+	if n <= 0 {
+		return nil, errors.New("mht: invalid leaf count in proof")
+	}
+	size := p.Alg.Size()
+
+	// Number of positions per level for the declared shape.
+	var widths []int
+	for w := n; ; w = groupLevel(w, fanout).groups {
+		widths = append(widths, w)
+		if w == 1 {
+			break
+		}
+	}
+	have := make([]map[uint32][]byte, len(widths))
+	for l := range have {
+		have[l] = make(map[uint32][]byte)
+	}
+	for idx, d := range known {
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("mht: known leaf %d out of range", idx)
+		}
+		if len(d) != size {
+			return nil, fmt.Errorf("mht: known leaf %d digest size %d, want %d", idx, len(d), size)
+		}
+		have[0][uint32(idx)] = d
+	}
+	for _, e := range p.Entries {
+		if int(e.Level) >= len(widths) || int(e.Index) >= widths[e.Level] {
+			return nil, fmt.Errorf("mht: proof entry (%d,%d) outside tree shape", e.Level, e.Index)
+		}
+		if len(e.Digest) != size {
+			return nil, fmt.Errorf("mht: proof entry (%d,%d) digest size %d, want %d", e.Level, e.Index, len(e.Digest), size)
+		}
+		if prev, dup := have[e.Level][e.Index]; dup && !bytes.Equal(prev, e.Digest) {
+			return nil, fmt.Errorf("mht: conflicting digests at (%d,%d)", e.Level, e.Index)
+		}
+		have[e.Level][e.Index] = e.Digest
+	}
+
+	var compute func(level int, index uint32) ([]byte, error)
+	compute = func(level int, index uint32) ([]byte, error) {
+		if d, ok := have[level][index]; ok {
+			return d, nil
+		}
+		if level == 0 {
+			return nil, fmt.Errorf("%w: missing leaf %d", ErrIncomplete, index)
+		}
+		childLevel := level - 1
+		first, last := groupLevel(widths[childLevel], fanout).childRange(int(index))
+		if first >= last {
+			return nil, fmt.Errorf("%w: empty group at (%d,%d)", ErrIncomplete, level, index)
+		}
+		h := p.Alg.New()
+		for c := first; c < last; c++ {
+			d, err := compute(childLevel, uint32(c))
+			if err != nil {
+				return nil, err
+			}
+			h.Write(d)
+		}
+		d := h.Sum(nil)
+		have[level][index] = d
+		return d, nil
+	}
+	return compute(len(widths)-1, 0)
+}
+
+// EncodedSize returns the byte size of the serialized proof: this is the
+// ΓT contribution to communication overhead.
+func (p *Proof) EncodedSize() int {
+	return 1 + 2 + 4 + 4 + len(p.Entries)*(1+4+p.Alg.Size())
+}
+
+// NumEntries returns the number of hash items in the proof (the paper's
+// "number of items in ΓT").
+func (p *Proof) NumEntries() int { return len(p.Entries) }
+
+// AppendBinary serializes the proof:
+//
+//	alg uint8 | fanout uint16 | numLeaves uint32 | numEntries uint32 |
+//	entries × (level uint8, index uint32, digest)
+func (p *Proof) AppendBinary(buf []byte) []byte {
+	buf = append(buf, byte(p.Alg))
+	buf = binary.BigEndian.AppendUint16(buf, p.Fanout)
+	buf = binary.BigEndian.AppendUint32(buf, p.NumLeaves)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Entries)))
+	for _, e := range p.Entries {
+		buf = append(buf, e.Level)
+		buf = binary.BigEndian.AppendUint32(buf, e.Index)
+		buf = append(buf, e.Digest...)
+	}
+	return buf
+}
+
+// DecodeProof parses a proof serialized by AppendBinary, returning the proof
+// and the number of bytes consumed.
+func DecodeProof(buf []byte) (*Proof, int, error) {
+	const head = 1 + 2 + 4 + 4
+	if len(buf) < head {
+		return nil, 0, fmt.Errorf("mht: proof truncated (%d bytes)", len(buf))
+	}
+	p := &Proof{
+		Alg:       digest.Alg(buf[0]),
+		Fanout:    binary.BigEndian.Uint16(buf[1:]),
+		NumLeaves: binary.BigEndian.Uint32(buf[3:]),
+	}
+	if !p.Alg.Valid() {
+		return nil, 0, fmt.Errorf("mht: bad algorithm %d", p.Alg)
+	}
+	count := int(binary.BigEndian.Uint32(buf[7:]))
+	size := p.Alg.Size()
+	need := head + count*(1+4+size)
+	if count < 0 || len(buf) < need {
+		return nil, 0, fmt.Errorf("mht: proof entries truncated (want %d bytes, have %d)", need, len(buf))
+	}
+	off := head
+	p.Entries = make([]Entry, count)
+	for i := 0; i < count; i++ {
+		p.Entries[i] = Entry{
+			Level:  buf[off],
+			Index:  binary.BigEndian.Uint32(buf[off+1:]),
+			Digest: append([]byte(nil), buf[off+5:off+5+size]...),
+		}
+		off += 5 + size
+	}
+	return p, off, nil
+}

@@ -1,0 +1,133 @@
+// Package sig provides the data owner's public-key signature primitive
+// (paper §II-A): RSA signatures over ADS root digests. The owner signs each
+// Merkle root once at outsourcing time; clients verify roots against the
+// owner's public key on every query.
+package sig
+
+import (
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/pem"
+	"fmt"
+	"io"
+)
+
+// DefaultBits matches the 2010-era RSA modulus used for the paper's
+// proof-size accounting (128-byte signatures).
+const DefaultBits = 1024
+
+// Signer holds the data owner's private key.
+type Signer struct {
+	key *rsa.PrivateKey
+}
+
+// Verifier holds the owner's public key, distributed to clients.
+type Verifier struct {
+	key *rsa.PublicKey
+}
+
+// GenerateKey creates an owner key pair with the given modulus size. The
+// randomness source is injectable for deterministic tests.
+func GenerateKey(random io.Reader, bits int) (*Signer, error) {
+	if bits < 1024 {
+		return nil, fmt.Errorf("sig: modulus %d too small (min 1024)", bits)
+	}
+	key, err := rsa.GenerateKey(random, bits)
+	if err != nil {
+		return nil, fmt.Errorf("sig: generating key: %w", err)
+	}
+	return &Signer{key: key}, nil
+}
+
+// Verifier returns the verification half of the key pair.
+func (s *Signer) Verifier() *Verifier { return &Verifier{key: &s.key.PublicKey} }
+
+// SignatureSize returns the signature length in bytes (the modulus size).
+func (s *Signer) SignatureSize() int { return s.key.Size() }
+
+// Sign signs a message (an ADS root digest, possibly concatenated with
+// context bytes). The message is hashed with SHA-256 before signing, per
+// PKCS#1 v1.5.
+func (s *Signer) Sign(msg []byte) ([]byte, error) {
+	h := sha256.Sum256(msg)
+	sigBytes, err := rsa.SignPKCS1v15(rand.Reader, s.key, crypto.SHA256, h[:])
+	if err != nil {
+		return nil, fmt.Errorf("sig: signing: %w", err)
+	}
+	return sigBytes, nil
+}
+
+// SignatureSize returns the signature length in bytes.
+func (v *Verifier) SignatureSize() int { return v.key.Size() }
+
+// Verify checks a signature over msg. A nil error means the signature is
+// authentic.
+func (v *Verifier) Verify(msg, signature []byte) error {
+	h := sha256.Sum256(msg)
+	if err := rsa.VerifyPKCS1v15(v.key, crypto.SHA256, h[:], signature); err != nil {
+		return fmt.Errorf("sig: invalid signature: %w", err)
+	}
+	return nil
+}
+
+// Key persistence: the data owner's private key and the clients' public key
+// travel as PEM so deployments can split the three parties across
+// processes and machines.
+
+const (
+	privatePEMType = "SPV OWNER PRIVATE KEY"
+	publicPEMType  = "SPV OWNER PUBLIC KEY"
+)
+
+// MarshalPEM encodes the private key as PKCS#1 PEM.
+func (s *Signer) MarshalPEM() []byte {
+	return pem.EncodeToMemory(&pem.Block{
+		Type:  privatePEMType,
+		Bytes: x509.MarshalPKCS1PrivateKey(s.key),
+	})
+}
+
+// ParseSignerPEM decodes a private key written by MarshalPEM.
+func ParseSignerPEM(data []byte) (*Signer, error) {
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != privatePEMType {
+		return nil, fmt.Errorf("sig: not an owner private key PEM")
+	}
+	key, err := x509.ParsePKCS1PrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("sig: parsing private key: %w", err)
+	}
+	if key.Size()*8 < 1024 {
+		return nil, fmt.Errorf("sig: modulus %d too small", key.Size()*8)
+	}
+	return &Signer{key: key}, nil
+}
+
+// MarshalPEM encodes the public key as PKIX PEM.
+func (v *Verifier) MarshalPEM() ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(v.key)
+	if err != nil {
+		return nil, fmt.Errorf("sig: marshaling public key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: publicPEMType, Bytes: der}), nil
+}
+
+// ParseVerifierPEM decodes a public key written by Verifier.MarshalPEM.
+func ParseVerifierPEM(data []byte) (*Verifier, error) {
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != publicPEMType {
+		return nil, fmt.Errorf("sig: not an owner public key PEM")
+	}
+	pub, err := x509.ParsePKIXPublicKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("sig: parsing public key: %w", err)
+	}
+	rsaPub, ok := pub.(*rsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("sig: public key is %T, want RSA", pub)
+	}
+	return &Verifier{key: rsaPub}, nil
+}

@@ -1,0 +1,129 @@
+package sp
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/authhints/spv/internal/graph"
+)
+
+// FloydWarshall computes all-pairs shortest path distances with the textbook
+// O(|V|³) dynamic program the paper prescribes for FULL (§IV-B). It is only
+// feasible for small graphs; AllPairsRows is the scalable equivalent. Kept
+// as the oracle that repeated-Dijkstra results are cross-validated against.
+func FloydWarshall(g *graph.Graph) [][]float64 {
+	n := g.NumNodes()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = Unreachable
+		}
+		d[i][i] = 0
+	}
+	for u := 0; u < n; u++ {
+		for _, e := range g.Neighbors(graph.NodeID(u)) {
+			if e.W < d[u][e.To] {
+				d[u][e.To] = e.W
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		dk := d[k]
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if dik == Unreachable {
+				continue
+			}
+			di := d[i]
+			for j := 0; j < n; j++ {
+				if dk[j] == Unreachable {
+					continue
+				}
+				if nd := dik + dk[j]; nd < di[j] {
+					di[j] = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+// AllPairsRows streams all-pairs shortest path distances one source row at a
+// time, computed by repeated Dijkstra — the appropriate algorithm for sparse
+// road networks, O(|V|·(|E|+|V|) log |V|) total instead of Floyd–Warshall's
+// O(|V|³). Rows are delivered to sink in strictly increasing source order;
+// the callback owns the row slice.
+//
+// This is the substitution documented in DESIGN.md §3: identical output to
+// Floyd–Warshall (property-tested), feasible at road-network scale, and it
+// preserves FULL's construction-cost blow-up relative to LDM/HYP because the
+// output is still quadratic.
+func AllPairsRows(g *graph.Graph, sink func(src graph.NodeID, dist []float64)) {
+	n := g.NumNodes()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for s := 0; s < n; s++ {
+			t := Dijkstra(g, graph.NodeID(s))
+			sink(graph.NodeID(s), t.Dist)
+		}
+		return
+	}
+
+	// Workers compute rows out of order; a single reorderer emits them in
+	// source order so sinks can build sequential structures (Merkle leaves).
+	type row struct {
+		src  graph.NodeID
+		dist []float64
+	}
+	rows := make(chan row, workers)
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for s := 0; s < n; s++ {
+		next <- s
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range next {
+				t := Dijkstra(g, graph.NodeID(s))
+				rows <- row{graph.NodeID(s), t.Dist}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(rows)
+	}()
+
+	pending := make(map[graph.NodeID][]float64)
+	want := graph.NodeID(0)
+	for r := range rows {
+		pending[r.src] = r.dist
+		for {
+			dist, ok := pending[want]
+			if !ok {
+				break
+			}
+			delete(pending, want)
+			sink(want, dist)
+			want++
+		}
+	}
+}
+
+// DistanceMatrix materializes the full all-pairs matrix via AllPairsRows.
+// Only suitable for small graphs (O(|V|²) memory); used by tests and the
+// HiTi border-pair computation on restricted node sets.
+func DistanceMatrix(g *graph.Graph) [][]float64 {
+	d := make([][]float64, g.NumNodes())
+	AllPairsRows(g, func(src graph.NodeID, dist []float64) {
+		d[src] = dist
+	})
+	return d
+}

@@ -1,0 +1,199 @@
+package sp
+
+import (
+	"math"
+
+	"github.com/authhints/spv/internal/graph"
+)
+
+// Unreachable is the distance reported for nodes not reachable from the
+// source.
+const Unreachable = math.MaxFloat64
+
+// Tree is a shortest path tree rooted at Source: Dist[v] is the shortest
+// path distance from Source to v (Unreachable if none) and Parent[v] is v's
+// predecessor on that path (graph.Invalid for the source and unreachable
+// nodes).
+type Tree struct {
+	Source graph.NodeID
+	Dist   []float64
+	Parent []graph.NodeID
+}
+
+// PathTo reconstructs the shortest path from the tree's source to v, or nil
+// if v is unreachable.
+func (t *Tree) PathTo(v graph.NodeID) graph.Path {
+	if t.Dist[v] == Unreachable {
+		return nil
+	}
+	var rev graph.Path
+	for u := v; u != graph.Invalid; u = t.Parent[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Dijkstra computes the full shortest path tree from src (paper §II-C).
+func Dijkstra(g *graph.Graph, src graph.NodeID) *Tree {
+	return dijkstra(g, src, graph.Invalid, Unreachable)
+}
+
+// DijkstraTo runs Dijkstra from src with early termination once dst is
+// settled. It returns the distance and one shortest path; the path is nil
+// and the distance Unreachable when dst cannot be reached.
+func DijkstraTo(g *graph.Graph, src, dst graph.NodeID) (float64, graph.Path) {
+	t := dijkstra(g, src, dst, Unreachable)
+	if t.Dist[dst] == Unreachable {
+		return Unreachable, nil
+	}
+	return t.Dist[dst], t.PathTo(dst)
+}
+
+// DijkstraBounded settles every node v with dist(src, v) ≤ bound and stops.
+// The returned tree has exact distances for all settled nodes; Settled lists
+// them in non-decreasing distance order. It is the engine of the DIJ proof
+// (Lemma 1: Γ = {Φ(v) | dist(vs, v) ≤ dist(vs, vt)}).
+func DijkstraBounded(g *graph.Graph, src graph.NodeID, bound float64) (*Tree, []graph.NodeID) {
+	t := newTree(g, src)
+	h := NewHeap(64)
+	h.Push(src, 0)
+	t.Dist[src] = 0
+	settled := make([]graph.NodeID, 0, 64)
+	done := make([]bool, g.NumNodes())
+	for h.Len() > 0 {
+		v, d := h.Pop()
+		if d > bound {
+			break
+		}
+		done[v] = true
+		settled = append(settled, v)
+		for _, e := range g.Neighbors(v) {
+			if done[e.To] {
+				continue
+			}
+			nd := d + e.W
+			if nd < t.Dist[e.To] {
+				if t.Dist[e.To] == Unreachable {
+					h.Push(e.To, nd)
+				} else {
+					h.DecreaseKey(e.To, nd)
+				}
+				t.Dist[e.To] = nd
+				t.Parent[e.To] = v
+			}
+		}
+	}
+	// Distances beyond the bound are tentative, not settled; erase them so
+	// callers cannot mistake them for exact values.
+	for v := range t.Dist {
+		if !done[v] && t.Dist[v] != Unreachable {
+			t.Dist[v] = Unreachable
+			t.Parent[v] = graph.Invalid
+		}
+	}
+	return t, settled
+}
+
+func newTree(g *graph.Graph, src graph.NodeID) *Tree {
+	n := g.NumNodes()
+	t := &Tree{
+		Source: src,
+		Dist:   make([]float64, n),
+		Parent: make([]graph.NodeID, n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = Unreachable
+		t.Parent[i] = graph.Invalid
+	}
+	return t
+}
+
+// dijkstra runs the shared core: stop early when stopAt is settled, never
+// expand beyond bound.
+func dijkstra(g *graph.Graph, src, stopAt graph.NodeID, bound float64) *Tree {
+	t := newTree(g, src)
+	h := NewHeap(64)
+	h.Push(src, 0)
+	t.Dist[src] = 0
+	done := make([]bool, g.NumNodes())
+	for h.Len() > 0 {
+		v, d := h.Pop()
+		if d > bound {
+			break
+		}
+		done[v] = true
+		if v == stopAt {
+			break
+		}
+		for _, e := range g.Neighbors(v) {
+			if done[e.To] {
+				continue
+			}
+			nd := d + e.W
+			if nd < t.Dist[e.To] {
+				if t.Dist[e.To] == Unreachable {
+					h.Push(e.To, nd)
+				} else {
+					h.DecreaseKey(e.To, nd)
+				}
+				t.Dist[e.To] = nd
+				t.Parent[e.To] = v
+			}
+		}
+	}
+	return t
+}
+
+// DijkstraToTargets runs Dijkstra from src until every node in targets is
+// settled (or the graph is exhausted), returning the distances to the
+// targets in the same order as given (Unreachable for unreached). It is used
+// to materialize HiTi hyper-edge weights, where only border-node distances
+// matter.
+func DijkstraToTargets(g *graph.Graph, src graph.NodeID, targets []graph.NodeID) []float64 {
+	want := make(map[graph.NodeID]bool, len(targets))
+	for _, v := range targets {
+		want[v] = true
+	}
+	remaining := len(want)
+
+	t := newTree(g, src)
+	h := NewHeap(64)
+	h.Push(src, 0)
+	t.Dist[src] = 0
+	done := make([]bool, g.NumNodes())
+	for h.Len() > 0 && remaining > 0 {
+		v, d := h.Pop()
+		done[v] = true
+		if want[v] {
+			want[v] = false
+			remaining--
+		}
+		for _, e := range g.Neighbors(v) {
+			if done[e.To] {
+				continue
+			}
+			nd := d + e.W
+			if nd < t.Dist[e.To] {
+				if t.Dist[e.To] == Unreachable {
+					h.Push(e.To, nd)
+				} else {
+					h.DecreaseKey(e.To, nd)
+				}
+				t.Dist[e.To] = nd
+				t.Parent[e.To] = v
+			}
+		}
+	}
+	out := make([]float64, len(targets))
+	for i, v := range targets {
+		if done[v] {
+			out[i] = t.Dist[v]
+		} else {
+			out[i] = Unreachable
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+// Package sp implements the shortest path algorithms the paper builds on
+// (§II-C): Dijkstra's algorithm, A* search with pluggable lower bounds,
+// bidirectional Dijkstra, Floyd–Warshall, and repeated-Dijkstra all-pairs
+// computation. All algorithms require non-negative edge weights, which the
+// graph substrate enforces.
+package sp
+
+import "github.com/authhints/spv/internal/graph"
+
+// Heap is an indexed binary min-heap of nodes keyed by float64 priorities.
+// It supports decrease-key in O(log n) via a position index, which keeps
+// Dijkstra at the textbook O((V+E) log V). It is shared by the graph-side
+// searches here and the client-side tuple searches in the core package.
+type Heap struct {
+	items []heapItem
+	pos   map[graph.NodeID]int
+}
+
+type heapItem struct {
+	node graph.NodeID
+	key  float64
+}
+
+func NewHeap(capacity int) *Heap {
+	return &Heap{
+		items: make([]heapItem, 0, capacity),
+		pos:   make(map[graph.NodeID]int, capacity),
+	}
+}
+
+func (h *Heap) Len() int { return len(h.items) }
+
+// Push inserts node with the given key. The node must not be present.
+func (h *Heap) Push(node graph.NodeID, key float64) {
+	h.items = append(h.items, heapItem{node, key})
+	i := len(h.items) - 1
+	h.pos[node] = i
+	h.up(i)
+}
+
+// Pop removes and returns the minimum-key node.
+func (h *Heap) Pop() (graph.NodeID, float64) {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.items = h.items[:last]
+	delete(h.pos, top.node)
+	if last > 0 {
+		h.down(0)
+	}
+	return top.node, top.key
+}
+
+// Peek returns the minimum key without removing it. Valid only when
+// Len() > 0.
+func (h *Heap) Peek() float64 { return h.items[0].key }
+
+// DecreaseKey lowers the key of an existing node. It is a no-op if the new
+// key is not smaller.
+func (h *Heap) DecreaseKey(node graph.NodeID, key float64) {
+	i, ok := h.pos[node]
+	if !ok || h.items[i].key <= key {
+		return
+	}
+	h.items[i].key = key
+	h.up(i)
+}
+
+// Contains reports whether node is currently queued.
+func (h *Heap) Contains(node graph.NodeID) bool {
+	_, ok := h.pos[node]
+	return ok
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].key <= h.items[i].key {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.items[l].key < h.items[small].key {
+			small = l
+		}
+		if r < n && h.items[r].key < h.items[small].key {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+func (h *Heap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].node] = i
+	h.pos[h.items[j].node] = j
+}

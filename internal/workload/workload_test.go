@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/authhints/spv/internal/netgen"
+	"github.com/authhints/spv/internal/sp"
+)
+
+func TestGenerateApproximatesRange(t *testing.T) {
+	g, err := netgen.Synthesize(1500, 1580, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const queryRange = 2000.0
+	qs, err := Generate(g, 40, queryRange, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 40 {
+		t.Fatalf("%d queries, want 40", len(qs))
+	}
+	for i, q := range qs {
+		if q.S == q.T {
+			t.Errorf("query %d: source equals target", i)
+		}
+		want, _ := sp.DijkstraTo(g, q.S, q.T)
+		if math.Abs(want-q.Dist) > 1e-9*(1+want) {
+			t.Errorf("query %d: recorded dist %v, actual %v", i, q.Dist, want)
+		}
+	}
+	mean := MeanDist(qs)
+	if mean < queryRange*0.6 || mean > queryRange*1.4 {
+		t.Errorf("mean distance %v too far from range %v", mean, queryRange)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g, _ := netgen.Synthesize(600, 640, 3)
+	a, err := Generate(g, 10, 1500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(g, 10, 1500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d differs across runs", i)
+		}
+	}
+	c, err := Generate(g, 10, 1500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateRejectsBadInput(t *testing.T) {
+	g, _ := netgen.Synthesize(100, 105, 1)
+	if _, err := Generate(g, 0, 1000, 1); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if _, err := Generate(g, 5, -10, 1); err == nil {
+		t.Error("negative range accepted")
+	}
+	if _, err := Generate(g, 5, math.NaN(), 1); err == nil {
+		t.Error("NaN range accepted")
+	}
+}
+
+func TestRangeSweepOrdersMeans(t *testing.T) {
+	// Larger query ranges must yield larger mean distances (Fig 11b's x-axis
+	// is meaningful only if this holds).
+	g, _ := netgen.Synthesize(2000, 2110, 17)
+	prev := 0.0
+	for _, r := range []float64{250, 1000, 4000} {
+		qs, err := Generate(g, 20, r, 9)
+		if err != nil {
+			t.Fatalf("range %v: %v", r, err)
+		}
+		m := MeanDist(qs)
+		if m <= prev {
+			t.Errorf("range %v mean %v not above previous %v", r, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestMeanDistEmpty(t *testing.T) {
+	if MeanDist(nil) != 0 {
+		t.Error("MeanDist(nil) != 0")
+	}
+}

@@ -1,0 +1,289 @@
+// Package spv is authenticated shortest path search: a Go implementation of
+// "Efficient Verification of Shortest Path Search via Authenticated Hints"
+// (Yiu, Lin, Mouratidis — ICDE 2010).
+//
+// # The problem
+//
+// A data owner (e.g. a transport authority) outsources its road network to
+// third-party query services. Those services answer shortest path queries,
+// but nothing stops a lazy, profit-driven or compromised service from
+// returning sub-optimal or fabricated paths. This package makes every
+// answer carry a cryptographic proof that the client can check against the
+// owner's public key: the reported path exists, is untampered, and no
+// shorter path exists.
+//
+// # The three parties
+//
+//	Owner     — holds the network and a private key; builds authenticated
+//	            data structures (ADS) and hints, signs their roots.
+//	Provider  — answers Query(vs, vt) with a path and a proof assembled
+//	            from the ADS.
+//	Client    — calls Verify* with the owner's public key; a nil error
+//	            means the path is authentic AND optimal.
+//
+// # The four methods
+//
+//	DIJ   no pre-computation; proofs contain every node within the query
+//	      distance (large proofs, zero hint cost).
+//	FULL  all-pairs distances in a Merkle B-tree (minimal proofs,
+//	      quadratic pre-computation — small networks only).
+//	LDM   landmark distance vectors, quantized to b bits and compressed
+//	      with reference nodes, embedded in the authenticated tuples.
+//	HYP   a 2-level HiTi hyper-graph: grid cells plus materialized
+//	      border-pair distances (the paper's preferred trade-off).
+//
+// # Quickstart
+//
+//	g, _ := spv.GenerateNetwork(spv.DE, spv.NetworkConfig{Scale: 0.05})
+//	owner, _ := spv.NewOwner(g, spv.DefaultConfig())
+//	provider, _ := owner.OutsourceLDM()
+//	proof, _ := provider.Query(vs, vt)
+//	err := spv.VerifyLDM(owner.Verifier(), vs, vt, proof) // nil ⇒ verified
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package spv
+
+import (
+	cryptorand "crypto/rand"
+
+	"github.com/authhints/spv/internal/core"
+	"github.com/authhints/spv/internal/digest"
+	"github.com/authhints/spv/internal/estimate"
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/hints/landmark"
+	"github.com/authhints/spv/internal/netgen"
+	"github.com/authhints/spv/internal/order"
+	"github.com/authhints/spv/internal/sig"
+	"github.com/authhints/spv/internal/sp"
+	"github.com/authhints/spv/internal/workload"
+)
+
+// Graph is a weighted spatial road network with undirected edges.
+type Graph = graph.Graph
+
+// NodeID identifies a network node (junction).
+type NodeID = graph.NodeID
+
+// Path is a sequence of nodes claimed to form a walk in the network.
+type Path = graph.Path
+
+// Edge is one directed half of an undirected road segment.
+type Edge = graph.Edge
+
+// NewGraph returns an empty graph with capacity for n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Owner is the data owner: network + private key + ADS construction.
+type Owner = core.Owner
+
+// Config carries the owner's ADS and hint parameters.
+type Config = core.Config
+
+// Method names one of the four verification methods.
+type Method = core.Method
+
+// The four verification methods of the paper.
+const (
+	DIJ  = core.DIJ
+	FULL = core.FULL
+	LDM  = core.LDM
+	HYP  = core.HYP
+)
+
+// Methods lists all four methods in the paper's order.
+func Methods() []Method { return core.Methods() }
+
+// DefaultConfig mirrors the paper's default setting (Table II), with the
+// landmark count scaled for the 1/10-scale synthetic datasets.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewOwner validates the graph and configuration and generates the owner's
+// key pair.
+func NewOwner(g *Graph, cfg Config) (*Owner, error) { return core.NewOwner(g, cfg) }
+
+// Signer is the owner's private key half.
+type Signer = sig.Signer
+
+// Verifier is the owner's public key half, held by clients.
+type Verifier = sig.Verifier
+
+// GenerateOwnerKey creates a fresh owner key pair of the given modulus size
+// for deployments that persist keys across processes (PEM via
+// Signer.MarshalPEM / ParseSignerPEM).
+func GenerateOwnerKey(bits int) (*Signer, error) {
+	return sig.GenerateKey(cryptorand.Reader, bits)
+}
+
+// NewOwnerWithSigner builds an owner around a persisted key pair.
+func NewOwnerWithSigner(g *Graph, cfg Config, s *Signer) (*Owner, error) {
+	return core.NewOwnerWithSigner(g, cfg, s)
+}
+
+// ParseSignerPEM decodes an owner private key written by Signer.MarshalPEM.
+func ParseSignerPEM(data []byte) (*Signer, error) { return sig.ParseSignerPEM(data) }
+
+// ParseVerifierPEM decodes an owner public key written by
+// Verifier.MarshalPEM.
+func ParseVerifierPEM(data []byte) (*Verifier, error) { return sig.ParseVerifierPEM(data) }
+
+// Provider/proof pairs, one per method.
+type (
+	// DIJProvider answers queries under Dijkstra subgraph verification.
+	DIJProvider = core.DIJProvider
+	// DIJProof is a DIJ answer: path + subgraph ΓS + integrity ΓT.
+	DIJProof = core.DIJProof
+	// FULLProvider answers queries from materialized all-pairs distances.
+	FULLProvider = core.FULLProvider
+	// FULLProof is a FULL answer: path + distance VO + path integrity.
+	FULLProof = core.FULLProof
+	// LDMProvider answers queries under landmark-based verification.
+	LDMProvider = core.LDMProvider
+	// LDMProof is an LDM answer: path + Lemma 2 subgraph + integrity.
+	LDMProof = core.LDMProof
+	// HYPProvider answers queries under hyper-graph verification.
+	HYPProvider = core.HYPProvider
+	// HYPProof is a HYP answer: path + coarse/fine proofs + hyper-edges.
+	HYPProof = core.HYPProof
+)
+
+// ProofStats is the communication breakdown of a proof (ΓS vs ΓT bytes and
+// item counts), matching the paper's reporting.
+type ProofStats = core.ProofStats
+
+// Client-side verification. A nil error means the reported path is
+// authentic and optimal; all rejections wrap ErrRejected.
+func VerifyDIJ(v *Verifier, vs, vt NodeID, p *DIJProof) error {
+	return core.VerifyDIJ(v, vs, vt, p)
+}
+
+// VerifyFULL verifies a FULL proof.
+func VerifyFULL(v *Verifier, vs, vt NodeID, p *FULLProof) error {
+	return core.VerifyFULL(v, vs, vt, p)
+}
+
+// VerifyLDM verifies an LDM proof.
+func VerifyLDM(v *Verifier, vs, vt NodeID, p *LDMProof) error {
+	return core.VerifyLDM(v, vs, vt, p)
+}
+
+// VerifyHYP verifies a HYP proof.
+func VerifyHYP(v *Verifier, vs, vt NodeID, p *HYPProof) error {
+	return core.VerifyHYP(v, vs, vt, p)
+}
+
+// Proof wire formats: every proof type serializes with AppendBinary and
+// parses back with the matching Decode function, returning the proof and
+// the number of bytes consumed. Reported proof sizes are exact sizes of
+// these encodings.
+
+// DecodeDIJProof parses a serialized DIJ proof.
+func DecodeDIJProof(buf []byte) (*DIJProof, int, error) { return core.DecodeDIJProof(buf) }
+
+// DecodeFULLProof parses a serialized FULL proof.
+func DecodeFULLProof(buf []byte) (*FULLProof, int, error) { return core.DecodeFULLProof(buf) }
+
+// DecodeLDMProof parses a serialized LDM proof.
+func DecodeLDMProof(buf []byte) (*LDMProof, int, error) { return core.DecodeLDMProof(buf) }
+
+// DecodeHYPProof parses a serialized HYP proof.
+func DecodeHYPProof(buf []byte) (*HYPProof, int, error) { return core.DecodeHYPProof(buf) }
+
+// Verification failure classes (all wrap ErrRejected).
+var (
+	ErrRejected        = core.ErrRejected
+	ErrBadSignature    = core.ErrBadSignature
+	ErrIncompleteProof = core.ErrIncompleteProof
+	ErrPathMismatch    = core.ErrPathMismatch
+	ErrNotShortest     = core.ErrNotShortest
+	ErrMalformedProof  = core.ErrMalformedProof
+)
+
+// Hash algorithms for the authenticated structures.
+const (
+	SHA1   = digest.SHA1
+	SHA256 = digest.SHA256
+)
+
+// OrderMethod names a graph-node ordering for the Merkle leaf layout.
+type OrderMethod = order.Method
+
+// Graph-node orderings for the Merkle leaf layout (paper §III-B, Fig 10).
+const (
+	OrderBFS     = order.BFS
+	OrderDFS     = order.DFS
+	OrderHilbert = order.Hilbert
+	OrderKD      = order.KD
+	OrderRandom  = order.Random
+)
+
+// Landmark selection strategies for LDM.
+const (
+	LandmarksFarthest = landmark.Farthest
+	LandmarksRandom   = landmark.RandomSel
+)
+
+// Dataset names one of the paper's four road networks (synthesized to the
+// documented DCW shapes — see DESIGN.md §3).
+type Dataset = netgen.Dataset
+
+// The paper's four datasets.
+const (
+	DE  = netgen.DE
+	ARG = netgen.ARG
+	IND = netgen.IND
+	NA  = netgen.NA
+)
+
+// Datasets lists the four datasets in size order.
+func Datasets() []Dataset { return netgen.Datasets() }
+
+// NetworkConfig controls dataset synthesis.
+type NetworkConfig = netgen.Config
+
+// GenerateNetwork synthesizes a named dataset (connected, normalized to
+// [0..10,000]²).
+func GenerateNetwork(d Dataset, cfg NetworkConfig) (*Graph, error) {
+	return netgen.Generate(d, cfg)
+}
+
+// SynthesizeNetwork builds a road-like network with explicit node and edge
+// counts.
+func SynthesizeNetwork(nodes, edges int, seed int64) (*Graph, error) {
+	return netgen.Synthesize(nodes, edges, seed)
+}
+
+// Query is one shortest path query with its ground-truth distance.
+type Query = workload.Query
+
+// GenerateWorkload builds count queries whose shortest path distances
+// approximate queryRange (the paper's workload construction, §VI-A).
+func GenerateWorkload(g *Graph, count int, queryRange float64, seed int64) ([]Query, error) {
+	return workload.Generate(g, count, queryRange, seed)
+}
+
+// ShortestPath computes an exact shortest path with Dijkstra's algorithm —
+// the trusted-oracle view of the network, useful for tests and baselines.
+func ShortestPath(g *Graph, vs, vt NodeID) (float64, Path) {
+	return sp.DijkstraTo(g, vs, vt)
+}
+
+// Calibration holds measured network constants for proof-size estimation
+// (the paper's §VII future-work direction, implemented in this repo).
+type Calibration = estimate.Calibration
+
+// SizeEstimate is a predicted proof-size breakdown.
+type SizeEstimate = estimate.Estimate
+
+// Calibrate samples the network to extract the constants proof sizes
+// depend on (density, detour factor, degree, tuple size).
+func Calibrate(g *Graph, samples int, seed int64) (Calibration, error) {
+	return estimate.Calibrate(g, samples, seed)
+}
+
+// PredictProofSize estimates a method's communication overhead at a query
+// range without building any ADS — for method selection and bandwidth
+// budgeting. Expect agreement within a small constant factor (×3 enforced
+// by the test suite).
+func PredictProofSize(c Calibration, m Method, queryRange float64, cfg Config) (SizeEstimate, error) {
+	return estimate.Predict(c, m, queryRange, cfg)
+}

@@ -1,0 +1,110 @@
+package spv_test
+
+import (
+	"errors"
+	"testing"
+
+	spv "github.com/authhints/spv"
+)
+
+// TestPublicAPIEndToEnd drives the whole workflow through the public facade
+// only, as a downstream user would.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g, err := spv.GenerateNetwork(spv.DE, spv.NetworkConfig{Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spv.DefaultConfig()
+	cfg.Landmarks = 8
+	cfg.Cells = 16
+	owner, err := spv.NewOwner(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := spv.GenerateWorkload(g, 3, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := owner.Verifier()
+
+	dij, err := owner.OutsourceDIJ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := owner.OutsourceFULL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldm, err := owner.OutsourceLDM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyp, err := owner.OutsourceHYP()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, q := range queries {
+		oracle, _ := spv.ShortestPath(g, q.S, q.T)
+
+		dp, err := dij.Query(q.S, q.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spv.VerifyDIJ(pub, q.S, q.T, dp); err != nil {
+			t.Errorf("DIJ: %v", err)
+		}
+		fp, err := full.Query(q.S, q.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spv.VerifyFULL(pub, q.S, q.T, fp); err != nil {
+			t.Errorf("FULL: %v", err)
+		}
+		lp, err := ldm.Query(q.S, q.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spv.VerifyLDM(pub, q.S, q.T, lp); err != nil {
+			t.Errorf("LDM: %v", err)
+		}
+		hp, err := hyp.Query(q.S, q.T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spv.VerifyHYP(pub, q.S, q.T, hp); err != nil {
+			t.Errorf("HYP: %v", err)
+		}
+		if dp.Dist != oracle {
+			t.Errorf("reported distance %v, oracle %v", dp.Dist, oracle)
+		}
+
+		// Tampering is detected through the facade too.
+		dp.Dist *= 1.5
+		if err := spv.VerifyDIJ(pub, q.S, q.T, dp); !errors.Is(err, spv.ErrRejected) {
+			t.Error("tampered proof accepted via facade")
+		}
+	}
+}
+
+func TestPublicConstantsCoherent(t *testing.T) {
+	if len(spv.Methods()) != 4 {
+		t.Error("expected 4 methods")
+	}
+	if len(spv.Datasets()) != 4 {
+		t.Error("expected 4 datasets")
+	}
+	cfg := spv.DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if cfg.Ordering != spv.OrderHilbert {
+		t.Error("default ordering should be Hilbert")
+	}
+	if cfg.Hash != spv.SHA1 {
+		t.Error("default hash should be SHA-1 (paper cost model)")
+	}
+	if cfg.Strategy != spv.LandmarksFarthest {
+		t.Error("default landmark strategy should be farthest")
+	}
+}
