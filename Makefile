@@ -1,0 +1,40 @@
+# Make targets mirror CI exactly (.github/workflows/ci.yml) so humans and
+# the pipeline always invoke identical commands.
+
+GO ?= go
+
+.PHONY: all build test short race bench fmt fmt-check vet clean
+
+all: build vet fmt-check race
+
+build:
+	$(GO) build ./...
+
+# Full test lane: everything, including the long adversarial/attack and
+# large-dataset tests.
+test:
+	$(GO) test ./...
+
+# Short lane: what CI runs on every push; long tests skip via testing.Short.
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Benchmark smoke: one iteration of every benchmark, no tests.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+fmt:
+	gofmt -l -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

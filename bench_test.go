@@ -189,6 +189,122 @@ func BenchmarkClientVerify(b *testing.B) {
 	})
 }
 
+// --- serving layer: throughput and cache amortization ---
+
+// serveEngine builds one engine over the shared micro world's providers.
+func serveEngine(b *testing.B, opts spv.ServeOptions) *spv.QueryEngine {
+	b.Helper()
+	m := microSetup(b)
+	e := spv.NewRawEngine(opts)
+	e.RegisterDIJ(m.dij)
+	e.RegisterFULL(m.full)
+	e.RegisterLDM(m.ldm)
+	e.RegisterHYP(m.hyp)
+	return e
+}
+
+// BenchmarkServeQPS measures end-to-end engine throughput (proof served per
+// op, qps metric) under parallel load with a mixed repeated-query workload
+// — the serving layer's headline number.
+func BenchmarkServeQPS(b *testing.B) {
+	for _, method := range []spv.Method{spv.FULL, spv.LDM, spv.HYP} {
+		b.Run(string(method), func(b *testing.B) {
+			m := microSetup(b)
+			e := serveEngine(b, spv.ServeOptions{})
+			// Warm the cache so the steady state measures serving, not the
+			// first cold constructions.
+			for _, q := range m.qs {
+				if _, err := e.Query(spv.ServeQuery{Method: method, VS: q.S, VT: q.T}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					q := m.qs[i%len(m.qs)]
+					i++
+					if _, err := e.Query(spv.ServeQuery{Method: method, VS: q.S, VT: q.T}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "qps")
+			}
+		})
+	}
+}
+
+// BenchmarkServeColdVsCached quantifies the proof cache: "cold" disables
+// caching so every op pays full proof construction; "cached" serves the
+// same query out of the LRU. The cached lane must be ≥ 5× faster — run
+// both and compare ns/op.
+func BenchmarkServeColdVsCached(b *testing.B) {
+	m := microSetup(b)
+	q := spv.ServeQuery{Method: spv.LDM, VS: m.qs[0].S, VT: m.qs[0].T}
+	b.Run("cold", func(b *testing.B) {
+		e := serveEngine(b, spv.ServeOptions{CacheEntries: -1})
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		e := serveEngine(b, spv.ServeOptions{})
+		if _, err := e.Query(q); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a, err := e.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !a.Cached {
+				b.Fatal("expected cache hit")
+			}
+		}
+	})
+}
+
+// BenchmarkServeBatch measures worker-pool fan-out with one 64-query mixed
+// batch per op — 16 workload pairs × 4 methods, all distinct keys. The
+// cold lane disables the cache so every op pays 64 real constructions; the
+// warm lane is the steady state where the batch is served from cache.
+func BenchmarkServeBatch(b *testing.B) {
+	m := microSetup(b)
+	batch := make([]spv.ServeQuery, 0, 64)
+	for _, method := range []spv.Method{spv.DIJ, spv.FULL, spv.LDM, spv.HYP} {
+		for _, q := range m.qs {
+			batch = append(batch, spv.ServeQuery{Method: method, VS: q.S, VT: q.T})
+		}
+	}
+	runBatch := func(b *testing.B, e *spv.QueryEngine) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			for _, a := range e.QueryBatch(batch) {
+				if a.Err != nil {
+					b.Fatal(a.Err)
+				}
+			}
+		}
+	}
+	b.Run("cold64", func(b *testing.B) {
+		runBatch(b, serveEngine(b, spv.ServeOptions{CacheEntries: -1}))
+	})
+	b.Run("warm64", func(b *testing.B) {
+		e := serveEngine(b, spv.ServeOptions{})
+		e.QueryBatch(batch) // warm the cache outside the timer
+		b.ResetTimer()
+		runBatch(b, e)
+		s := e.Stats()
+		b.ReportMetric(float64(s.Hits)/float64(s.Queries), "hit-rate")
+	})
+}
+
 func BenchmarkOutsourcing(b *testing.B) {
 	g, err := spv.GenerateNetwork(spv.DE, spv.NetworkConfig{Scale: 0.02})
 	if err != nil {

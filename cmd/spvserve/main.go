@@ -1,0 +1,132 @@
+// Command spvserve is the service provider daemon: it builds (or loads) a
+// road network, outsources the requested verification methods from an
+// in-process owner, and serves authenticated shortest path proofs over
+// HTTP to any number of untrusting clients.
+//
+//	# Serve LDM and HYP proofs for a 1/20-scale DE network on :8080.
+//	spvserve -dataset DE -scale 0.05 -methods LDM,HYP
+//
+//	# Query it (JSON):
+//	curl 'localhost:8080/query?method=LDM&vs=17&vt=1860'
+//
+//	# Batch, binary proofs, public key, throughput counters:
+//	curl -d '{"queries":[{"method":"LDM","vs":17,"vt":1860}]}' localhost:8080/batch
+//	curl 'localhost:8080/query?method=LDM&vs=17&vt=1860&format=binary' -o proof.bin
+//	curl localhost:8080/verifier
+//	curl localhost:8080/stats
+//
+// Clients verify with spv.Decode<Method>Proof + spv.Verify<Method> against
+// the /verifier key; the daemon holds the private key only long enough to
+// sign ADS roots at startup (or loads a persisted key with -key, keeping
+// key custody out of the serving process's long-term state).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	spv "github.com/authhints/spv"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dataset  = flag.String("dataset", "DE", "dataset name (DE, ARG, IND, NA)")
+		scale    = flag.Float64("scale", 0.05, "dataset scale factor")
+		nodes    = flag.Int("nodes", 0, "synthesize this many nodes instead of a named dataset")
+		edges    = flag.Int("edges", 0, "edge count for -nodes (default: nodes + nodes/20)")
+		seed     = flag.Int64("seed", 1, "synthesis seed")
+		methods  = flag.String("methods", "DIJ,LDM,HYP", "comma-separated methods to serve (FULL is quadratic)")
+		workers  = flag.Int("workers", 0, "batch worker pool size (default GOMAXPROCS)")
+		cache    = flag.Int("cache", 0, "proof cache entries (0 = default, negative = disabled)")
+		keyFile  = flag.String("key", "", "owner private key PEM (default: fresh key per run)")
+		landmark = flag.Int("landmarks", 0, "LDM landmark count (0 = config default)")
+		cells    = flag.Int("cells", 0, "HYP grid cell count (0 = config default)")
+	)
+	flag.Parse()
+	if err := run(*addr, *dataset, *scale, *nodes, *edges, *seed, *methods,
+		*workers, *cache, *keyFile, *landmark, *cells); err != nil {
+		fmt.Fprintf(os.Stderr, "spvserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataset string, scale float64, nodes, edges int, seed int64,
+	methodList string, workers, cache int, keyFile string, landmarks, cells int) error {
+	g, err := buildNetwork(dataset, scale, nodes, edges, seed)
+	if err != nil {
+		return err
+	}
+	cfg := spv.DefaultConfig()
+	if landmarks > 0 {
+		cfg.Landmarks = landmarks
+	}
+	if cells > 0 {
+		cfg.Cells = cells
+	}
+
+	var owner *spv.Owner
+	if keyFile != "" {
+		pem, err := os.ReadFile(keyFile)
+		if err != nil {
+			return err
+		}
+		signer, err := spv.ParseSignerPEM(pem)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", keyFile, err)
+		}
+		owner, err = spv.NewOwnerWithSigner(g, cfg, signer)
+		if err != nil {
+			return err
+		}
+	} else {
+		owner, err = spv.NewOwner(g, cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	var ms []spv.Method
+	for _, name := range strings.Split(methodList, ",") {
+		ms = append(ms, spv.Method(strings.ToUpper(strings.TrimSpace(name))))
+	}
+	log.Printf("network ready: %d nodes, %d edges; outsourcing %v", g.NumNodes(), g.NumEdges(), ms)
+
+	srv, err := spv.NewServer(owner, spv.ServeOptions{Workers: workers, CacheEntries: cache}, ms...)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving %v on %s (/query /batch /verifier /stats)", srv.Engine().Methods(), addr)
+	// Explicit timeouts: the daemon fronts many untrusting clients, and the
+	// zero-value http.Server would let slow-loris connections pin goroutines
+	// forever. Write timeout stays generous for large DIJ proofs.
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.ListenAndServe()
+}
+
+func buildNetwork(dataset string, scale float64, nodes, edges int, seed int64) (*spv.Graph, error) {
+	if nodes > 0 {
+		if edges <= 0 {
+			edges = nodes + nodes/20
+		}
+		return spv.SynthesizeNetwork(nodes, edges, seed)
+	}
+	for _, d := range spv.Datasets() {
+		if strings.EqualFold(string(d), dataset) {
+			return spv.GenerateNetwork(d, spv.NetworkConfig{Scale: scale, Seed: seed})
+		}
+	}
+	return nil, fmt.Errorf("unknown dataset %q (want one of %v)", dataset, spv.Datasets())
+}

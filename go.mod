@@ -1,0 +1,3 @@
+module github.com/authhints/spv
+
+go 1.22

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/authhints/spv/internal/graph"
 	"github.com/authhints/spv/internal/mht"
@@ -61,6 +62,22 @@ func (a *networkADS) Records(nodes []graph.NodeID) []tupleRecord {
 		recs = append(recs, tupleRecord{Pos: uint32(a.ord.Pos[v]), Bytes: a.msgs[a.ord.Pos[v]]})
 	}
 	return recs
+}
+
+// Canonical sorts a node set by Merkle leaf position, deduplicating in
+// place. Methods that assemble proof node sets from Go maps (LDM, HYP) must
+// canonicalize before Records/Prove so that a given (method, vs, vt) query
+// always yields one byte-identical wire encoding — the property the serving
+// layer's proof cache and singleflight deduplication rely on.
+func (a *networkADS) Canonical(nodes []graph.NodeID) []graph.NodeID {
+	sort.Slice(nodes, func(i, j int) bool { return a.ord.Pos[nodes[i]] < a.ord.Pos[nodes[j]] })
+	out := nodes[:0]
+	for i, v := range nodes {
+		if i == 0 || a.ord.Pos[v] != a.ord.Pos[nodes[i-1]] {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // Prove builds the integrity proof for a node set.

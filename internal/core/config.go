@@ -14,6 +14,19 @@
 // both against the owner's public key. Every proof type here round-trips
 // through an exact binary wire format, so reported proof sizes are true
 // byte counts.
+//
+// # Concurrency
+//
+// Every provider type (DIJProvider, FULLProvider, LDMProvider,
+// HYPProvider) is immutable once its Outsource* constructor returns: the
+// Query hot paths read the graph, orderings, Merkle levels and hint tables
+// but never write shared state, allocating all per-query scratch locally.
+// Query is therefore safe to call from any number of goroutines without
+// locking, and for a fixed provider instance a given (vs, vt) always
+// produces a byte-identical wire encoding (proof node sets are
+// canonicalized — see networkADS.Canonical). concurrency_test.go pins both
+// guarantees under -race, and internal/serve builds its proof cache and
+// singleflight deduplication on them.
 package core
 
 import (

@@ -23,6 +23,8 @@ var dijSigCtx = []byte("spv/DIJ/network/v1\x00")
 const providerSlack = 1 + 4*distTolerance
 
 // DIJProvider is the service provider's state for the DIJ method.
+// Immutable after OutsourceDIJ; Query is safe for concurrent use (see the
+// package Concurrency note).
 type DIJProvider struct {
 	g       *graph.Graph
 	ads     *networkADS
@@ -63,7 +65,7 @@ func (p *DIJProvider) Query(vs, vt graph.NodeID) (*DIJProof, error) {
 	}
 	dist, path := sp.DijkstraTo(p.g, vs, vt)
 	if path == nil {
-		return nil, fmt.Errorf("core: no path from %d to %d", vs, vt)
+		return nil, fmt.Errorf("%w: from %d to %d", ErrNoPath, vs, vt)
 	}
 	_, settled := sp.DijkstraBounded(p.g, vs, dist*providerSlack)
 	mhtProof, err := p.ads.Prove(settled)
@@ -81,10 +83,10 @@ func (p *DIJProvider) Query(vs, vt graph.NodeID) (*DIJProof, error) {
 
 func checkEndpoints(g *graph.Graph, vs, vt graph.NodeID) error {
 	if vs < 0 || int(vs) >= g.NumNodes() || vt < 0 || int(vt) >= g.NumNodes() {
-		return fmt.Errorf("core: endpoints (%d, %d) out of range", vs, vt)
+		return fmt.Errorf("%w: endpoints (%d, %d) out of range", ErrBadQuery, vs, vt)
 	}
 	if vs == vt {
-		return fmt.Errorf("core: source equals target (%d)", vs)
+		return fmt.Errorf("%w: source equals target (%d)", ErrBadQuery, vs)
 	}
 	return nil
 }

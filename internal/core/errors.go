@@ -30,6 +30,17 @@ var (
 	ErrMalformedProof = errors.New("core: malformed proof")
 )
 
+// Query failures, distinguishable from verification failures so serving
+// front-ends can blame the client (bad input) rather than the provider.
+var (
+	// ErrBadQuery reports invalid query endpoints: out of range, or source
+	// equals target.
+	ErrBadQuery = errors.New("core: bad query")
+
+	// ErrNoPath reports that the endpoints are not connected.
+	ErrNoPath = errors.New("core: no path between endpoints")
+)
+
 // reject wraps a specific failure under ErrRejected.
 func reject(err error) error {
 	return errors.Join(ErrRejected, err)

@@ -26,6 +26,9 @@ var (
 )
 
 // FULLProvider is the service provider's state for the FULL method.
+// Immutable after OutsourceFULL; Query is safe for concurrent use (see the
+// package Concurrency note). Forest row re-derivation builds fresh scratch
+// per call.
 type FULLProvider struct {
 	g       *graph.Graph
 	ads     *networkADS
@@ -95,7 +98,7 @@ func (p *FULLProvider) Query(vs, vt graph.NodeID) (*FULLProof, error) {
 	}
 	dist, path := sp.DijkstraTo(p.g, vs, vt)
 	if path == nil {
-		return nil, fmt.Errorf("core: no path from %d to %d", vs, vt)
+		return nil, fmt.Errorf("%w: from %d to %d", ErrNoPath, vs, vt)
 	}
 	vo, err := p.forest.Prove(int(vs), int(vt))
 	if err != nil {

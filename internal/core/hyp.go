@@ -29,6 +29,8 @@ var (
 )
 
 // HYPProvider is the service provider's state for the HYP method.
+// Immutable after OutsourceHYP; Query is safe for concurrent use (see the
+// package Concurrency note).
 type HYPProvider struct {
 	g       *graph.Graph
 	hyper   *hiti.Hyper
@@ -92,7 +94,7 @@ func (p *HYPProvider) Query(vs, vt graph.NodeID) (*HYPProof, error) {
 	}
 	dist, path := sp.DijkstraTo(p.g, vs, vt)
 	if path == nil {
-		return nil, fmt.Errorf("core: no path from %d to %d", vs, vt)
+		return nil, fmt.Errorf("%w: from %d to %d", ErrNoPath, vs, vt)
 	}
 	cs, ct := p.hyper.CellOf[vs], p.hyper.CellOf[vt]
 
@@ -110,6 +112,9 @@ func (p *HYPProvider) Query(vs, vt graph.NodeID) (*HYPProof, error) {
 	for v := range include {
 		nodes = append(nodes, v)
 	}
+	// Canonicalize the map-ordered set so identical queries produce
+	// byte-identical proofs (cacheable by the serve layer).
+	nodes = p.ads.Canonical(nodes)
 	mhtProof, err := p.ads.Prove(nodes)
 	if err != nil {
 		return nil, err

@@ -30,6 +30,8 @@ func ldmSigCtx(p landmark.Params) []byte {
 }
 
 // LDMProvider is the service provider's state for the LDM method.
+// Immutable after OutsourceLDM; Query is safe for concurrent use (see the
+// package Concurrency note).
 type LDMProvider struct {
 	g       *graph.Graph
 	hints   *landmark.Hints
@@ -87,7 +89,7 @@ func (p *LDMProvider) Query(vs, vt graph.NodeID) (*LDMProof, error) {
 	}
 	dist, path := sp.DijkstraTo(p.g, vs, vt)
 	if path == nil {
-		return nil, fmt.Errorf("core: no path from %d to %d", vs, vt)
+		return nil, fmt.Errorf("%w: from %d to %d", ErrNoPath, vs, vt)
 	}
 	bound := dist * providerSlack
 	tree, settled := sp.DijkstraBounded(p.g, vs, bound)
@@ -113,6 +115,9 @@ func (p *LDMProvider) Query(vs, vt graph.NodeID) (*LDMProof, error) {
 			nodes = append(nodes, ref)
 		}
 	}
+	// The include set came out of map iteration: canonicalize so identical
+	// queries produce byte-identical proofs (cacheable by the serve layer).
+	nodes = p.ads.Canonical(nodes)
 	mhtProof, err := p.ads.Prove(nodes)
 	if err != nil {
 		return nil, err

@@ -154,6 +154,9 @@ func TestWireSizesMatchStats(t *testing.T) {
 // random small road networks, for random queries, all four methods accept
 // honest proofs and certify the oracle distance.
 func TestRandomGraphsAllMethodsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds many randomized worlds; full lane only")
+	}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 60 + rng.Intn(120)

@@ -86,6 +86,9 @@ func TestPredictUnknownMethod(t *testing.T) {
 // method, the predicted communication overhead is within ×3 of the measured
 // workload average.
 func TestPredictionWithinFactor3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("outsources all four methods on a mid-size network; full lane only")
+	}
 	cal, w := calibrated(t)
 	const queryRange = 3000
 	g, err := netgen.Generate(netgen.DE, netgen.Config{Scale: 0.05})

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/authhints/spv/internal/core"
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/sig"
+)
+
+// Server exposes an Engine over HTTP — the wire shape of the paper's
+// service provider. Endpoints:
+//
+//	GET/POST /query    one query; JSON reply, or the raw proof encoding
+//	                   with ?format=binary (headers carry the metadata)
+//	POST     /batch    {"queries": [...]}  →  {"answers": [...]}
+//	GET      /verifier the owner's public key, PEM (clients bootstrap
+//	                   verification from this, out of band from proofs)
+//	GET      /stats    engine counter snapshot, JSON
+//	GET      /healthz  liveness
+//
+// Proof bytes decode with spv.Decode<Method>Proof and verify against the
+// /verifier key — the server never holds the owner's private key.
+type Server struct {
+	engine      *Engine
+	verifierPEM []byte
+	mux         *http.ServeMux
+}
+
+// MaxBatch bounds one /batch request; larger batches are rejected with 400
+// rather than letting one client monopolize the pool.
+const MaxBatch = 4096
+
+// NewServer wraps an engine and the owner's public verifier (served to
+// clients verbatim) into an http.Handler.
+func NewServer(e *Engine, v *sig.Verifier) (*Server, error) {
+	if e == nil {
+		return nil, errors.New("serve: nil engine")
+	}
+	if v == nil {
+		return nil, errors.New("serve: nil verifier")
+	}
+	pem, err := v.MarshalPEM()
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshal verifier: %w", err)
+	}
+	s := &Server{engine: e, verifierPEM: pem, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/verifier", s.handleVerifier)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s, nil
+}
+
+// Engine returns the wrapped engine (for stats and direct use).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// wireAnswer is the JSON reply for one answer; Proof marshals as base64
+// (encoding/json's []byte default).
+type wireAnswer struct {
+	Method core.Method  `json:"method"`
+	VS     graph.NodeID `json:"vs"`
+	VT     graph.NodeID `json:"vt"`
+	Dist   float64      `json:"dist,omitempty"`
+	Hops   int          `json:"hops,omitempty"`
+	Cached bool         `json:"cached"`
+	Bytes  int          `json:"proof_bytes"`
+	Proof  []byte       `json:"proof,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+func toWire(a Answer) wireAnswer {
+	w := wireAnswer{
+		Method: a.Query.Method,
+		VS:     a.Query.VS,
+		VT:     a.Query.VT,
+		Dist:   a.Dist,
+		Hops:   a.Hops,
+		Cached: a.Cached,
+		Bytes:  len(a.Proof),
+		Proof:  a.Proof,
+	}
+	if a.Err != nil {
+		w.Error = a.Err.Error()
+	}
+	return w
+}
+
+// parseQuery accepts either a JSON body {"method","vs","vt"} or URL
+// parameters ?method=&vs=&vt=.
+func parseQuery(r *http.Request) (Query, error) {
+	if r.Method == http.MethodPost {
+		var q Query
+		if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<16)).Decode(&q); err != nil {
+			return Query{}, fmt.Errorf("bad query body: %w", err)
+		}
+		return q, nil
+	}
+	q := Query{Method: core.Method(r.URL.Query().Get("method"))}
+	// NodeID is 32-bit: parse at that width so oversized ids are rejected
+	// rather than silently truncated onto some other node.
+	vs, err := strconv.ParseInt(r.URL.Query().Get("vs"), 10, 32)
+	if err != nil {
+		return Query{}, fmt.Errorf("bad vs: %w", err)
+	}
+	vt, err := strconv.ParseInt(r.URL.Query().Get("vt"), 10, 32)
+	if err != nil {
+		return Query{}, fmt.Errorf("bad vt: %w", err)
+	}
+	q.VS, q.VT = graph.NodeID(vs), graph.NodeID(vt)
+	return q, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+		return
+	}
+	q, err := parseQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	a, err := s.engine.Query(q)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	if r.URL.Query().Get("format") == "binary" ||
+		r.Header.Get("Accept") == "application/octet-stream" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-SPV-Method", string(a.Query.Method))
+		w.Header().Set("X-SPV-Dist", strconv.FormatFloat(a.Dist, 'g', -1, 64))
+		w.Header().Set("X-SPV-Hops", strconv.Itoa(a.Hops))
+		w.Header().Set("X-SPV-Cached", strconv.FormatBool(a.Cached))
+		w.Write(a.Proof)
+		return
+	}
+	writeJSON(w, toWire(a))
+}
+
+// statusFor blames the right party: unknown methods and bad endpoints are
+// the client's fault, disconnection is absence, everything else is ours.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownMethod):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrBadQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrNoPath):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Queries []Query `json:"queries"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<24)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad batch body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Queries) > MaxBatch {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Queries), MaxBatch),
+			http.StatusBadRequest)
+		return
+	}
+	answers := s.engine.QueryBatch(req.Queries)
+	out := struct {
+		Answers []wireAnswer `json:"answers"`
+	}{Answers: make([]wireAnswer, len(answers))}
+	for i, a := range answers {
+		out.Answers[i] = toWire(a)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleVerifier(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-pem-file")
+	w.Write(s.verifierPEM)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.engine.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/authhints/spv/internal/core"
+	"github.com/authhints/spv/internal/sig"
+)
+
+func testServer(t *testing.T) (*world, *Server, *httptest.Server) {
+	t.Helper()
+	w := testWorld(t)
+	srv, err := NewServer(w.engine(Options{}), w.verifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return w, srv, ts
+}
+
+// TestHTTPQueryBinaryRoundTrip drives the full client story over the wire:
+// fetch the verifier PEM, request a binary proof, decode and verify it.
+func TestHTTPQueryBinaryRoundTrip(t *testing.T) {
+	w, _, ts := testServer(t)
+
+	resp, err := http.Get(ts.URL + "/verifier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pemBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	verifier, err := sig.ParseVerifierPEM(pemBytes)
+	if err != nil {
+		t.Fatalf("parse served verifier: %v", err)
+	}
+
+	q := w.queries[0]
+	url := fmt.Sprintf("%s/query?method=LDM&vs=%d&vt=%d&format=binary", ts.URL, q.S, q.T)
+	resp, err = http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, wire)
+	}
+	if got := resp.Header.Get("X-SPV-Method"); got != "LDM" {
+		t.Errorf("X-SPV-Method = %q", got)
+	}
+	pr, n, err := core.DecodeLDMProof(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) {
+		t.Errorf("decoded %d of %d bytes", n, len(wire))
+	}
+	if err := core.VerifyLDM(verifier, q.S, q.T, pr); err != nil {
+		t.Errorf("served proof fails verification: %v", err)
+	}
+}
+
+func TestHTTPQueryJSON(t *testing.T) {
+	w, _, ts := testServer(t)
+	q := w.queries[0]
+	body := fmt.Sprintf(`{"method":"DIJ","vs":%d,"vt":%d}`, q.S, q.T)
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got wireAnswer
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != core.DIJ || got.VS != q.S || got.VT != q.T {
+		t.Errorf("echoed query %s %d→%d", got.Method, got.VS, got.VT)
+	}
+	if len(got.Proof) == 0 || got.Bytes != len(got.Proof) {
+		t.Errorf("proof bytes %d, field says %d", len(got.Proof), got.Bytes)
+	}
+	pr, _, err := core.DecodeDIJProof(got.Proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyDIJ(w.verifier, q.S, q.T, pr); err != nil {
+		t.Error(err)
+	}
+	if got.Hops != len(pr.Path)-1 {
+		t.Errorf("hops = %d, want %d edges for a %d-node path", got.Hops, len(pr.Path)-1, len(pr.Path))
+	}
+}
+
+func TestHTTPQueryErrors(t *testing.T) {
+	_, _, ts := testServer(t)
+	for _, tc := range []struct {
+		url  string
+		want int
+	}{
+		{"/query?method=LDM&vs=zero&vt=1", http.StatusBadRequest},
+		{"/query?method=LDM&vs=4294967296&vt=1", http.StatusBadRequest}, // > int32: reject, don't truncate
+		{"/query?method=NOPE&vs=0&vt=1", http.StatusNotFound},
+		{"/query?method=LDM&vs=0&vt=0", http.StatusBadRequest},
+		{"/query?method=LDM&vs=0&vt=99999999", http.StatusBadRequest},
+	} {
+		resp, err := http.Get(ts.URL + tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.url, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestHTTPBatchAndStats(t *testing.T) {
+	w, _, ts := testServer(t)
+	var req struct {
+		Queries []Query `json:"queries"`
+	}
+	for i := 0; i < 3; i++ {
+		req.Queries = append(req.Queries, Query{Method: core.HYP, VS: w.queries[i].S, VT: w.queries[i].T})
+	}
+	req.Queries = append(req.Queries, Query{Method: "NOPE", VS: 0, VT: 1})
+	body, _ := json.Marshal(req)
+
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Answers []wireAnswer `json:"answers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 4 {
+		t.Fatalf("got %d answers", len(got.Answers))
+	}
+	for i := 0; i < 3; i++ {
+		a := got.Answers[i]
+		if a.Error != "" {
+			t.Fatalf("answer %d: %s", i, a.Error)
+		}
+		pr, _, err := core.DecodeHYPProof(a.Proof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.VerifyHYP(w.verifier, a.VS, a.VT, pr); err != nil {
+			t.Error(err)
+		}
+	}
+	if got.Answers[3].Error == "" {
+		t.Error("unknown-method batch item reported no error")
+	}
+
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Queries != 4 || snap.Misses != 3 || snap.Errors != 1 {
+		t.Errorf("stats = %+v, want 4 queries / 3 misses / 1 error", snap)
+	}
+}
+
+func TestHTTPBatchTooLarge(t *testing.T) {
+	_, _, ts := testServer(t)
+	qs := make([]Query, MaxBatch+1)
+	body, _ := json.Marshal(map[string]any{"queries": qs})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPConcurrentClients hammers the HTTP surface itself (handler →
+// engine → providers) from parallel clients; meaningful under -race.
+func TestHTTPConcurrentClients(t *testing.T) {
+	w, srv, ts := testServer(t)
+	var wg sync.WaitGroup
+	fail := make(chan string, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := w.queries[g%4]
+			url := fmt.Sprintf("%s/query?method=LDM&vs=%d&vt=%d", ts.URL, q.S, q.T)
+			for i := 0; i < 5; i++ {
+				resp, err := http.Get(url)
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail <- fmt.Sprintf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatal(msg)
+	}
+	s := srv.Engine().Stats()
+	if s.Queries != 40 || s.Errors != 0 {
+		t.Errorf("stats = %+v, want 40 queries / 0 errors", s)
+	}
+	if s.Misses != 4 {
+		t.Errorf("misses = %d, want 4 distinct", s.Misses)
+	}
+}

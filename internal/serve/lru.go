@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/authhints/spv/internal/core"
+	"github.com/authhints/spv/internal/graph"
+)
+
+// cacheKey identifies one proof: queries are symmetric in cost but not in
+// encoding (paths are directed), so (vs, vt) and (vt, vs) are distinct
+// entries.
+type cacheKey struct {
+	m      core.Method
+	vs, vt graph.NodeID
+}
+
+// lruCache is a mutex-guarded LRU over exact proof encodings. Proof wire
+// sizes are bounded by the method and query range, so an entry-count
+// capacity is a faithful proxy for a byte budget.
+type lruCache struct {
+	mu        sync.Mutex
+	cap       int
+	order     *list.List // front = most recent; values are *lruEntry
+	items     map[cacheKey]*list.Element
+	evictions int64
+}
+
+type lruEntry struct {
+	key cacheKey
+	val cached
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// Get returns the entry for k, promoting it to most-recent.
+func (c *lruCache) Get(k cacheKey) (cached, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return cached{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Add inserts or refreshes k, evicting the least-recent entry past
+// capacity.
+func (c *lruCache) Add(k cacheKey, v cached) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruEntry).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.order.PushFront(&lruEntry{key: k, val: v})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the current entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Evictions returns the lifetime eviction count.
+func (c *lruCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}

@@ -1,0 +1,359 @@
+// Package serve is the provider-side serving layer: it wraps the four
+// verification methods' providers (core.DIJProvider &c.) behind one
+// thread-safe, batched query engine, the piece that turns the library into
+// the outsourced service of the paper's deployment model (owner → provider
+// → many untrusting clients).
+//
+// The engine exploits two properties of the core providers:
+//
+//  1. Provider state is immutable after Outsource* returns (documented and
+//     race-tested in internal/core), so any number of goroutines may call
+//     Query concurrently with no locking.
+//  2. Proofs are deterministic for a fixed provider instance: the same
+//     (method, vs, vt) always yields byte-identical wire encodings, so the
+//     exact encoding is cacheable and one in-flight construction can serve
+//     every concurrent requester.
+//
+// Three mechanisms stack on top: a worker-pool fan-out for QueryBatch, an
+// LRU cache keyed by (method, vs, vt) holding exact wire encodings, and
+// singleflight deduplication so concurrent identical queries build one
+// proof. cmd/spvserve exposes the engine over HTTP; spv.NewServer is the
+// public construction surface.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/authhints/spv/internal/core"
+	"github.com/authhints/spv/internal/graph"
+)
+
+// ErrUnknownMethod reports a query for a method the engine has no provider
+// for.
+var ErrUnknownMethod = errors.New("serve: no provider registered for method")
+
+// Query names one shortest path query against a served method.
+type Query struct {
+	Method core.Method  `json:"method"`
+	VS     graph.NodeID `json:"vs"`
+	VT     graph.NodeID `json:"vt"`
+}
+
+// Answer is the provider's reply: the verified-path distance, the hop
+// count of the reported path (edges, i.e. one less than its node count),
+// and the proof's exact wire encoding (decodable with
+// core.Decode<Method>Proof and verifiable with core.Verify<Method>). The
+// Proof slice is owned by the caller — the engine never retains or reuses
+// it. Cached marks answers served from the proof cache; queries coalesced
+// onto an in-flight construction report Cached=false and count in
+// Snapshot.Deduped.
+type Answer struct {
+	Query  Query   `json:"query"`
+	Dist   float64 `json:"dist"`
+	Hops   int     `json:"hops"`
+	Proof  []byte  `json:"proof,omitempty"`
+	Cached bool    `json:"cached"`
+	// Err carries the per-item failure inside a batch; Engine.Query returns
+	// it as its error instead.
+	Err error `json:"-"`
+}
+
+// Options configures an Engine. The zero value picks defaults.
+type Options struct {
+	// Workers bounds the fan-out of QueryBatch. Default: GOMAXPROCS.
+	Workers int
+	// CacheEntries is the LRU proof-cache capacity in entries. Default
+	// (0): 4096. Negative: caching disabled.
+	CacheEntries int
+}
+
+// DefaultCacheEntries is the proof-cache capacity when Options leaves
+// CacheEntries zero.
+const DefaultCacheEntries = 4096
+
+// queryFn is the method-erased provider hot path: build (or fetch) a proof
+// for one endpoint pair and return its exact wire encoding.
+type queryFn func(vs, vt graph.NodeID) (dist float64, hops int, wire []byte, err error)
+
+// Engine is a thread-safe, batched front-end over one or more outsourced
+// providers. Construct with NewEngine, attach providers with Register*,
+// then share freely across goroutines.
+type Engine struct {
+	workers int
+	run     map[core.Method]queryFn
+	cache   *lruCache // nil when caching is disabled
+	flights flightGroup
+	stats   engineStats
+}
+
+// engineStats is the engine's atomic counter block (see Snapshot for
+// meanings).
+type engineStats struct {
+	queries    atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	deduped    atomic.Int64
+	errors     atomic.Int64
+	proofBytes atomic.Int64
+	coldNanos  atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of the engine's counters.
+type Snapshot struct {
+	// Queries counts every query answered (batch items included).
+	Queries int64 `json:"queries"`
+	// Hits counts answers served from the proof cache.
+	Hits int64 `json:"hits"`
+	// Misses counts cold proof constructions actually executed.
+	Misses int64 `json:"misses"`
+	// Deduped counts queries coalesced onto another caller's in-flight
+	// construction (Hits + Misses + Deduped + Errors == Queries).
+	Deduped int64 `json:"deduped"`
+	// Errors counts failed queries.
+	Errors int64 `json:"errors"`
+	// ProofBytes totals the wire bytes of all served proofs.
+	ProofBytes int64 `json:"proof_bytes"`
+	// ColdTime totals time spent in cold proof constructions.
+	ColdTime time.Duration `json:"cold_ns"`
+	// CacheLen and CacheEvictions describe the LRU proof cache.
+	CacheLen       int   `json:"cache_len"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	// Methods lists the registered methods.
+	Methods []core.Method `json:"methods"`
+}
+
+// NewEngine returns an engine with no providers; attach at least one with
+// the Register* methods before querying.
+func NewEngine(opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		workers: workers,
+		run:     make(map[core.Method]queryFn),
+	}
+	switch {
+	case opts.CacheEntries > 0:
+		e.cache = newLRU(opts.CacheEntries)
+	case opts.CacheEntries == 0:
+		e.cache = newLRU(DefaultCacheEntries)
+	}
+	return e
+}
+
+// RegisterDIJ serves DIJ queries from p. Registering a method twice
+// replaces the provider.
+func (e *Engine) RegisterDIJ(p *core.DIJProvider) {
+	e.register(core.DIJ, func(vs, vt graph.NodeID) (float64, int, []byte, error) {
+		pr, err := p.Query(vs, vt)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		return pr.Dist, len(pr.Path) - 1, pr.AppendBinary(nil), nil
+	})
+}
+
+// RegisterFULL serves FULL queries from p.
+func (e *Engine) RegisterFULL(p *core.FULLProvider) {
+	e.register(core.FULL, func(vs, vt graph.NodeID) (float64, int, []byte, error) {
+		pr, err := p.Query(vs, vt)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		return pr.Dist, len(pr.Path) - 1, pr.AppendBinary(nil), nil
+	})
+}
+
+// RegisterLDM serves LDM queries from p.
+func (e *Engine) RegisterLDM(p *core.LDMProvider) {
+	e.register(core.LDM, func(vs, vt graph.NodeID) (float64, int, []byte, error) {
+		pr, err := p.Query(vs, vt)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		return pr.Dist, len(pr.Path) - 1, pr.AppendBinary(nil), nil
+	})
+}
+
+// RegisterHYP serves HYP queries from p.
+func (e *Engine) RegisterHYP(p *core.HYPProvider) {
+	e.register(core.HYP, func(vs, vt graph.NodeID) (float64, int, []byte, error) {
+		pr, err := p.Query(vs, vt)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		return pr.Dist, len(pr.Path) - 1, pr.AppendBinary(nil), nil
+	})
+}
+
+// register must run before the engine is shared: the run map is read
+// without locking on the hot path.
+func (e *Engine) register(m core.Method, fn queryFn) { e.run[m] = fn }
+
+// Methods lists the registered methods in the paper's order.
+func (e *Engine) Methods() []core.Method {
+	out := make([]core.Method, 0, len(e.run))
+	for _, m := range core.Methods() {
+		if _, ok := e.run[m]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Query answers one query. Safe for concurrent use; identical concurrent
+// queries share one proof construction.
+func (e *Engine) Query(q Query) (Answer, error) {
+	a := e.query(q)
+	return a, a.Err
+}
+
+// QueryBatch answers a batch with worker-pool fan-out, preserving order.
+// Per-item failures land in Answer.Err; the batch itself always completes.
+func (e *Engine) QueryBatch(qs []Query) []Answer {
+	out := make([]Answer, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	workers := e.workers
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for i, q := range qs {
+			out[i] = e.query(q)
+		}
+		return out
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = e.query(qs[i])
+			}
+		}()
+	}
+	for i := range qs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Snapshot {
+	s := Snapshot{
+		Queries:    e.stats.queries.Load(),
+		Hits:       e.stats.hits.Load(),
+		Misses:     e.stats.misses.Load(),
+		Deduped:    e.stats.deduped.Load(),
+		Errors:     e.stats.errors.Load(),
+		ProofBytes: e.stats.proofBytes.Load(),
+		ColdTime:   time.Duration(e.stats.coldNanos.Load()),
+		Methods:    e.Methods(),
+	}
+	if e.cache != nil {
+		s.CacheLen = e.cache.Len()
+		s.CacheEvictions = e.cache.Evictions()
+	}
+	return s
+}
+
+// cached is the unit both the LRU cache and singleflight hand around: one
+// proof's exact wire encoding plus its headline numbers. The wire slice is
+// shared between cache and flights and must never be mutated; answers get
+// their own copy.
+type cached struct {
+	dist float64
+	hops int
+	wire []byte
+}
+
+// query is the engine hot path: cache lookup, then singleflight around the
+// cold construction. A panic during construction (flightGroup.Do re-panics
+// in the owner) is converted to a per-query error here so one poisoned
+// query can't kill the process from a QueryBatch worker goroutine — net/http
+// would contain it for /query but not for /batch.
+func (e *Engine) query(q Query) (ans Answer) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.stats.errors.Add(1)
+			ans = Answer{Query: q, Err: fmt.Errorf("serve: query %v panicked: %v", q, r)}
+		}
+	}()
+	e.stats.queries.Add(1)
+	fn, ok := e.run[q.Method]
+	if !ok {
+		e.stats.errors.Add(1)
+		return Answer{Query: q, Err: fmt.Errorf("%w %q", ErrUnknownMethod, q.Method)}
+	}
+	key := cacheKey{m: q.Method, vs: q.VS, vt: q.VT}
+	if e.cache != nil {
+		if c, ok := e.cache.Get(key); ok {
+			e.stats.hits.Add(1)
+			return e.answer(q, c, true)
+		}
+	}
+	c, err, shared := e.flights.Do(key, func() (cached, error) {
+		// Re-check the cache: a previous flight may have completed and
+		// been forgotten between this caller's lookup and its takeoff.
+		if e.cache != nil {
+			if c, ok := e.cache.Get(key); ok {
+				return c, errCacheRace
+			}
+		}
+		start := time.Now()
+		dist, hops, wire, err := fn(q.VS, q.VT)
+		if err != nil {
+			return cached{}, err
+		}
+		e.stats.coldNanos.Add(int64(time.Since(start)))
+		c := cached{dist: dist, hops: hops, wire: wire}
+		if e.cache != nil {
+			e.cache.Add(key, c)
+		}
+		return c, nil
+	})
+	switch {
+	case err == nil && shared:
+		e.stats.deduped.Add(1)
+	case err == nil:
+		e.stats.misses.Add(1)
+	case errors.Is(err, errCacheRace):
+		e.stats.hits.Add(1)
+		return e.answer(q, c, true)
+	default:
+		e.stats.errors.Add(1)
+		return Answer{Query: q, Err: err}
+	}
+	// Cold builds and deduped waiters both paid no cache lookup: Cached
+	// marks proof-cache hits only, so dedup is visible in Stats().Deduped
+	// but not mislabeled as a cache hit (even with caching disabled).
+	return e.answer(q, c, false)
+}
+
+// errCacheRace is the internal signal that a flight found its result
+// already cached; never returned to callers.
+var errCacheRace = errors.New("serve: satisfied from cache inside flight")
+
+// answer materializes a caller-owned Answer from a cached proof.
+func (e *Engine) answer(q Query, c cached, fromCache bool) Answer {
+	e.stats.proofBytes.Add(int64(len(c.wire)))
+	return Answer{
+		Query:  q,
+		Dist:   c.dist,
+		Hops:   c.hops,
+		Proof:  append([]byte(nil), c.wire...),
+		Cached: fromCache,
+	}
+}

@@ -1,0 +1,458 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/authhints/spv/internal/core"
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/netgen"
+	"github.com/authhints/spv/internal/sig"
+	"github.com/authhints/spv/internal/workload"
+)
+
+// world is one owner + all four outsourced providers on a small network,
+// shared across the package's tests (providers are immutable, so sharing
+// is safe even under -race).
+type world struct {
+	g        *graph.Graph
+	owner    *core.Owner
+	verifier *sig.Verifier
+	dij      *core.DIJProvider
+	full     *core.FULLProvider
+	ldm      *core.LDMProvider
+	hyp      *core.HYPProvider
+	queries  []workload.Query
+}
+
+var (
+	worldOnce sync.Once
+	theWorld  *world
+	worldErr  error
+)
+
+func testWorld(t testing.TB) *world {
+	t.Helper()
+	worldOnce.Do(func() {
+		g, err := netgen.Generate(netgen.DE, netgen.Config{Scale: 0.01})
+		if err != nil {
+			worldErr = err
+			return
+		}
+		cfg := core.DefaultConfig()
+		cfg.Landmarks = 8
+		cfg.Cells = 16
+		owner, err := core.NewOwner(g, cfg)
+		if err != nil {
+			worldErr = err
+			return
+		}
+		w := &world{g: g, owner: owner, verifier: owner.Verifier()}
+		if w.dij, err = owner.OutsourceDIJ(); err != nil {
+			worldErr = err
+			return
+		}
+		if w.full, err = owner.OutsourceFULL(); err != nil {
+			worldErr = err
+			return
+		}
+		if w.ldm, err = owner.OutsourceLDM(); err != nil {
+			worldErr = err
+			return
+		}
+		if w.hyp, err = owner.OutsourceHYP(); err != nil {
+			worldErr = err
+			return
+		}
+		if w.queries, err = workload.Generate(g, 8, 2000, 7); err != nil {
+			worldErr = err
+			return
+		}
+		theWorld = w
+	})
+	if worldErr != nil {
+		t.Fatal(worldErr)
+	}
+	return theWorld
+}
+
+func (w *world) engine(opts Options) *Engine {
+	e := NewEngine(opts)
+	e.RegisterDIJ(w.dij)
+	e.RegisterFULL(w.full)
+	e.RegisterLDM(w.ldm)
+	e.RegisterHYP(w.hyp)
+	return e
+}
+
+// verifyAnswer decodes an answer's wire proof and runs full client-side
+// verification against the owner's public key.
+func verifyAnswer(t *testing.T, v *sig.Verifier, a Answer) {
+	t.Helper()
+	if a.Err != nil {
+		t.Fatalf("%v: %v", a.Query, a.Err)
+	}
+	q := a.Query
+	var err error
+	var n int
+	switch q.Method {
+	case core.DIJ:
+		var pr *core.DIJProof
+		if pr, n, err = core.DecodeDIJProof(a.Proof); err == nil {
+			err = core.VerifyDIJ(v, q.VS, q.VT, pr)
+		}
+	case core.FULL:
+		var pr *core.FULLProof
+		if pr, n, err = core.DecodeFULLProof(a.Proof); err == nil {
+			err = core.VerifyFULL(v, q.VS, q.VT, pr)
+		}
+	case core.LDM:
+		var pr *core.LDMProof
+		if pr, n, err = core.DecodeLDMProof(a.Proof); err == nil {
+			err = core.VerifyLDM(v, q.VS, q.VT, pr)
+		}
+	case core.HYP:
+		var pr *core.HYPProof
+		if pr, n, err = core.DecodeHYPProof(a.Proof); err == nil {
+			err = core.VerifyHYP(v, q.VS, q.VT, pr)
+		}
+	default:
+		t.Fatalf("unknown method %q", q.Method)
+	}
+	if err != nil {
+		t.Fatalf("%s (%d→%d): %v", q.Method, q.VS, q.VT, err)
+	}
+	if n != len(a.Proof) {
+		t.Fatalf("%s: decoded %d of %d proof bytes", q.Method, n, len(a.Proof))
+	}
+}
+
+func TestEngineServesAllMethodsVerified(t *testing.T) {
+	w := testWorld(t)
+	e := w.engine(Options{})
+	q := w.queries[0]
+	for _, m := range core.Methods() {
+		a, err := e.Query(Query{Method: m, VS: q.S, VT: q.T})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		verifyAnswer(t, w.verifier, a)
+		if a.Cached {
+			t.Errorf("%s: first query reported cached", m)
+		}
+	}
+	if got := e.Stats().Misses; got != 4 {
+		t.Errorf("misses = %d, want 4", got)
+	}
+}
+
+func TestEngineCacheServesIdenticalWire(t *testing.T) {
+	w := testWorld(t)
+	e := w.engine(Options{})
+	q := Query{Method: core.LDM, VS: w.queries[0].S, VT: w.queries[0].T}
+	cold, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Error("second identical query not served from cache")
+	}
+	if !bytes.Equal(cold.Proof, warm.Proof) {
+		t.Error("cached proof differs from cold proof")
+	}
+	// Answers own their bytes: corrupting one must not poison the cache.
+	warm.Proof[0] ^= 0xff
+	again, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Proof, again.Proof) {
+		t.Error("cache entry aliased a caller's proof slice")
+	}
+	s := e.Stats()
+	if s.Queries != 3 || s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 3 queries / 2 hits / 1 miss", s)
+	}
+}
+
+func TestEngineCacheDisabled(t *testing.T) {
+	w := testWorld(t)
+	e := w.engine(Options{CacheEntries: -1})
+	q := Query{Method: core.LDM, VS: w.queries[0].S, VT: w.queries[0].T}
+	for i := 0; i < 2; i++ {
+		a, err := e.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cached {
+			t.Error("cache disabled but answer reported cached")
+		}
+	}
+	if s := e.Stats(); s.Misses != 2 || s.Hits != 0 {
+		t.Errorf("stats = %+v, want 2 misses / 0 hits", s)
+	}
+}
+
+func TestEngineLRUEviction(t *testing.T) {
+	w := testWorld(t)
+	e := w.engine(Options{CacheEntries: 2})
+	qs := make([]Query, 3)
+	for i := range qs {
+		qs[i] = Query{Method: core.FULL, VS: w.queries[i].S, VT: w.queries[i].T}
+	}
+	for _, q := range qs {
+		if _, err := e.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.Stats()
+	if s.CacheLen != 2 || s.CacheEvictions != 1 {
+		t.Errorf("cache len %d evictions %d, want 2 and 1", s.CacheLen, s.CacheEvictions)
+	}
+	// qs[0] was evicted: querying it again is a miss, not a hit.
+	if _, err := e.Query(qs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Misses != 4 || s.Hits != 0 {
+		t.Errorf("stats = %+v, want 4 misses / 0 hits", s)
+	}
+}
+
+func TestEngineBatchPreservesOrderAndErrors(t *testing.T) {
+	w := testWorld(t)
+	e := w.engine(Options{Workers: 4})
+	qs := []Query{
+		{Method: core.LDM, VS: w.queries[0].S, VT: w.queries[0].T},
+		{Method: core.LDM, VS: w.queries[0].S, VT: w.queries[0].S}, // vs == vt rejected
+		{Method: "NOPE", VS: w.queries[1].S, VT: w.queries[1].T},
+		{Method: core.HYP, VS: w.queries[1].S, VT: w.queries[1].T},
+	}
+	out := e.QueryBatch(qs)
+	if len(out) != len(qs) {
+		t.Fatalf("got %d answers, want %d", len(out), len(qs))
+	}
+	for i, a := range out {
+		if a.Query != qs[i] {
+			t.Errorf("answer %d is for %v, want %v", i, a.Query, qs[i])
+		}
+	}
+	verifyAnswer(t, w.verifier, out[0])
+	if out[1].Err == nil {
+		t.Error("vs == vt accepted")
+	}
+	if !errors.Is(out[2].Err, ErrUnknownMethod) {
+		t.Errorf("unknown method error = %v", out[2].Err)
+	}
+	verifyAnswer(t, w.verifier, out[3])
+	if s := e.Stats(); s.Errors != 2 {
+		t.Errorf("errors = %d, want 2", s.Errors)
+	}
+}
+
+func TestEngineUnknownMethod(t *testing.T) {
+	w := testWorld(t)
+	e := NewEngine(Options{})
+	e.RegisterLDM(w.ldm)
+	if _, err := e.Query(Query{Method: core.HYP, VS: 0, VT: 1}); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("got %v, want ErrUnknownMethod", err)
+	}
+	if got := e.Methods(); len(got) != 1 || got[0] != core.LDM {
+		t.Errorf("Methods() = %v, want [LDM]", got)
+	}
+}
+
+// TestEngineConcurrentHammer is the serving-layer race test: many
+// goroutines fire mixed repeated/distinct queries across all methods at one
+// shared engine. Every answer must be byte-identical to the sequential
+// baseline, and the hit/miss/dedup accounting must add up exactly.
+// Run with -race to validate the lock-free provider sharing.
+func TestEngineConcurrentHammer(t *testing.T) {
+	w := testWorld(t)
+	e := w.engine(Options{Workers: 8})
+
+	methods := core.Methods()
+	distinct := make([]Query, 0, len(methods)*4)
+	for _, m := range methods {
+		for i := 0; i < 4; i++ {
+			distinct = append(distinct, Query{Method: m, VS: w.queries[i].S, VT: w.queries[i].T})
+		}
+	}
+	// Sequential baseline from a separate engine.
+	baseline := make(map[Query][]byte, len(distinct))
+	be := w.engine(Options{})
+	for _, q := range distinct {
+		a, err := be.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[q] = a.Proof
+	}
+
+	const goroutines = 16
+	const perG = 40 // mixed workload: every goroutine cycles the same keys
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				q := distinct[(g+i)%len(distinct)]
+				a, err := e.Query(q)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !bytes.Equal(a.Proof, baseline[q]) {
+					errCh <- errors.New("concurrent proof differs from sequential baseline")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	s := e.Stats()
+	total := int64(goroutines * perG)
+	if s.Queries != total {
+		t.Errorf("queries = %d, want %d", s.Queries, total)
+	}
+	if s.Errors != 0 {
+		t.Errorf("errors = %d, want 0", s.Errors)
+	}
+	if s.Hits+s.Misses+s.Deduped != total {
+		t.Errorf("hits %d + misses %d + deduped %d != %d", s.Hits, s.Misses, s.Deduped, total)
+	}
+	// Singleflight + cache guarantee exactly one cold build per distinct key.
+	if s.Misses != int64(len(distinct)) {
+		t.Errorf("misses = %d, want %d (one cold build per distinct query)", s.Misses, len(distinct))
+	}
+	if s.CacheLen != len(distinct) {
+		t.Errorf("cache holds %d entries, want %d", s.CacheLen, len(distinct))
+	}
+}
+
+// TestEnginePanicContainedPerQuery pins the engine's failure domain: a
+// panicking proof construction becomes one failed answer, and a batch
+// containing it still completes (a stray panic in a QueryBatch worker
+// would otherwise kill the whole process).
+func TestEnginePanicContainedPerQuery(t *testing.T) {
+	w := testWorld(t)
+	e := w.engine(Options{Workers: 2})
+	e.register("BOOM", func(vs, vt graph.NodeID) (float64, int, []byte, error) {
+		panic("construction bug")
+	})
+	out := e.QueryBatch([]Query{
+		{Method: core.LDM, VS: w.queries[0].S, VT: w.queries[0].T},
+		{Method: "BOOM", VS: 1, VT: 2},
+		{Method: core.LDM, VS: w.queries[1].S, VT: w.queries[1].T},
+	})
+	verifyAnswer(t, w.verifier, out[0])
+	if out[1].Err == nil || !strings.Contains(out[1].Err.Error(), "panicked") {
+		t.Errorf("panicking query returned %v, want panic error", out[1].Err)
+	}
+	verifyAnswer(t, w.verifier, out[2])
+	s := e.Stats()
+	if s.Errors != 1 || s.Queries != 3 {
+		t.Errorf("stats = %+v, want 3 queries / 1 error", s)
+	}
+}
+
+// TestFlightGroupSurvivesPanic pins the singleflight cleanup contract: a
+// panicking construction re-panics in the owner but must not wedge the key
+// for future callers or deliver a zero result to waiters.
+func TestFlightGroupSurvivesPanic(t *testing.T) {
+	var g flightGroup
+	key := cacheKey{m: core.LDM, vs: 1, vt: 2}
+
+	waiterErr := make(chan error)
+	attached := make(chan struct{})
+	panicked := func() (recovered bool) {
+		defer func() { recovered = recover() != nil }()
+		g.Do(key, func() (cached, error) {
+			// A waiter attaches while the flight is in the air (the flight
+			// stays in the map until the owner's deferred cleanup), exactly
+			// as Do's shared path does: grab the flight, block on done.
+			go func() {
+				g.mu.Lock()
+				f := g.m[key]
+				g.mu.Unlock()
+				close(attached)
+				if f == nil {
+					waiterErr <- errors.New("flight missing from map mid-construction")
+					return
+				}
+				<-f.done
+				waiterErr <- f.err
+			}()
+			<-attached
+			panic("boom")
+		})
+		return
+	}
+	if !panicked() {
+		t.Fatal("owner did not re-panic")
+	}
+	if err := <-waiterErr; err == nil {
+		t.Error("waiter on a panicked flight got a nil error")
+	}
+	// The key must not be wedged: a fresh call runs its fn normally.
+	v, err, _ := g.Do(key, func() (cached, error) { return cached{dist: 42}, nil })
+	if err != nil || v.dist != 42 {
+		t.Errorf("post-panic Do = (%v, %v), want dist 42", v, err)
+	}
+}
+
+// TestEngineBatchConcurrentWithSingles overlaps batch and single queries on
+// one engine — the mixed traffic shape of a real provider front-end.
+func TestEngineBatchConcurrentWithSingles(t *testing.T) {
+	w := testWorld(t)
+	e := w.engine(Options{Workers: 4})
+	batch := make([]Query, 0, 8)
+	for i := 0; i < 4; i++ {
+		batch = append(batch,
+			Query{Method: core.LDM, VS: w.queries[i].S, VT: w.queries[i].T},
+			Query{Method: core.DIJ, VS: w.queries[i].S, VT: w.queries[i].T})
+	}
+	var wg sync.WaitGroup
+	fail := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, a := range e.QueryBatch(batch) {
+				if a.Err != nil {
+					fail <- a.Err
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := batch[g%len(batch)]
+			if _, err := e.Query(q); err != nil {
+				fail <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Misses != int64(len(batch)) {
+		t.Errorf("misses = %d, want %d", s.Misses, len(batch))
+	}
+}

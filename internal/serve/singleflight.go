@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent proof constructions: the first caller
+// for a key runs fn, everyone else arriving before it completes blocks and
+// shares the result. Proofs are deterministic per provider instance, so a
+// shared result is byte-identical to what the waiter would have built.
+//
+// This is the classic singleflight pattern (golang.org/x/sync/singleflight)
+// reimplemented locally — the repo takes no dependencies outside the
+// standard library.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[cacheKey]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	val  cached
+	err  error
+}
+
+// Do runs fn once per key among concurrent callers. shared reports whether
+// this caller received another flight's result rather than running fn
+// itself. The value is returned even alongside a non-nil error, for
+// sentinel errors that carry a result.
+func (g *flightGroup) Do(k cacheKey, fn func() (cached, error)) (val cached, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[cacheKey]*flight)
+	}
+	if f, ok := g.m[k]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.val, f.err, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[k] = f
+	g.mu.Unlock()
+
+	// The map cleanup and done-close must survive a panic in fn: a wedged
+	// flight would hang every current and future waiter on this key. On
+	// panic, waiters get an error (not a zero result) and the owner
+	// re-panics so the fault stays visible.
+	defer func() {
+		if r := recover(); r != nil {
+			f.err = fmt.Errorf("serve: proof construction panicked: %v", r)
+			g.mu.Lock()
+			delete(g.m, k)
+			g.mu.Unlock()
+			close(f.done)
+			panic(r)
+		}
+		g.mu.Lock()
+		delete(g.m, k)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.err = fn()
+	return f.val, f.err, false
+}

@@ -45,6 +45,7 @@ package spv
 
 import (
 	cryptorand "crypto/rand"
+	"fmt"
 
 	"github.com/authhints/spv/internal/core"
 	"github.com/authhints/spv/internal/digest"
@@ -53,6 +54,7 @@ import (
 	"github.com/authhints/spv/internal/hints/landmark"
 	"github.com/authhints/spv/internal/netgen"
 	"github.com/authhints/spv/internal/order"
+	"github.com/authhints/spv/internal/serve"
 	"github.com/authhints/spv/internal/sig"
 	"github.com/authhints/spv/internal/sp"
 	"github.com/authhints/spv/internal/workload"
@@ -265,6 +267,90 @@ func GenerateWorkload(g *Graph, count int, queryRange float64, seed int64) ([]Qu
 // the trusted-oracle view of the network, useful for tests and baselines.
 func ShortestPath(g *Graph, vs, vt NodeID) (float64, Path) {
 	return sp.DijkstraTo(g, vs, vt)
+}
+
+// Provider serving layer: a thread-safe, batched query engine with an LRU
+// proof cache and singleflight deduplication, plus the HTTP front-end used
+// by cmd/spvserve. See internal/serve and DESIGN.md §7.
+
+// ServeQuery is one query against a serving engine.
+type ServeQuery = serve.Query
+
+// ServeAnswer is the engine's reply: distance, hop count, and the proof's
+// exact wire encoding (decodable with Decode<Method>Proof).
+type ServeAnswer = serve.Answer
+
+// ServeOptions configures the engine's worker pool and proof cache.
+type ServeOptions = serve.Options
+
+// ServeStats is a snapshot of an engine's hit/miss/dedup counters.
+type ServeStats = serve.Snapshot
+
+// QueryEngine is the concurrent, batched provider front-end.
+type QueryEngine = serve.Engine
+
+// Server exposes a QueryEngine over HTTP (/query, /batch, /verifier,
+// /stats).
+type Server = serve.Server
+
+// ErrUnknownMethod reports a query for a method an engine does not serve.
+var ErrUnknownMethod = serve.ErrUnknownMethod
+
+// NewEngine outsources each requested method from the owner and wraps the
+// resulting providers in a concurrent query engine. With no methods given
+// it serves all four (note FULL's quadratic pre-computation).
+func NewEngine(o *Owner, opts ServeOptions, methods ...Method) (*QueryEngine, error) {
+	if len(methods) == 0 {
+		methods = Methods()
+	}
+	e := serve.NewEngine(opts)
+	for _, m := range methods {
+		switch m {
+		case DIJ:
+			p, err := o.OutsourceDIJ()
+			if err != nil {
+				return nil, err
+			}
+			e.RegisterDIJ(p)
+		case FULL:
+			p, err := o.OutsourceFULL()
+			if err != nil {
+				return nil, err
+			}
+			e.RegisterFULL(p)
+		case LDM:
+			p, err := o.OutsourceLDM()
+			if err != nil {
+				return nil, err
+			}
+			e.RegisterLDM(p)
+		case HYP:
+			p, err := o.OutsourceHYP()
+			if err != nil {
+				return nil, err
+			}
+			e.RegisterHYP(p)
+		default:
+			return nil, fmt.Errorf("spv: unknown method %q", m)
+		}
+	}
+	return e, nil
+}
+
+// NewRawEngine returns an engine with no providers attached; wire up
+// already-outsourced providers with its Register* methods. Most callers
+// want NewEngine, which outsources for you.
+func NewRawEngine(opts ServeOptions) *QueryEngine { return serve.NewEngine(opts) }
+
+// NewServer builds the full provider daemon surface: outsourced providers,
+// query engine, and the HTTP handler that serves proofs and the owner's
+// public key. The server never holds the owner's private key.
+func NewServer(o *Owner, opts ServeOptions, methods ...Method) (*Server, error) {
+	e, err := NewEngine(o, opts, methods...)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewServer(e, o.Verifier())
 }
 
 // Calibration holds measured network constants for proof-size estimation
