@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench fmt fmt-check vet clean
+.PHONY: all build test short race bench bench-json fmt fmt-check vet clean
 
 all: build vet fmt-check race
 
@@ -22,9 +22,17 @@ short:
 race:
 	$(GO) test -race -short ./...
 
-# Benchmark smoke: one iteration of every benchmark, no tests.
+# Benchmark smoke: one iteration of every benchmark with -benchmem, no
+# tests — catches benchmarks that stopped compiling or started failing.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./...
+
+# Machine-readable hot-path numbers (ns/op, B/op, allocs/op) for the
+# standard world → BENCH_PR2.json. CI uploads this as an artifact so perf
+# regressions are visible in PR checks; cmd/benchjson -baseline compares
+# against a previous run.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR2.json
 
 fmt:
 	gofmt -l -w .

@@ -245,7 +245,7 @@ func BenchmarkServeColdVsCached(b *testing.B) {
 	m := microSetup(b)
 	q := spv.ServeQuery{Method: spv.LDM, VS: m.qs[0].S, VT: m.qs[0].T}
 	b.Run("cold", func(b *testing.B) {
-		e := serveEngine(b, spv.ServeOptions{CacheEntries: -1})
+		e := serveEngine(b, spv.ServeOptions{CacheBytes: -1})
 		for i := 0; i < b.N; i++ {
 			if _, err := e.Query(q); err != nil {
 				b.Fatal(err)
@@ -293,7 +293,7 @@ func BenchmarkServeBatch(b *testing.B) {
 		}
 	}
 	b.Run("cold64", func(b *testing.B) {
-		runBatch(b, serveEngine(b, spv.ServeOptions{CacheEntries: -1}))
+		runBatch(b, serveEngine(b, spv.ServeOptions{CacheBytes: -1}))
 	})
 	b.Run("warm64", func(b *testing.B) {
 		e := serveEngine(b, spv.ServeOptions{})

@@ -1,0 +1,266 @@
+// Command benchjson measures the serving-critical hot paths on the
+// standard benchmark world (DE at scale 0.05, the same world the root
+// benchmarks use) and emits machine-readable JSON: ns/op, B/op and
+// allocs/op for cold queries, cached queries, client verification, owner
+// outsourcing and graph construction.
+//
+// The output is the perf trajectory record for the repo: CI uploads it as
+// an artifact on every run (`make bench-json`), and a committed snapshot
+// (BENCH_PR2.json) pins each PR's baseline-vs-after numbers. Pass
+// -baseline with a previous output file to embed it and per-metric ratios:
+//
+//	go run ./cmd/benchjson -out BENCH_PR2.json -baseline old.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	spv "github.com/authhints/spv"
+)
+
+// Metrics is one benchmark's headline numbers.
+type Metrics struct {
+	N        int     `json:"n"`
+	NsPerOp  float64 `json:"ns_op"`
+	BPerOp   int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Schema  string             `json:"schema"`
+	Go      string             `json:"go"`
+	World   World              `json:"world"`
+	Results map[string]Metrics `json:"results"`
+	// Baseline is a previous run embedded via -baseline; Speedup holds
+	// baseline/current ratios (>1 means this run is better) per shared key.
+	Baseline map[string]Metrics  `json:"baseline,omitempty"`
+	Speedup  map[string]Speedups `json:"speedup,omitempty"`
+}
+
+// World identifies the benchmark world.
+type World struct {
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale"`
+	Nodes   int     `json:"nodes"`
+	Edges   int     `json:"edges"`
+}
+
+// Speedups are baseline/current ratios.
+type Speedups struct {
+	Ns     float64 `json:"ns"`
+	Bytes  float64 `json:"bytes"`
+	Allocs float64 `json:"allocs"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR2.json", "output file (- for stdout)")
+	baselineFile := flag.String("baseline", "", "previous benchjson output to embed for comparison")
+	flag.Parse()
+	if err := run(*out, *baselineFile); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, baselineFile string) error {
+	r := Report{
+		Schema:  "spv-bench/v1",
+		Go:      runtime.Version(),
+		Results: map[string]Metrics{},
+	}
+
+	g, err := spv.GenerateNetwork(spv.DE, spv.NetworkConfig{Scale: 0.05})
+	if err != nil {
+		return err
+	}
+	r.World = World{Dataset: "DE", Scale: 0.05, Nodes: g.NumNodes(), Edges: g.NumEdges()}
+
+	owner, err := spv.NewOwner(g, spv.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	dij, err := owner.OutsourceDIJ()
+	if err != nil {
+		return err
+	}
+	full, err := owner.OutsourceFULL()
+	if err != nil {
+		return err
+	}
+	ldm, err := owner.OutsourceLDM()
+	if err != nil {
+		return err
+	}
+	hyp, err := owner.OutsourceHYP()
+	if err != nil {
+		return err
+	}
+	qs, err := spv.GenerateWorkload(g, 16, 4000, 9)
+	if err != nil {
+		return err
+	}
+	verifier := owner.Verifier()
+
+	measure := func(name string, fn func(b *testing.B)) {
+		res := testing.Benchmark(fn)
+		r.Results[name] = Metrics{
+			N:        res.N,
+			NsPerOp:  float64(res.T.Nanoseconds()) / float64(res.N),
+			BPerOp:   res.AllocedBytesPerOp(),
+			AllocsOp: res.AllocsPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "%-22s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			name, r.Results[name].NsPerOp, r.Results[name].BPerOp, r.Results[name].AllocsOp)
+	}
+
+	// Cold query: the provider proof-construction path, no caching.
+	type querier func(vs, vt spv.NodeID) error
+	cold := map[string]querier{
+		"DIJ":  func(vs, vt spv.NodeID) error { _, err := dij.Query(vs, vt); return err },
+		"FULL": func(vs, vt spv.NodeID) error { _, err := full.Query(vs, vt); return err },
+		"LDM":  func(vs, vt spv.NodeID) error { _, err := ldm.Query(vs, vt); return err },
+		"HYP":  func(vs, vt spv.NodeID) error { _, err := hyp.Query(vs, vt); return err },
+	}
+	for _, m := range []string{"DIJ", "FULL", "LDM", "HYP"} {
+		fn := cold[m]
+		measure("cold-query/"+m, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := qs[i%len(qs)]
+				if err := fn(q.S, q.T); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// Cached query: the serving-layer steady state (LRU hit + answer copy).
+	engine := spv.NewRawEngine(spv.ServeOptions{})
+	engine.RegisterLDM(ldm)
+	cq := spv.ServeQuery{Method: spv.LDM, VS: qs[0].S, VT: qs[0].T}
+	if _, err := engine.Query(cq); err != nil {
+		return err
+	}
+	measure("cached-query/LDM", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, err := engine.Query(cq)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !a.Cached {
+				b.Fatal("expected cache hit")
+			}
+		}
+	})
+
+	// Client verification per method.
+	q := qs[0]
+	dp, err := dij.Query(q.S, q.T)
+	if err != nil {
+		return err
+	}
+	fp, err := full.Query(q.S, q.T)
+	if err != nil {
+		return err
+	}
+	lp, err := ldm.Query(q.S, q.T)
+	if err != nil {
+		return err
+	}
+	hp, err := hyp.Query(q.S, q.T)
+	if err != nil {
+		return err
+	}
+	verify := map[string]func() error{
+		"DIJ":  func() error { return spv.VerifyDIJ(verifier, q.S, q.T, dp) },
+		"FULL": func() error { return spv.VerifyFULL(verifier, q.S, q.T, fp) },
+		"LDM":  func() error { return spv.VerifyLDM(verifier, q.S, q.T, lp) },
+		"HYP":  func() error { return spv.VerifyHYP(verifier, q.S, q.T, hp) },
+	}
+	for _, m := range []string{"DIJ", "FULL", "LDM", "HYP"} {
+		fn := verify[m]
+		measure("verify/"+m, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// Owner outsourcing (FULL is quadratic — measured on the same world so
+	// the blow-up stays visible in the trajectory).
+	outsource := map[string]func() error{
+		"DIJ": func() error { _, err := owner.OutsourceDIJ(); return err },
+		"LDM": func() error { _, err := owner.OutsourceLDM(); return err },
+		"HYP": func() error { _, err := owner.OutsourceHYP(); return err },
+	}
+	for _, m := range []string{"DIJ", "LDM", "HYP"} {
+		fn := outsource[m]
+		measure("outsource/"+m, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// Graph construction (netgen synthesis end-to-end: AddEdge bulk load is
+	// the inner loop).
+	measure("graph-build/DE", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := spv.GenerateNetwork(spv.DE, spv.NetworkConfig{Scale: 0.05}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	if baselineFile != "" {
+		var base Report
+		data, err := os.ReadFile(baselineFile)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("parse baseline: %w", err)
+		}
+		r.Baseline = base.Results
+		r.Speedup = map[string]Speedups{}
+		for name, cur := range r.Results {
+			old, ok := base.Results[name]
+			if !ok || cur.NsPerOp == 0 {
+				continue
+			}
+			s := Speedups{Ns: old.NsPerOp / cur.NsPerOp}
+			if cur.BPerOp > 0 {
+				s.Bytes = float64(old.BPerOp) / float64(cur.BPerOp)
+			}
+			if cur.AllocsOp > 0 {
+				s.Allocs = float64(old.AllocsOp) / float64(cur.AllocsOp)
+			}
+			r.Speedup[name] = s
+		}
+	}
+
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}

@@ -43,7 +43,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "synthesis seed")
 		methods  = flag.String("methods", "DIJ,LDM,HYP", "comma-separated methods to serve (FULL is quadratic)")
 		workers  = flag.Int("workers", 0, "batch worker pool size (default GOMAXPROCS)")
-		cache    = flag.Int("cache", 0, "proof cache entries (0 = default, negative = disabled)")
+		cache    = flag.Int64("cache-bytes", 0, "proof cache byte budget (0 = default 64 MiB, negative = disabled)")
 		keyFile  = flag.String("key", "", "owner private key PEM (default: fresh key per run)")
 		landmark = flag.Int("landmarks", 0, "LDM landmark count (0 = config default)")
 		cells    = flag.Int("cells", 0, "HYP grid cell count (0 = config default)")
@@ -57,7 +57,7 @@ func main() {
 }
 
 func run(addr, dataset string, scale float64, nodes, edges int, seed int64,
-	methodList string, workers, cache int, keyFile string, landmarks, cells int) error {
+	methodList string, workers int, cache int64, keyFile string, landmarks, cells int) error {
 	g, err := buildNetwork(dataset, scale, nodes, edges, seed)
 	if err != nil {
 		return err
@@ -97,7 +97,7 @@ func run(addr, dataset string, scale float64, nodes, edges int, seed int64,
 	}
 	log.Printf("network ready: %d nodes, %d edges; outsourcing %v", g.NumNodes(), g.NumEdges(), ms)
 
-	srv, err := spv.NewServer(owner, spv.ServeOptions{Workers: workers, CacheEntries: cache}, ms...)
+	srv, err := spv.NewServer(owner, spv.ServeOptions{Workers: workers, CacheBytes: cache}, ms...)
 	if err != nil {
 		return err
 	}

@@ -22,6 +22,8 @@ type networkADS struct {
 
 // buildNetworkADS encodes every node's extended-tuple (with the method's
 // extra bytes) in ordering sequence and folds them into the Merkle tree.
+// Leaf digesting and tree level hashing fan out across GOMAXPROCS inside
+// mht, so owner outsourcing of large networks scales with cores.
 func buildNetworkADS(g *graph.Graph, cfg Config, extraFn func(graph.NodeID) []byte) (*networkADS, error) {
 	ord, err := order.Compute(g, cfg.Ordering, cfg.OrderSeed)
 	if err != nil {
@@ -35,10 +37,9 @@ func buildNetworkADS(g *graph.Graph, cfg Config, extraFn func(graph.NodeID) []by
 		if extraFn != nil {
 			t.Extra = extraFn(v)
 		}
-		msg := t.AppendBinary(nil)
-		msgs[pos] = msg
-		leaves[pos] = cfg.Hash.Sum(msg)
+		msgs[pos] = t.AppendBinary(nil)
 	}
+	mht.HashMessages(cfg.Hash, msgs, leaves)
 	tree, err := mht.Build(cfg.Hash, cfg.Fanout, leaves)
 	if err != nil {
 		return nil, err
@@ -80,19 +81,24 @@ func (a *networkADS) Canonical(nodes []graph.NodeID) []graph.NodeID {
 	return out
 }
 
-// Prove builds the integrity proof for a node set.
+// Prove builds the integrity proof for a node set (duplicates tolerated —
+// mht coverage marking dedups). Hot paths use ProveWith instead.
 func (a *networkADS) Prove(nodes []graph.NodeID) (*mht.Proof, error) {
+	s := &queryScratch{}
+	return a.ProveWith(s, nodes)
+}
+
+// ProveWith is Prove against caller scratch: the leaf-index translation and
+// the Merkle coverage marking both reuse s, so a steady-state query
+// allocates only the returned proof.
+func (a *networkADS) ProveWith(s *queryScratch, nodes []graph.NodeID) (*mht.Proof, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("core: no nodes to prove")
 	}
-	indices := make([]int, 0, len(nodes))
-	seen := make(map[int]bool, len(nodes))
+	idx := s.indices[:0]
 	for _, v := range nodes {
-		p := a.ord.Pos[v]
-		if !seen[p] {
-			seen[p] = true
-			indices = append(indices, p)
-		}
+		idx = append(idx, a.ord.Pos[v])
 	}
-	return a.tree.Prove(indices)
+	s.indices = idx
+	return a.tree.ProveWith(&s.prove, idx)
 }

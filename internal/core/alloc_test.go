@@ -1,0 +1,43 @@
+package core
+
+import "testing"
+
+// Steady-state allocation budgets for the cold query path. The measured
+// numbers (PR 2) are ~15 allocs/op for DIJ and ~17 for LDM on the bench
+// world; the budgets leave headroom for pool churn (sync.Pool drops entries
+// across GCs) while still catching any regression back toward the ~110
+// allocs/op the pre-workspace implementation paid.
+const (
+	dijAllocBudget = 60
+	ldmAllocBudget = 60
+)
+
+// TestQueryAllocBudget pins the provider hot path to a small constant
+// allocation budget: after warm-up, a DIJ/LDM query must not allocate
+// per-|V| scratch (workspaces, heaps, include sets are pooled; only the
+// proof itself is built fresh).
+func TestQueryAllocBudget(t *testing.T) {
+	w := world(t)
+	q := w.queries[0]
+
+	warm := func(query func() error) {
+		t.Helper()
+		for i := 0; i < 3; i++ {
+			if err := query(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	dij := func() error { _, err := w.dij.Query(q.S, q.T); return err }
+	warm(dij)
+	if got := testing.AllocsPerRun(20, func() { dij() }); got > dijAllocBudget {
+		t.Errorf("DIJ query allocates %.0f/op, budget %d", got, dijAllocBudget)
+	}
+
+	ldm := func() error { _, err := w.ldm.Query(q.S, q.T); return err }
+	warm(ldm)
+	if got := testing.AllocsPerRun(20, func() { ldm() }); got > ldmAllocBudget {
+		t.Errorf("LDM query allocates %.0f/op, budget %d", got, ldmAllocBudget)
+	}
+}

@@ -24,9 +24,11 @@ const providerSlack = 1 + 4*distTolerance
 
 // DIJProvider is the service provider's state for the DIJ method.
 // Immutable after OutsourceDIJ; Query is safe for concurrent use (see the
-// package Concurrency note).
+// package Concurrency note). Searches iterate the frozen CSR view, and all
+// per-query scratch comes from the shared pool in scratch.go.
 type DIJProvider struct {
 	g       *graph.Graph
+	view    *graph.CSR
 	ads     *networkADS
 	rootSig []byte
 }
@@ -43,7 +45,7 @@ func (o *Owner) OutsourceDIJ() (*DIJProvider, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DIJProvider{g: o.g, ads: ads, rootSig: rootSig}, nil
+	return &DIJProvider{g: o.g, view: o.frozenView(), ads: ads, rootSig: rootSig}, nil
 }
 
 // DIJProof is the answer to a DIJ query: the result path, the subgraph
@@ -63,12 +65,14 @@ func (p *DIJProvider) Query(vs, vt graph.NodeID) (*DIJProof, error) {
 	if err := checkEndpoints(p.g, vs, vt); err != nil {
 		return nil, err
 	}
-	dist, path := sp.DijkstraTo(p.g, vs, vt)
+	s := acquireScratch(p.view.NumNodes())
+	defer releaseScratch(s)
+	dist, path := s.ws.DijkstraTo(p.view, vs, vt)
 	if path == nil {
 		return nil, fmt.Errorf("%w: from %d to %d", ErrNoPath, vs, vt)
 	}
-	_, settled := sp.DijkstraBounded(p.g, vs, dist*providerSlack)
-	mhtProof, err := p.ads.Prove(settled)
+	settled := s.ws.DijkstraBounded(p.view, vs, dist*providerSlack)
+	mhtProof, err := p.ads.ProveWith(s, settled)
 	if err != nil {
 		return nil, err
 	}

@@ -27,10 +27,11 @@ var (
 
 // FULLProvider is the service provider's state for the FULL method.
 // Immutable after OutsourceFULL; Query is safe for concurrent use (see the
-// package Concurrency note). Forest row re-derivation builds fresh scratch
-// per call.
+// package Concurrency note). Forest row re-derivation runs on pooled
+// workspaces over the frozen CSR view.
 type FULLProvider struct {
 	g       *graph.Graph
+	view    *graph.CSR
 	ads     *networkADS
 	forest  *mbt.Forest
 	netSig  []byte
@@ -59,9 +60,11 @@ func (o *Owner) OutsourceFULL() (*FULLProvider, error) {
 	if addErr != nil {
 		return nil, addErr
 	}
-	g := o.g
+	view := o.frozenView()
 	forest, err := builder.Finish(func(i int) []float64 {
-		return sp.Dijkstra(g, graph.NodeID(i)).Dist
+		w := sp.AcquireWorkspace(view.NumNodes())
+		defer sp.ReleaseWorkspace(w)
+		return w.DijkstraRow(view, graph.NodeID(i), nil)
 	})
 	if err != nil {
 		return nil, err
@@ -74,7 +77,7 @@ func (o *Owner) OutsourceFULL() (*FULLProvider, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FULLProvider{g: o.g, ads: ads, forest: forest, netSig: netSig, distSig: distSig}, nil
+	return &FULLProvider{g: o.g, view: view, ads: ads, forest: forest, netSig: netSig, distSig: distSig}, nil
 }
 
 // FULLProof is the answer to a FULL query: the path, the distance proof ΓS
@@ -96,7 +99,9 @@ func (p *FULLProvider) Query(vs, vt graph.NodeID) (*FULLProof, error) {
 	if err := checkEndpoints(p.g, vs, vt); err != nil {
 		return nil, err
 	}
-	dist, path := sp.DijkstraTo(p.g, vs, vt)
+	s := acquireScratch(p.view.NumNodes())
+	defer releaseScratch(s)
+	dist, path := s.ws.DijkstraTo(p.view, vs, vt)
 	if path == nil {
 		return nil, fmt.Errorf("%w: from %d to %d", ErrNoPath, vs, vt)
 	}
@@ -104,7 +109,7 @@ func (p *FULLProvider) Query(vs, vt graph.NodeID) (*FULLProof, error) {
 	if err != nil {
 		return nil, err
 	}
-	mhtProof, err := p.ads.Prove(path)
+	mhtProof, err := p.ads.ProveWith(s, path)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/authhints/spv/internal/digest"
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/mht"
+)
+
+// seedDIJWire builds structurally valid DIJ proof encodings for the fuzz
+// corpus. The decoder checks wire structure, not cryptography, so the
+// tuples/digests/signature can be synthetic — which keeps fuzz-worker
+// startup free of RSA key generation.
+func seedDIJWire() [][]byte {
+	tuple := func(id graph.NodeID, adj ...graph.Edge) []byte {
+		return graph.Tuple{ID: id, X: float64(id), Y: 2, Adj: adj}.AppendBinary(nil)
+	}
+	digest20 := bytes.Repeat([]byte{7}, 20)
+	prs := []*DIJProof{
+		{
+			Path:   graph.Path{0, 1, 2},
+			Dist:   3.5,
+			Tuples: []tupleRecord{{Pos: 0, Bytes: tuple(0, graph.Edge{To: 1, W: 2})}, {Pos: 3, Bytes: tuple(1)}},
+			MHT: &mht.Proof{Alg: digest.SHA1, Fanout: 4, NumLeaves: 9,
+				Entries: []mht.Entry{{Level: 0, Index: 1, Digest: digest20}, {Level: 1, Index: 2, Digest: digest20}}},
+			RootSig: []byte("signature-bytes"),
+		},
+		{
+			Path:    graph.Path{5, 6},
+			Dist:    1,
+			Tuples:  []tupleRecord{{Pos: 1, Bytes: tuple(5)}},
+			MHT:     &mht.Proof{Alg: digest.SHA256, Fanout: 2, NumLeaves: 2},
+			RootSig: nil,
+		},
+	}
+	var wires [][]byte
+	for _, pr := range prs {
+		wires = append(wires, pr.AppendBinary(nil))
+	}
+	return wires
+}
+
+// FuzzDecodeDIJProof drives the proof wire decoder with mutated inputs: it
+// must never panic, and any input it accepts must re-encode byte-identically
+// (the encoding is canonical — a decode/encode cycle is the identity on the
+// consumed prefix).
+func FuzzDecodeDIJProof(f *testing.F) {
+	for _, w := range seedDIJWire() {
+		f.Add(w)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr, n, err := DecodeDIJProof(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("decoder claims %d bytes consumed of %d", n, len(data))
+		}
+		re := pr.AppendBinary(nil)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("decode/encode not identity: %d in, %d out", n, len(re))
+		}
+	})
+}
+
+// FuzzDecodeLDMProof covers the parameter-carrying wire layout the same way.
+func FuzzDecodeLDMProof(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{1}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr, n, err := DecodeLDMProof(data)
+		if err != nil {
+			return
+		}
+		re := pr.AppendBinary(nil)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("decode/encode not identity: %d in, %d out", n, len(re))
+		}
+	})
+}

@@ -30,9 +30,10 @@ var (
 
 // HYPProvider is the service provider's state for the HYP method.
 // Immutable after OutsourceHYP; Query is safe for concurrent use (see the
-// package Concurrency note).
+// package Concurrency note). Searches iterate the frozen CSR view.
 type HYPProvider struct {
 	g       *graph.Graph
+	view    *graph.CSR
 	hyper   *hiti.Hyper
 	ads     *networkADS
 	distMBT *mbt.Tree
@@ -52,7 +53,7 @@ func (o *Owner) OutsourceHYP() (*HYPProvider, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &HYPProvider{g: o.g, hyper: hyper, ads: ads}
+	p := &HYPProvider{g: o.g, view: o.frozenView(), hyper: hyper, ads: ads}
 	entries := hyper.Entries()
 	if len(entries) > 0 {
 		p.distMBT, err = mbt.Build(o.cfg.Hash, o.cfg.Fanout, entries)
@@ -92,30 +93,28 @@ func (p *HYPProvider) Query(vs, vt graph.NodeID) (*HYPProof, error) {
 	if err := checkEndpoints(p.g, vs, vt); err != nil {
 		return nil, err
 	}
-	dist, path := sp.DijkstraTo(p.g, vs, vt)
+	s := acquireScratch(p.view.NumNodes())
+	defer releaseScratch(s)
+	dist, path := s.ws.DijkstraTo(p.view, vs, vt)
 	if path == nil {
 		return nil, fmt.Errorf("%w: from %d to %d", ErrNoPath, vs, vt)
 	}
 	cs, ct := p.hyper.CellOf[vs], p.hyper.CellOf[vt]
 
-	include := make(map[graph.NodeID]bool)
+	s.resetMark(p.view.NumNodes())
 	for _, v := range p.hyper.NodesOf(cs) {
-		include[v] = true
+		s.add(v)
 	}
 	for _, v := range p.hyper.NodesOf(ct) {
-		include[v] = true
+		s.add(v)
 	}
 	for _, v := range path { // fine proof: intermediate-cell path nodes
-		include[v] = true
+		s.add(v)
 	}
-	nodes := make([]graph.NodeID, 0, len(include))
-	for v := range include {
-		nodes = append(nodes, v)
-	}
-	// Canonicalize the map-ordered set so identical queries produce
+	// Canonicalize the insertion-ordered set so identical queries produce
 	// byte-identical proofs (cacheable by the serve layer).
-	nodes = p.ads.Canonical(nodes)
-	mhtProof, err := p.ads.Prove(nodes)
+	nodes := p.ads.Canonical(s.nodes)
+	mhtProof, err := p.ads.ProveWith(s, nodes)
 	if err != nil {
 		return nil, err
 	}
@@ -140,19 +139,25 @@ func (p *HYPProvider) Query(vs, vt graph.NodeID) (*HYPProof, error) {
 
 // borderPairKeys enumerates the canonical hyper-edge keys between the
 // borders of the source and target cells (all pairs within one cell when
-// the cells coincide).
+// the cells coincide). Distinct cells have disjoint border sets, so keys
+// are unique by construction; for a shared cell the i ≤ j triangle covers
+// each unordered pair (and self-pair) exactly once — no dedup map needed.
 func borderPairKeys(h *hiti.Hyper, cs, ct geom.CellID) []mbt.Key {
 	bs := h.BordersOf(cs)
+	if cs == ct {
+		keys := make([]mbt.Key, 0, len(bs)*(len(bs)+1)/2)
+		for i, a := range bs {
+			for _, b := range bs[i:] {
+				keys = append(keys, hiti.HyperKey(a, b, cs, cs))
+			}
+		}
+		return keys
+	}
 	bt := h.BordersOf(ct)
-	seen := make(map[mbt.Key]bool, len(bs)*len(bt))
 	keys := make([]mbt.Key, 0, len(bs)*len(bt))
 	for _, a := range bs {
 		for _, b := range bt {
-			k := hiti.HyperKey(a, b, cs, ct)
-			if !seen[k] {
-				seen[k] = true
-				keys = append(keys, k)
-			}
+			keys = append(keys, hiti.HyperKey(a, b, cs, ct))
 		}
 	}
 	return keys

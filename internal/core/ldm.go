@@ -8,7 +8,6 @@ import (
 	"github.com/authhints/spv/internal/graph"
 	"github.com/authhints/spv/internal/hints/landmark"
 	"github.com/authhints/spv/internal/mht"
-	"github.com/authhints/spv/internal/sp"
 )
 
 // This file implements LDM, landmark-based verification (paper §V-A): the
@@ -31,9 +30,10 @@ func ldmSigCtx(p landmark.Params) []byte {
 
 // LDMProvider is the service provider's state for the LDM method.
 // Immutable after OutsourceLDM; Query is safe for concurrent use (see the
-// package Concurrency note).
+// package Concurrency note). Searches iterate the frozen CSR view.
 type LDMProvider struct {
 	g       *graph.Graph
+	view    *graph.CSR
 	hints   *landmark.Hints
 	ads     *networkADS
 	rootSig []byte
@@ -65,7 +65,7 @@ func (o *Owner) OutsourceLDM() (*LDMProvider, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &LDMProvider{g: o.g, hints: h, ads: ads, rootSig: rootSig}, nil
+	return &LDMProvider{g: o.g, view: o.frozenView(), hints: h, ads: ads, rootSig: rootSig}, nil
 }
 
 // LDMProof is the answer to an LDM query: the path, the hint parameters,
@@ -87,38 +87,36 @@ func (p *LDMProvider) Query(vs, vt graph.NodeID) (*LDMProof, error) {
 	if err := checkEndpoints(p.g, vs, vt); err != nil {
 		return nil, err
 	}
-	dist, path := sp.DijkstraTo(p.g, vs, vt)
+	s := acquireScratch(p.view.NumNodes())
+	defer releaseScratch(s)
+	dist, path := s.ws.DijkstraTo(p.view, vs, vt)
 	if path == nil {
 		return nil, fmt.Errorf("%w: from %d to %d", ErrNoPath, vs, vt)
 	}
 	bound := dist * providerSlack
-	tree, settled := sp.DijkstraBounded(p.g, vs, bound)
+	settled := s.ws.DijkstraBounded(p.view, vs, bound)
 
-	include := make(map[graph.NodeID]bool)
+	s.resetMark(p.view.NumNodes())
 	for _, v := range settled {
-		if tree.Dist[v]+p.hints.LB(v, vt) <= bound {
-			include[v] = true
-			for _, e := range p.g.Neighbors(v) {
-				include[e.To] = true
+		if s.ws.DistOf(v)+p.hints.LB(v, vt) <= bound {
+			s.add(v)
+			for _, e := range p.view.Neighbors(v) {
+				s.add(e.To)
 			}
 		}
 	}
 	// Close over reference nodes: compressed payloads are only evaluable
-	// when the representative's vector is also present.
-	nodes := make([]graph.NodeID, 0, len(include)+8)
-	for v := range include {
-		nodes = append(nodes, v)
-	}
-	for _, v := range nodes {
-		if ref := p.hints.Ref[v]; ref != v && !include[ref] {
-			include[ref] = true
-			nodes = append(nodes, ref)
+	// when the representative's vector is also present. The index loop sees
+	// nodes appended during the walk, like the map-based closure did.
+	for i := 0; i < len(s.nodes); i++ {
+		if ref := p.hints.Ref[s.nodes[i]]; ref != s.nodes[i] {
+			s.add(ref)
 		}
 	}
-	// The include set came out of map iteration: canonicalize so identical
+	// The include set is in insertion order: canonicalize so identical
 	// queries produce byte-identical proofs (cacheable by the serve layer).
-	nodes = p.ads.Canonical(nodes)
-	mhtProof, err := p.ads.Prove(nodes)
+	nodes := p.ads.Canonical(s.nodes)
+	mhtProof, err := p.ads.ProveWith(s, nodes)
 	if err != nil {
 		return nil, err
 	}

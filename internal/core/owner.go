@@ -3,6 +3,7 @@ package core
 import (
 	"crypto/rand"
 	"fmt"
+	"sync"
 
 	"github.com/authhints/spv/internal/graph"
 	"github.com/authhints/spv/internal/sig"
@@ -15,6 +16,19 @@ type Owner struct {
 	g      *graph.Graph
 	cfg    Config
 	signer *sig.Signer
+
+	// frozen is the lazily built CSR snapshot shared by every provider
+	// this owner outsources: the CSR is immutable and safe for unbounded
+	// concurrent use, so one copy serves all four methods instead of four
+	// identical deep snapshots.
+	freezeOnce sync.Once
+	frozen     *graph.CSR
+}
+
+// frozenView returns the shared CSR snapshot, building it on first use.
+func (o *Owner) frozenView() *graph.CSR {
+	o.freezeOnce.Do(func() { o.frozen = o.g.Freeze() })
+	return o.frozen
 }
 
 // NewOwner validates the configuration, checks the graph, and generates the

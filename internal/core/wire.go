@@ -51,7 +51,14 @@ func decodeTupleBlock(buf []byte) ([]tupleRecord, int, error) {
 	if count < 0 || count > maxTuples {
 		return nil, 0, fmt.Errorf("%w: absurd tuple count %d", ErrMalformedProof, count)
 	}
-	recs := make([]tupleRecord, 0, count)
+	// Cap the up-front allocation by what the buffer can actually hold
+	// (every record needs ≥ 8 header bytes): a lying count must not make
+	// the decoder allocate gigabytes before the truncation check trips.
+	capHint := count
+	if m := len(buf[off:]) / 8; capHint > m {
+		capHint = m
+	}
+	recs := make([]tupleRecord, 0, capHint)
 	for i := 0; i < count; i++ {
 		if len(buf[off:]) < 8 {
 			return nil, 0, fmt.Errorf("%w: tuple record %d truncated", ErrMalformedProof, i)

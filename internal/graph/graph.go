@@ -34,7 +34,15 @@ type Edge struct {
 // Graph is a weighted spatial graph with undirected edges. The zero value is
 // an empty graph ready for AddNode/AddEdge.
 //
+// Adjacency lists are maintained in ascending neighbor-ID order at all
+// times: AddEdge inserts in place, so duplicate detection and HasEdge /
+// EdgeWeight lookups are binary searches (O(log deg)) instead of linear
+// scans — the difference between O(Σdeg²) and O(Σdeg·log deg) bulk loads —
+// and tuple encodings never need a separate canonicalization sort.
+//
 // Graph is not safe for concurrent mutation; concurrent reads are safe.
+// For the read-only query hot path, Freeze yields a cache-friendly CSR
+// snapshot (see csr.go).
 type Graph struct {
 	xs, ys []float64
 	adj    [][]Edge
@@ -69,7 +77,9 @@ var ErrBadEdge = errors.New("graph: bad edge")
 
 // AddEdge inserts the undirected edge (u, v) with weight w. Self-loops,
 // negative weights, duplicate edges, NaN/Inf weights and out-of-range
-// endpoints are rejected.
+// endpoints are rejected. The duplicate check is a binary search and the
+// common append case (ascending neighbor IDs, as loaders and generators
+// produce) costs no element moves.
 func (g *Graph) AddEdge(u, v NodeID, w float64) error {
 	switch {
 	case u == v:
@@ -78,13 +88,62 @@ func (g *Graph) AddEdge(u, v NodeID, w float64) error {
 		return fmt.Errorf("%w: endpoint out of range (%d, %d)", ErrBadEdge, u, v)
 	case w < 0 || math.IsNaN(w) || math.IsInf(w, 0):
 		return fmt.Errorf("%w: weight %v", ErrBadEdge, w)
-	case g.HasEdge(u, v):
-		return fmt.Errorf("%w: duplicate edge (%d, %d)", ErrBadEdge, u, v)
 	}
-	g.adj[u] = append(g.adj[u], Edge{To: v, W: w})
-	g.adj[v] = append(g.adj[v], Edge{To: u, W: w})
+	au, av := g.adj[u], g.adj[v]
+	// Pure-append fast path: loaders and canonical streams grow every list
+	// in ascending order, so the common insert touches only the last slot.
+	iu := len(au)
+	if iu > 0 && au[iu-1].To >= v {
+		var dup bool
+		if iu, dup = searchAdj(au, v); dup {
+			return fmt.Errorf("%w: duplicate edge (%d, %d)", ErrBadEdge, u, v)
+		}
+	}
+	iv := len(av)
+	if iv > 0 && av[iv-1].To >= u {
+		iv, _ = searchAdj(av, u)
+	}
+	g.adj[u] = insertEdge(au, iu, Edge{To: v, W: w})
+	g.adj[v] = insertEdge(av, iv, Edge{To: u, W: w})
 	g.edges++
 	return nil
+}
+
+// searchAdj searches a sorted adjacency list for `to`, returning the
+// insertion index and whether the edge already exists. Road-network degrees
+// are tiny, so short lists use a branch-predictable linear scan; longer
+// lists a closure-free binary search.
+func searchAdj(adj []Edge, to NodeID) (int, bool) {
+	if len(adj) <= 8 {
+		for i, e := range adj {
+			if e.To >= to {
+				return i, e.To == to
+			}
+		}
+		return len(adj), false
+	}
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if adj[mid].To < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(adj) && adj[lo].To == to
+}
+
+// insertEdge places e at index i, shifting the tail right (plain append
+// when i is the end).
+func insertEdge(adj []Edge, i int, e Edge) []Edge {
+	if i == len(adj) {
+		return append(adj, e)
+	}
+	adj = append(adj, Edge{})
+	copy(adj[i+1:], adj[i:])
+	adj[i] = e
+	return adj
 }
 
 // MustAddEdge is AddEdge that panics on error; for tests and generators
@@ -125,8 +184,8 @@ func (g *Graph) X(v NodeID) float64 { return g.xs[v] }
 // Y returns the y coordinate of v.
 func (g *Graph) Y(v NodeID) float64 { return g.ys[v] }
 
-// Neighbors returns the adjacency list of v. The returned slice is owned by
-// the graph and must not be modified.
+// Neighbors returns the adjacency list of v in ascending neighbor-ID
+// order. The returned slice is owned by the graph and must not be modified.
 func (g *Graph) Neighbors(v NodeID) []Edge { return g.adj[v] }
 
 // Degree returns the number of edges incident to v.
@@ -137,12 +196,8 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	if !g.valid(u) || !g.valid(v) {
 		return false
 	}
-	for _, e := range g.adj[u] {
-		if e.To == v {
-			return true
-		}
-	}
-	return false
+	_, ok := searchAdj(g.adj[u], v)
+	return ok
 }
 
 // EdgeWeight returns the weight of edge (u, v) and whether it exists.
@@ -150,12 +205,11 @@ func (g *Graph) EdgeWeight(u, v NodeID) (float64, bool) {
 	if !g.valid(u) || !g.valid(v) {
 		return 0, false
 	}
-	for _, e := range g.adj[u] {
-		if e.To == v {
-			return e.W, true
-		}
+	i, ok := searchAdj(g.adj[u], v)
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return g.adj[u][i].W, true
 }
 
 // Euclid returns the Euclidean distance between the coordinates of u and v.
@@ -167,9 +221,10 @@ func (g *Graph) Euclid(u, v NodeID) float64 {
 	return math.Hypot(dx, dy)
 }
 
-// SortAdjacency sorts every adjacency list by neighbor ID. Canonical
-// adjacency order is required before computing tuple digests so that owner,
-// provider and client all hash identical bytes.
+// SortAdjacency sorts every adjacency list by neighbor ID. AddEdge keeps
+// lists sorted at all times, so on graphs built through the public API this
+// is a no-op kept for compatibility; it still re-canonicalizes graphs whose
+// internals were manipulated directly (tests).
 func (g *Graph) SortAdjacency() {
 	for _, a := range g.adj {
 		sort.Slice(a, func(i, j int) bool { return a[i].To < a[j].To })

@@ -99,8 +99,9 @@ func Build(g *graph.Graph, opts Options) (*Hints, Stats, error) {
 		c = n
 	}
 
-	// Select landmarks and collect exact distance vectors (c × n).
-	landmarks, dists := selectLandmarks(g, c, opts.Strategy, opts.Seed)
+	// Select landmarks and collect exact distance vectors (c × n): c full
+	// Dijkstra runs over the frozen CSR view on one reused workspace.
+	landmarks, dists := selectLandmarks(g.Freeze(), c, opts.Strategy, opts.Seed)
 
 	// Dmax over all finite landmark distances.
 	dmax := 0.0
@@ -149,11 +150,13 @@ func Build(g *graph.Graph, opts Options) (*Hints, Stats, error) {
 }
 
 // selectLandmarks returns c landmarks and their exact distance vectors.
-func selectLandmarks(g *graph.Graph, c int, strat Strategy, seed int64) ([]graph.NodeID, [][]float64) {
+func selectLandmarks(g graph.View, c int, strat Strategy, seed int64) ([]graph.NodeID, [][]float64) {
 	n := g.NumNodes()
 	rng := rand.New(rand.NewSource(seed))
 	landmarks := make([]graph.NodeID, 0, c)
 	dists := make([][]float64, 0, c)
+	w := sp.AcquireWorkspace(n)
+	defer sp.ReleaseWorkspace(w)
 
 	switch strat {
 	case RandomSel:
@@ -161,7 +164,7 @@ func selectLandmarks(g *graph.Graph, c int, strat Strategy, seed int64) ([]graph
 			landmarks = append(landmarks, graph.NodeID(p))
 		}
 		for _, l := range landmarks {
-			dists = append(dists, sp.Dijkstra(g, l).Dist)
+			dists = append(dists, w.DijkstraRow(g, l, nil))
 		}
 	default: // Farthest
 		cur := graph.NodeID(rng.Intn(n))
@@ -171,7 +174,7 @@ func selectLandmarks(g *graph.Graph, c int, strat Strategy, seed int64) ([]graph
 		}
 		for len(landmarks) < c {
 			landmarks = append(landmarks, cur)
-			row := sp.Dijkstra(g, cur).Dist
+			row := w.DijkstraRow(g, cur, nil)
 			dists = append(dists, row)
 			var next graph.NodeID
 			far := -1.0

@@ -16,7 +16,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"github.com/authhints/spv/internal/geom"
@@ -35,6 +34,9 @@ type Hyper struct {
 	borderIdx map[graph.NodeID]int // node → row in W
 	w         [][]float64          // W*[i][j]: dist between Borders[i], Borders[j]
 	cellNodes map[geom.CellID][]graph.NodeID
+	// cellBorders caches each cell's border nodes (ascending) so the query
+	// hot path never re-scans cell membership.
+	cellBorders map[geom.CellID][]graph.NodeID
 }
 
 // Build partitions g into approximately p grid cells and materializes all
@@ -79,11 +81,17 @@ func Build(g *graph.Graph, p int) (*Hyper, error) {
 			h.Borders = append(h.Borders, graph.NodeID(v))
 		}
 	}
+	h.cellBorders = make(map[geom.CellID][]graph.NodeID)
 	for i, b := range h.Borders {
 		h.borderIdx[b] = i
+		c := h.CellOf[b]
+		h.cellBorders[c] = append(h.cellBorders[c], b)
 	}
 
 	// Materialize W*: one Dijkstra per border node, all borders as targets.
+	// Workers search the frozen CSR view with a reusable workspace each, so
+	// the only per-row allocation is the retained row itself.
+	view := g.Freeze()
 	b := len(h.Borders)
 	h.w = make([][]float64, b)
 	workers := runtime.GOMAXPROCS(0)
@@ -103,8 +111,10 @@ func Build(g *graph.Graph, p int) (*Hyper, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ws := sp.AcquireWorkspace(n)
+			defer sp.ReleaseWorkspace(ws)
 			for i := range next {
-				h.w[i] = sp.DijkstraToTargets(g, h.Borders[i], h.Borders)
+				h.w[i] = ws.DijkstraToTargets(view, h.Borders[i], h.Borders, nil)
 			}
 		}()
 	}
@@ -115,22 +125,17 @@ func Build(g *graph.Graph, p int) (*Hyper, error) {
 // NumBorders returns the number of border nodes.
 func (h *Hyper) NumBorders() int { return len(h.Borders) }
 
-// BordersOf returns the border nodes of a cell, ascending.
+// BordersOf returns the border nodes of a cell, ascending. The slice is
+// owned by the Hyper and must not be modified.
 func (h *Hyper) BordersOf(c geom.CellID) []graph.NodeID {
-	var out []graph.NodeID
-	for _, v := range h.cellNodes[c] {
-		if h.IsBorder[v] {
-			out = append(out, v)
-		}
-	}
-	return out
+	return h.cellBorders[c]
 }
 
-// NodesOf returns all nodes of a cell, ascending.
+// NodesOf returns all nodes of a cell, ascending (cell lists are built by
+// one ascending node sweep, so they are sorted by construction). The slice
+// is owned by the Hyper and must not be modified.
 func (h *Hyper) NodesOf(c geom.CellID) []graph.NodeID {
-	nodes := append([]graph.NodeID(nil), h.cellNodes[c]...)
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	return nodes
+	return h.cellNodes[c]
 }
 
 // HyperEdge returns W*(u, v) for two border nodes, or false if either is not

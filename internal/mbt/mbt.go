@@ -236,7 +236,13 @@ func DecodeProof(buf []byte) (*Proof, int, error) {
 	}
 	count := int(binary.BigEndian.Uint32(buf))
 	off := 4
-	p := &Proof{Entries: make([]ProvenEntry, 0, count)}
+	// Cap the up-front allocation by what the buffer can hold: a lying
+	// count must not translate into a giant speculative allocation.
+	capHint := count
+	if m := len(buf[off:]) / (entrySize + 4); capHint > m {
+		capHint = m
+	}
+	p := &Proof{Entries: make([]ProvenEntry, 0, capHint)}
 	for i := 0; i < count; i++ {
 		if len(buf[off:]) < entrySize+4 {
 			return nil, 0, fmt.Errorf("mbt: proof entry %d truncated", i)

@@ -17,7 +17,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
 
 	"github.com/authhints/spv/internal/digest"
 )
@@ -96,26 +98,92 @@ func Build(alg digest.Alg, fanout int, leaves [][]byte) (*Tree, error) {
 		cur := t.levels[len(t.levels)-1]
 		grp := groupLevel(len(cur), fanout)
 		next := make([][]byte, grp.groups)
-		for p := 0; p < grp.groups; p++ {
-			first, last := grp.childRange(p)
-			h := alg.New()
-			for _, child := range cur[first:last] {
-				h.Write(child)
-			}
-			next[p] = h.Sum(nil)
-		}
+		hashLevel(alg, cur, grp, next)
 		t.levels = append(t.levels, next)
 	}
 	return t, nil
 }
 
-// BuildFromMessages hashes each message and builds the tree over the digests.
+// parallelThreshold is the work-item count below which hashing runs
+// sequentially: goroutine fan-out only pays for itself on wide levels (in
+// practice the leaf level and the one above it on large networks).
+const parallelThreshold = 2048
+
+// parallelChunks splits [0, n) into contiguous per-worker ranges and runs
+// fn on each concurrently; below the threshold it runs inline. fn ranges
+// are disjoint, so callers writing range-local outputs need no locking and
+// results are byte-identical to the sequential order.
+func parallelChunks(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < parallelThreshold || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// hashLevel computes one level of parent digests, fanning wide levels out
+// across GOMAXPROCS workers (each parent digest depends only on its own
+// child range).
+func hashLevel(alg digest.Alg, cur [][]byte, grp grouping, next [][]byte) {
+	parallelChunks(grp.groups, func(lo, hi int) {
+		hashGroups(alg, cur, grp, next, lo, hi)
+	})
+}
+
+// hashGroups hashes parents [lo, hi), reusing one hasher across the range.
+func hashGroups(alg digest.Alg, cur [][]byte, grp grouping, next [][]byte, lo, hi int) {
+	h := alg.New()
+	for p := lo; p < hi; p++ {
+		first, last := grp.childRange(p)
+		h.Reset()
+		for _, child := range cur[first:last] {
+			h.Write(child)
+		}
+		next[p] = h.Sum(nil)
+	}
+}
+
+// BuildFromMessages hashes each message and builds the tree over the
+// digests. Message hashing is fanned out like level hashing: it dominates
+// owner outsourcing of large networks.
 func BuildFromMessages(alg digest.Alg, fanout int, msgs [][]byte) (*Tree, error) {
 	leaves := make([][]byte, len(msgs))
-	for i, m := range msgs {
-		leaves[i] = alg.Sum(m)
-	}
+	HashMessages(alg, msgs, leaves)
 	return Build(alg, fanout, leaves)
+}
+
+// HashMessages fills digests[i] with the hash of msgs[i], in parallel for
+// large inputs. len(digests) must equal len(msgs).
+func HashMessages(alg digest.Alg, msgs [][]byte, digests [][]byte) {
+	parallelChunks(len(msgs), func(lo, hi int) {
+		hashMessageRange(alg, msgs, digests, lo, hi)
+	})
+}
+
+func hashMessageRange(alg digest.Alg, msgs, digests [][]byte, lo, hi int) {
+	h := alg.New()
+	for i := lo; i < hi; i++ {
+		h.Reset()
+		h.Write(msgs[i])
+		digests[i] = h.Sum(nil)
+	}
 }
 
 // Root returns the root digest.
@@ -155,27 +223,65 @@ type Proof struct {
 	Entries   []Entry
 }
 
-// Prove builds the proof for the given (deduplicated, in-range) leaf
-// indices, applying the paper's two conditions to select entries.
+// ProveScratch is reusable coverage state for ProveWith. A zero value is
+// ready to use; a scratch reused across proofs on the same tree (the
+// provider steady state) never re-allocates. Not safe for concurrent use.
+type ProveScratch struct {
+	epoch   uint32
+	stamp   [][]uint32 // per level: stamp[l][i]==epoch ⇒ subtree (l,i) holds a proven leaf
+	covered [][]uint32 // per level: positions stamped this epoch, in marking order
+}
+
+// reset sizes the scratch for t's shape and invalidates prior coverage in
+// O(levels) via the epoch stamp.
+func (s *ProveScratch) reset(t *Tree) {
+	if len(s.stamp) != len(t.levels) {
+		s.stamp = make([][]uint32, len(t.levels))
+		s.covered = make([][]uint32, len(t.levels))
+	}
+	for l, lvl := range t.levels {
+		if len(s.stamp[l]) < len(lvl) {
+			s.stamp[l] = make([]uint32, len(lvl))
+		}
+		s.covered[l] = s.covered[l][:0]
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		for l := range s.stamp {
+			for i := range s.stamp[l] {
+				s.stamp[l][i] = 0
+			}
+		}
+		s.epoch = 1
+	}
+}
+
+// Prove builds the proof for the given in-range leaf indices (duplicates
+// tolerated), applying the paper's two conditions to select entries.
 func (t *Tree) Prove(indices []int) (*Proof, error) {
+	var s ProveScratch
+	return t.ProveWith(&s, indices)
+}
+
+// ProveWith is Prove with caller-provided scratch, for query hot paths that
+// build many proofs against one tree: coverage marking is O(touched), not
+// O(tree), and nothing but the returned Proof is allocated.
+func (t *Tree) ProveWith(s *ProveScratch, indices []int) (*Proof, error) {
 	if len(indices) == 0 {
 		return nil, errors.New("mht: empty index set")
 	}
-	// covered[level] marks positions whose subtree contains a proven leaf.
-	covered := make([]map[uint32]bool, len(t.levels))
-	for l := range covered {
-		covered[l] = make(map[uint32]bool)
-	}
+	s.reset(t)
 	for _, idx := range indices {
 		if idx < 0 || idx >= t.NumLeaves() {
 			return nil, fmt.Errorf("mht: leaf index %d out of range [0, %d)", idx, t.NumLeaves())
 		}
 		pos := idx
 		for l := 0; l < len(t.levels); l++ {
-			if covered[l][uint32(pos)] {
+			if s.stamp[l][pos] == s.epoch {
 				break
 			}
-			covered[l][uint32(pos)] = true
+			s.stamp[l][pos] = s.epoch
+			s.covered[l] = append(s.covered[l], uint32(pos))
 			if l+1 < len(t.levels) {
 				pos = groupLevel(len(t.levels[l]), t.fanout).parentOf(pos)
 			}
@@ -187,22 +293,24 @@ func (t *Tree) Prove(indices []int) (*Proof, error) {
 		NumLeaves: uint32(t.NumLeaves()),
 	}
 	// An entry is emitted when its subtree is unproven but its parent's is
-	// proven (condition (ii) ⇔ the entry's parent is covered).
+	// proven (condition (ii) ⇔ the entry's parent is covered): exactly the
+	// uncovered children of covered parents. Walking covered parents in
+	// ascending index order yields entries already sorted by (level, index),
+	// since child ranges are monotone in the parent index.
 	for l := 0; l < len(t.levels)-1; l++ {
+		parents := s.covered[l+1]
+		slices.Sort(parents)
 		grp := groupLevel(len(t.levels[l]), t.fanout)
-		for i := range t.levels[l] {
-			if covered[l][uint32(i)] || !covered[l+1][uint32(grp.parentOf(i))] {
-				continue
+		for _, par := range parents {
+			first, last := grp.childRange(int(par))
+			for c := first; c < last; c++ {
+				if s.stamp[l][c] == s.epoch {
+					continue
+				}
+				p.Entries = append(p.Entries, Entry{Level: uint8(l), Index: uint32(c), Digest: t.levels[l][c]})
 			}
-			p.Entries = append(p.Entries, Entry{Level: uint8(l), Index: uint32(i), Digest: t.levels[l][i]})
 		}
 	}
-	sort.Slice(p.Entries, func(a, b int) bool {
-		if p.Entries[a].Level != p.Entries[b].Level {
-			return p.Entries[a].Level < p.Entries[b].Level
-		}
-		return p.Entries[a].Index < p.Entries[b].Index
-	})
 	return p, nil
 }
 

@@ -16,29 +16,43 @@ type cacheKey struct {
 	vs, vt graph.NodeID
 }
 
-// lruCache is a mutex-guarded LRU over exact proof encodings. Proof wire
-// sizes are bounded by the method and query range, so an entry-count
-// capacity is a faithful proxy for a byte budget.
+// entryOverhead approximates the per-entry bookkeeping cost charged against
+// the byte budget on top of the wire encoding: key, list element, map slot
+// and the cached struct.
+const entryOverhead = 128
+
+// lruCache is a mutex-guarded LRU over exact proof encodings, bounded by
+// total held bytes rather than entry count: proof sizes span orders of
+// magnitude between methods (a FULL proof is a few hundred bytes, a
+// long-range DIJ proof hundreds of KB), so an entry budget would make the
+// cache's real memory footprint workload-dependent. An entry larger than
+// the whole budget is simply not cached — caching it would evict everything
+// else for one key.
 type lruCache struct {
-	mu        sync.Mutex
-	cap       int
-	order     *list.List // front = most recent; values are *lruEntry
-	items     map[cacheKey]*list.Element
-	evictions int64
+	mu           sync.Mutex
+	maxBytes     int64
+	bytes        int64      // held, including per-entry overhead
+	order        *list.List // front = most recent; values are *lruEntry
+	items        map[cacheKey]*list.Element
+	evictions    int64
+	evictedBytes int64
 }
 
 type lruEntry struct {
-	key cacheKey
-	val cached
+	key  cacheKey
+	val  cached
+	size int64
 }
 
-func newLRU(capacity int) *lruCache {
+func newLRU(maxBytes int64) *lruCache {
 	return &lruCache{
-		cap:   capacity,
-		order: list.New(),
-		items: make(map[cacheKey]*list.Element, capacity),
+		maxBytes: maxBytes,
+		order:    list.New(),
+		items:    make(map[cacheKey]*list.Element),
 	}
 }
+
+func entrySize(v cached) int64 { return int64(len(v.wire)) + entryOverhead }
 
 // Get returns the entry for k, promoting it to most-recent.
 func (c *lruCache) Get(k cacheKey) (cached, bool) {
@@ -52,22 +66,32 @@ func (c *lruCache) Get(k cacheKey) (cached, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
-// Add inserts or refreshes k, evicting the least-recent entry past
-// capacity.
+// Add inserts or refreshes k, evicting least-recent entries until the byte
+// budget holds.
 func (c *lruCache) Add(k cacheKey, v cached) {
+	size := entrySize(v)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[k]; ok {
-		el.Value.(*lruEntry).val = v
-		c.order.MoveToFront(el)
-		return
+	if size > c.maxBytes {
+		return // oversized: would evict the whole cache for one entry
 	}
-	c.items[k] = c.order.PushFront(&lruEntry{key: k, val: v})
-	if c.order.Len() > c.cap {
+	if el, ok := c.items[k]; ok {
+		ent := el.Value.(*lruEntry)
+		c.bytes += size - ent.size
+		ent.val, ent.size = v, size
+		c.order.MoveToFront(el)
+	} else {
+		c.items[k] = c.order.PushFront(&lruEntry{key: k, val: v, size: size})
+		c.bytes += size
+	}
+	for c.bytes > c.maxBytes {
 		oldest := c.order.Back()
+		ent := oldest.Value.(*lruEntry)
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+		delete(c.items, ent.key)
+		c.bytes -= ent.size
 		c.evictions++
+		c.evictedBytes += ent.size
 	}
 }
 
@@ -78,9 +102,24 @@ func (c *lruCache) Len() int {
 	return c.order.Len()
 }
 
+// Bytes returns the bytes currently held (wire encodings plus per-entry
+// overhead).
+func (c *lruCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
 // Evictions returns the lifetime eviction count.
 func (c *lruCache) Evictions() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.evictions
+}
+
+// EvictedBytes returns the lifetime bytes evicted.
+func (c *lruCache) EvictedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictedBytes
 }

@@ -67,14 +67,17 @@ type Answer struct {
 type Options struct {
 	// Workers bounds the fan-out of QueryBatch. Default: GOMAXPROCS.
 	Workers int
-	// CacheEntries is the LRU proof-cache capacity in entries. Default
-	// (0): 4096. Negative: caching disabled.
-	CacheEntries int
+	// CacheBytes bounds the LRU proof cache by total held bytes (wire
+	// encodings plus a small per-entry overhead) — proof sizes vary by
+	// orders of magnitude between methods, so a byte budget is the only
+	// capacity with a predictable memory footprint. Default (0):
+	// DefaultCacheBytes. Negative: caching disabled.
+	CacheBytes int64
 }
 
-// DefaultCacheEntries is the proof-cache capacity when Options leaves
-// CacheEntries zero.
-const DefaultCacheEntries = 4096
+// DefaultCacheBytes is the proof-cache byte budget when Options leaves
+// CacheBytes zero: 64 MiB, a few thousand typical proofs.
+const DefaultCacheBytes = 64 << 20
 
 // queryFn is the method-erased provider hot path: build (or fetch) a proof
 // for one endpoint pair and return its exact wire encoding.
@@ -120,9 +123,13 @@ type Snapshot struct {
 	ProofBytes int64 `json:"proof_bytes"`
 	// ColdTime totals time spent in cold proof constructions.
 	ColdTime time.Duration `json:"cold_ns"`
-	// CacheLen and CacheEvictions describe the LRU proof cache.
-	CacheLen       int   `json:"cache_len"`
-	CacheEvictions int64 `json:"cache_evictions"`
+	// CacheLen and CacheEvictions describe the LRU proof cache;
+	// CacheBytes / CacheBytesEvicted are the held and lifetime-evicted
+	// byte totals against the Options.CacheBytes budget.
+	CacheLen          int   `json:"cache_len"`
+	CacheEvictions    int64 `json:"cache_evictions"`
+	CacheBytes        int64 `json:"cache_bytes"`
+	CacheBytesEvicted int64 `json:"cache_bytes_evicted"`
 	// Methods lists the registered methods.
 	Methods []core.Method `json:"methods"`
 }
@@ -139,12 +146,35 @@ func NewEngine(opts Options) *Engine {
 		run:     make(map[core.Method]queryFn),
 	}
 	switch {
-	case opts.CacheEntries > 0:
-		e.cache = newLRU(opts.CacheEntries)
-	case opts.CacheEntries == 0:
-		e.cache = newLRU(DefaultCacheEntries)
+	case opts.CacheBytes > 0:
+		e.cache = newLRU(opts.CacheBytes)
+	case opts.CacheBytes == 0:
+		e.cache = newLRU(DefaultCacheBytes)
 	}
 	return e
+}
+
+// encScratch pools proof-encoding scratch buffers: a cold construction
+// serializes into a pooled buffer, then copies into an exact-size
+// caller-owned slice. The copy trades one memcpy for the ~10 grow-and-copy
+// reallocations an append-from-nil encoding pays, and lets the scratch
+// capacity (which tracks the largest proof seen) be reused across requests
+// instead of garbage-collected per query.
+var encScratch = sync.Pool{New: func() any {
+	b := make([]byte, 0, 16<<10)
+	return &b
+}}
+
+// encodeWire runs appendFn against pooled scratch and returns an
+// exact-size private copy of the encoding.
+func encodeWire(appendFn func([]byte) []byte) []byte {
+	bp := encScratch.Get().(*[]byte)
+	scratch := appendFn((*bp)[:0])
+	wire := make([]byte, len(scratch))
+	copy(wire, scratch)
+	*bp = scratch[:0] // keep the grown capacity
+	encScratch.Put(bp)
+	return wire
 }
 
 // RegisterDIJ serves DIJ queries from p. Registering a method twice
@@ -155,7 +185,7 @@ func (e *Engine) RegisterDIJ(p *core.DIJProvider) {
 		if err != nil {
 			return 0, 0, nil, err
 		}
-		return pr.Dist, len(pr.Path) - 1, pr.AppendBinary(nil), nil
+		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), nil
 	})
 }
 
@@ -166,7 +196,7 @@ func (e *Engine) RegisterFULL(p *core.FULLProvider) {
 		if err != nil {
 			return 0, 0, nil, err
 		}
-		return pr.Dist, len(pr.Path) - 1, pr.AppendBinary(nil), nil
+		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), nil
 	})
 }
 
@@ -177,7 +207,7 @@ func (e *Engine) RegisterLDM(p *core.LDMProvider) {
 		if err != nil {
 			return 0, 0, nil, err
 		}
-		return pr.Dist, len(pr.Path) - 1, pr.AppendBinary(nil), nil
+		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), nil
 	})
 }
 
@@ -188,7 +218,7 @@ func (e *Engine) RegisterHYP(p *core.HYPProvider) {
 		if err != nil {
 			return 0, 0, nil, err
 		}
-		return pr.Dist, len(pr.Path) - 1, pr.AppendBinary(nil), nil
+		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), nil
 	})
 }
 
@@ -265,6 +295,8 @@ func (e *Engine) Stats() Snapshot {
 	if e.cache != nil {
 		s.CacheLen = e.cache.Len()
 		s.CacheEvictions = e.cache.Evictions()
+		s.CacheBytes = e.cache.Bytes()
+		s.CacheBytesEvicted = e.cache.EvictedBytes()
 	}
 	return s
 }

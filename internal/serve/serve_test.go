@@ -184,7 +184,7 @@ func TestEngineCacheServesIdenticalWire(t *testing.T) {
 
 func TestEngineCacheDisabled(t *testing.T) {
 	w := testWorld(t)
-	e := w.engine(Options{CacheEntries: -1})
+	e := w.engine(Options{CacheBytes: -1})
 	q := Query{Method: core.LDM, VS: w.queries[0].S, VT: w.queries[0].T}
 	for i := 0; i < 2; i++ {
 		a, err := e.Query(q)
@@ -202,11 +202,23 @@ func TestEngineCacheDisabled(t *testing.T) {
 
 func TestEngineLRUEviction(t *testing.T) {
 	w := testWorld(t)
-	e := w.engine(Options{CacheEntries: 2})
 	qs := make([]Query, 3)
 	for i := range qs {
 		qs[i] = Query{Method: core.FULL, VS: w.queries[i].S, VT: w.queries[i].T}
 	}
+	// Measure the three proofs' cache footprints on a cache-less engine,
+	// then budget the real engine for exactly the last two: adding the
+	// third proof must push the first one out.
+	probe := w.engine(Options{CacheBytes: -1})
+	sizes := make([]int64, len(qs))
+	for i, q := range qs {
+		a, err := probe.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[i] = int64(len(a.Proof)) + entryOverhead
+	}
+	e := w.engine(Options{CacheBytes: sizes[1] + sizes[2]})
 	for _, q := range qs {
 		if _, err := e.Query(q); err != nil {
 			t.Fatal(err)
@@ -216,12 +228,63 @@ func TestEngineLRUEviction(t *testing.T) {
 	if s.CacheLen != 2 || s.CacheEvictions != 1 {
 		t.Errorf("cache len %d evictions %d, want 2 and 1", s.CacheLen, s.CacheEvictions)
 	}
+	if s.CacheBytes > sizes[1]+sizes[2] || s.CacheBytes <= 0 {
+		t.Errorf("cache bytes %d outside budget (0, %d]", s.CacheBytes, sizes[1]+sizes[2])
+	}
+	if s.CacheBytesEvicted != sizes[0] {
+		t.Errorf("evicted bytes %d, want %d", s.CacheBytesEvicted, sizes[0])
+	}
 	// qs[0] was evicted: querying it again is a miss, not a hit.
 	if _, err := e.Query(qs[0]); err != nil {
 		t.Fatal(err)
 	}
 	if s := e.Stats(); s.Misses != 4 || s.Hits != 0 {
 		t.Errorf("stats = %+v, want 4 misses / 0 hits", s)
+	}
+}
+
+// TestLRUOversizedEntry pins the byte-bounded cache's oversize rule: an
+// entry larger than the whole budget is served but never cached (caching it
+// would evict everything else for one key).
+func TestLRUOversizedEntry(t *testing.T) {
+	c := newLRU(entryOverhead + 10)
+	k := cacheKey{m: core.DIJ, vs: 1, vt: 2}
+	c.Add(k, cached{wire: make([]byte, 11)})
+	if _, ok := c.Get(k); ok {
+		t.Error("oversized entry was cached")
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Errorf("len %d bytes %d after oversized add, want 0/0", c.Len(), c.Bytes())
+	}
+	c.Add(k, cached{wire: make([]byte, 10)})
+	if _, ok := c.Get(k); !ok {
+		t.Error("fitting entry was not cached")
+	}
+	if got, want := c.Bytes(), int64(entryOverhead+10); got != want {
+		t.Errorf("bytes %d, want %d", got, want)
+	}
+}
+
+// TestLRUEvictionOrder pins strict LRU order under the byte budget: a Get
+// refreshes recency, so the untouched middle entry goes first.
+func TestLRUEvictionOrder(t *testing.T) {
+	one := int64(entryOverhead + 8)
+	c := newLRU(2 * one)
+	ka := cacheKey{m: core.DIJ, vs: 1, vt: 2}
+	kb := cacheKey{m: core.DIJ, vs: 3, vt: 4}
+	kc := cacheKey{m: core.DIJ, vs: 5, vt: 6}
+	c.Add(ka, cached{wire: make([]byte, 8)})
+	c.Add(kb, cached{wire: make([]byte, 8)})
+	c.Get(ka) // refresh a: b is now least-recent
+	c.Add(kc, cached{wire: make([]byte, 8)})
+	if _, ok := c.Get(kb); ok {
+		t.Error("least-recent entry survived eviction")
+	}
+	if _, ok := c.Get(ka); !ok {
+		t.Error("refreshed entry was evicted")
+	}
+	if c.Evictions() != 1 || c.EvictedBytes() != one {
+		t.Errorf("evictions %d bytes %d, want 1 and %d", c.Evictions(), c.EvictedBytes(), one)
 	}
 }
 

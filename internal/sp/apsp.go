@@ -11,7 +11,7 @@ import (
 // O(|V|³) dynamic program the paper prescribes for FULL (§IV-B). It is only
 // feasible for small graphs; AllPairsRows is the scalable equivalent. Kept
 // as the oracle that repeated-Dijkstra results are cross-validated against.
-func FloydWarshall(g *graph.Graph) [][]float64 {
+func FloydWarshall(g graph.View) [][]float64 {
 	n := g.NumNodes()
 	d := make([][]float64, n)
 	for i := range d {
@@ -61,14 +61,19 @@ func FloydWarshall(g *graph.Graph) [][]float64 {
 // output is still quadratic.
 func AllPairsRows(g *graph.Graph, sink func(src graph.NodeID, dist []float64)) {
 	n := g.NumNodes()
+	// One freeze amortized over n Dijkstra runs; every worker reuses one
+	// workspace, so the only per-row allocation is the row itself (which
+	// the sink owns and may retain).
+	view := g.Freeze()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		w := AcquireWorkspace(n)
+		defer ReleaseWorkspace(w)
 		for s := 0; s < n; s++ {
-			t := Dijkstra(g, graph.NodeID(s))
-			sink(graph.NodeID(s), t.Dist)
+			sink(graph.NodeID(s), w.DijkstraRow(view, graph.NodeID(s), nil))
 		}
 		return
 	}
@@ -90,9 +95,10 @@ func AllPairsRows(g *graph.Graph, sink func(src graph.NodeID, dist []float64)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ws := AcquireWorkspace(n)
+			defer ReleaseWorkspace(ws)
 			for s := range next {
-				t := Dijkstra(g, graph.NodeID(s))
-				rows <- row{graph.NodeID(s), t.Dist}
+				rows <- row{graph.NodeID(s), ws.DijkstraRow(view, graph.NodeID(s), nil)}
 			}
 		}()
 	}

@@ -12,63 +12,20 @@ type LowerBound func(v graph.NodeID) float64
 
 // AStar computes a shortest path from src to dst using the A* algorithm with
 // the given admissible lower bound (paper §II-C). It returns the distance
-// and one shortest path, or (Unreachable, nil).
-func AStar(g *graph.Graph, src, dst graph.NodeID, lb LowerBound) (float64, graph.Path) {
-	n := g.NumNodes()
-	dist := make([]float64, n)
-	parent := make([]graph.NodeID, n)
-	for i := range dist {
-		dist[i] = Unreachable
-		parent[i] = graph.Invalid
-	}
-	h := NewHeap(64)
-	dist[src] = 0
-	h.Push(src, lb(src))
-
-	best := Unreachable
-	for h.Len() > 0 {
-		// Once every queued f-value is at least the best target distance, no
-		// improvement is possible (admissibility).
-		if best < Unreachable && h.Peek() >= best {
-			break
-		}
-		v, _ := h.Pop()
-		if v == dst {
-			best = dist[v]
-			continue
-		}
-		for _, e := range g.Neighbors(v) {
-			nd := dist[v] + e.W
-			if nd < dist[e.To] {
-				dist[e.To] = nd
-				parent[e.To] = v
-				f := nd + lb(e.To)
-				if h.Contains(e.To) {
-					h.DecreaseKey(e.To, f)
-				} else {
-					h.Push(e.To, f) // also re-opens closed nodes
-				}
-			}
-		}
-	}
-	if best == Unreachable {
-		return Unreachable, nil
-	}
-	var rev graph.Path
-	for u := dst; u != graph.Invalid; u = parent[u] {
-		rev = append(rev, u)
-	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return best, rev
+// and one shortest path, or (Unreachable, nil). It runs on a pooled
+// Workspace; searches issued in a loop should hold a Workspace and call its
+// AStar method directly.
+func AStar(g graph.View, src, dst graph.NodeID, lb LowerBound) (float64, graph.Path) {
+	w := AcquireWorkspace(g.NumNodes())
+	defer ReleaseWorkspace(w)
+	return w.AStar(g, src, dst, lb)
 }
 
 // BiDijkstra computes a shortest path with bidirectional Dijkstra search
 // (paper §II-C, [24]): two concurrent expansions from source and target that
 // stop when the sum of the two frontiers' minimum keys reaches the best
 // meeting distance found.
-func BiDijkstra(g *graph.Graph, src, dst graph.NodeID) (float64, graph.Path) {
+func BiDijkstra(g graph.View, src, dst graph.NodeID) (float64, graph.Path) {
 	if src == dst {
 		return 0, graph.Path{src}
 	}

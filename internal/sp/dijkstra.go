@@ -36,115 +36,40 @@ func (t *Tree) PathTo(v graph.NodeID) graph.Path {
 	return rev
 }
 
+// The package-level search functions below are convenience wrappers that
+// run on a pooled Workspace and materialize caller-owned results. Hot paths
+// that issue many searches (providers, hint construction) should hold a
+// Workspace and call its methods directly, which reuses all per-search
+// state; these wrappers pay only the result materialization.
+
 // Dijkstra computes the full shortest path tree from src (paper §II-C).
-func Dijkstra(g *graph.Graph, src graph.NodeID) *Tree {
-	return dijkstra(g, src, graph.Invalid, Unreachable)
+func Dijkstra(g graph.View, src graph.NodeID) *Tree {
+	w := AcquireWorkspace(g.NumNodes())
+	defer ReleaseWorkspace(w)
+	w.dijkstra(g, src, graph.Invalid, Unreachable, false)
+	return w.tree(src, false)
 }
 
 // DijkstraTo runs Dijkstra from src with early termination once dst is
 // settled. It returns the distance and one shortest path; the path is nil
 // and the distance Unreachable when dst cannot be reached.
-func DijkstraTo(g *graph.Graph, src, dst graph.NodeID) (float64, graph.Path) {
-	t := dijkstra(g, src, dst, Unreachable)
-	if t.Dist[dst] == Unreachable {
-		return Unreachable, nil
-	}
-	return t.Dist[dst], t.PathTo(dst)
+func DijkstraTo(g graph.View, src, dst graph.NodeID) (float64, graph.Path) {
+	w := AcquireWorkspace(g.NumNodes())
+	defer ReleaseWorkspace(w)
+	return w.DijkstraTo(g, src, dst)
 }
 
 // DijkstraBounded settles every node v with dist(src, v) ≤ bound and stops.
 // The returned tree has exact distances for all settled nodes; Settled lists
 // them in non-decreasing distance order. It is the engine of the DIJ proof
 // (Lemma 1: Γ = {Φ(v) | dist(vs, v) ≤ dist(vs, vt)}).
-func DijkstraBounded(g *graph.Graph, src graph.NodeID, bound float64) (*Tree, []graph.NodeID) {
-	t := newTree(g, src)
-	h := NewHeap(64)
-	h.Push(src, 0)
-	t.Dist[src] = 0
-	settled := make([]graph.NodeID, 0, 64)
-	done := make([]bool, g.NumNodes())
-	for h.Len() > 0 {
-		v, d := h.Pop()
-		if d > bound {
-			break
-		}
-		done[v] = true
-		settled = append(settled, v)
-		for _, e := range g.Neighbors(v) {
-			if done[e.To] {
-				continue
-			}
-			nd := d + e.W
-			if nd < t.Dist[e.To] {
-				if t.Dist[e.To] == Unreachable {
-					h.Push(e.To, nd)
-				} else {
-					h.DecreaseKey(e.To, nd)
-				}
-				t.Dist[e.To] = nd
-				t.Parent[e.To] = v
-			}
-		}
-	}
-	// Distances beyond the bound are tentative, not settled; erase them so
-	// callers cannot mistake them for exact values.
-	for v := range t.Dist {
-		if !done[v] && t.Dist[v] != Unreachable {
-			t.Dist[v] = Unreachable
-			t.Parent[v] = graph.Invalid
-		}
-	}
-	return t, settled
-}
-
-func newTree(g *graph.Graph, src graph.NodeID) *Tree {
-	n := g.NumNodes()
-	t := &Tree{
-		Source: src,
-		Dist:   make([]float64, n),
-		Parent: make([]graph.NodeID, n),
-	}
-	for i := range t.Dist {
-		t.Dist[i] = Unreachable
-		t.Parent[i] = graph.Invalid
-	}
-	return t
-}
-
-// dijkstra runs the shared core: stop early when stopAt is settled, never
-// expand beyond bound.
-func dijkstra(g *graph.Graph, src, stopAt graph.NodeID, bound float64) *Tree {
-	t := newTree(g, src)
-	h := NewHeap(64)
-	h.Push(src, 0)
-	t.Dist[src] = 0
-	done := make([]bool, g.NumNodes())
-	for h.Len() > 0 {
-		v, d := h.Pop()
-		if d > bound {
-			break
-		}
-		done[v] = true
-		if v == stopAt {
-			break
-		}
-		for _, e := range g.Neighbors(v) {
-			if done[e.To] {
-				continue
-			}
-			nd := d + e.W
-			if nd < t.Dist[e.To] {
-				if t.Dist[e.To] == Unreachable {
-					h.Push(e.To, nd)
-				} else {
-					h.DecreaseKey(e.To, nd)
-				}
-				t.Dist[e.To] = nd
-				t.Parent[e.To] = v
-			}
-		}
-	}
-	return t
+func DijkstraBounded(g graph.View, src graph.NodeID, bound float64) (*Tree, []graph.NodeID) {
+	w := AcquireWorkspace(g.NumNodes())
+	defer ReleaseWorkspace(w)
+	settled := w.DijkstraBounded(g, src, bound)
+	// Distances beyond the bound are tentative, not settled; tree(settled
+	// only) erases them so callers cannot mistake them for exact values.
+	return w.tree(src, true), append([]graph.NodeID(nil), settled...)
 }
 
 // DijkstraToTargets runs Dijkstra from src until every node in targets is
@@ -152,48 +77,8 @@ func dijkstra(g *graph.Graph, src, stopAt graph.NodeID, bound float64) *Tree {
 // targets in the same order as given (Unreachable for unreached). It is used
 // to materialize HiTi hyper-edge weights, where only border-node distances
 // matter.
-func DijkstraToTargets(g *graph.Graph, src graph.NodeID, targets []graph.NodeID) []float64 {
-	want := make(map[graph.NodeID]bool, len(targets))
-	for _, v := range targets {
-		want[v] = true
-	}
-	remaining := len(want)
-
-	t := newTree(g, src)
-	h := NewHeap(64)
-	h.Push(src, 0)
-	t.Dist[src] = 0
-	done := make([]bool, g.NumNodes())
-	for h.Len() > 0 && remaining > 0 {
-		v, d := h.Pop()
-		done[v] = true
-		if want[v] {
-			want[v] = false
-			remaining--
-		}
-		for _, e := range g.Neighbors(v) {
-			if done[e.To] {
-				continue
-			}
-			nd := d + e.W
-			if nd < t.Dist[e.To] {
-				if t.Dist[e.To] == Unreachable {
-					h.Push(e.To, nd)
-				} else {
-					h.DecreaseKey(e.To, nd)
-				}
-				t.Dist[e.To] = nd
-				t.Parent[e.To] = v
-			}
-		}
-	}
-	out := make([]float64, len(targets))
-	for i, v := range targets {
-		if done[v] {
-			out[i] = t.Dist[v]
-		} else {
-			out[i] = Unreachable
-		}
-	}
-	return out
+func DijkstraToTargets(g graph.View, src graph.NodeID, targets []graph.NodeID) []float64 {
+	w := AcquireWorkspace(g.NumNodes())
+	defer ReleaseWorkspace(w)
+	return w.DijkstraToTargets(g, src, targets, nil)
 }

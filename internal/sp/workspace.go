@@ -1,0 +1,419 @@
+package sp
+
+import (
+	"sync"
+
+	"github.com/authhints/spv/internal/graph"
+)
+
+// Workspace is the reusable, allocation-free state of one graph search: the
+// distance/parent labels, the settled set, and an indexed binary min-heap
+// whose position index is a dense []int32 array instead of a map.
+//
+// All per-node arrays are cleared lazily via epoch stamps: each search bumps
+// the workspace epoch, and a label is valid only when its stamp equals the
+// current epoch. Starting a search therefore costs O(1), not O(|V|), and a
+// query that touches k nodes does O(k) total label work — the difference
+// between per-query cost tracking the graph size and tracking the query
+// range.
+//
+// A workspace is not safe for concurrent use; acquire one per goroutine
+// (AcquireWorkspace/ReleaseWorkspace pool them) or give each worker its
+// own. Results read through DistOf/ParentOf/PathTo are valid until the next
+// search on the same workspace.
+type Workspace struct {
+	epoch uint32
+	n     int // nodes of the current search's graph
+
+	seen   []uint32 // seen[v]==epoch ⇒ dist/parent valid
+	done   []uint32 // done[v]==epoch ⇒ v settled (exact distance)
+	dist   []float64
+	parent []graph.NodeID
+
+	settled []graph.NodeID // settle-order scratch for bounded searches
+
+	// Indexed min-heap: items is the binary heap, pos[v] the index of v in
+	// items (valid when posStamp[v]==epoch and pos[v]>=0; popped nodes get
+	// pos -1). Same ordering and swap discipline as the map-indexed Heap,
+	// so searches settle nodes in the identical order.
+	items    []heapItem
+	pos      []int32
+	posStamp []uint32
+
+	want []uint32 // target-set stamps for DijkstraToTargets
+}
+
+// NewWorkspace returns a workspace sized for graphs of up to n nodes; it
+// grows transparently if later searches need more.
+func NewWorkspace(n int) *Workspace {
+	w := &Workspace{}
+	w.Reset(n)
+	return w
+}
+
+// Reset prepares the workspace for a search over an n-node graph: grows the
+// label arrays if needed and invalidates all previous labels in O(1) by
+// bumping the epoch. Search methods call it themselves; callers only need
+// it to pre-size a fresh workspace.
+func (w *Workspace) Reset(n int) {
+	if n > len(w.seen) {
+		// Fresh zeroed arrays suffice: 0 is never a valid epoch, so no
+		// copying of old labels is needed.
+		w.seen = make([]uint32, n)
+		w.done = make([]uint32, n)
+		w.posStamp = make([]uint32, n)
+		w.want = make([]uint32, n)
+		w.dist = make([]float64, n)
+		w.parent = make([]graph.NodeID, n)
+		w.pos = make([]int32, n)
+	}
+	w.n = n
+	w.items = w.items[:0]
+	w.settled = w.settled[:0]
+	w.epoch++
+	if w.epoch == 0 {
+		// Epoch wrapped: stale stamps from 2^32 searches ago could now
+		// collide, so pay one full clear and restart at 1.
+		clearStamps(w.seen)
+		clearStamps(w.done)
+		clearStamps(w.posStamp)
+		clearStamps(w.want)
+		w.epoch = 1
+	}
+}
+
+func clearStamps(s []uint32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// workspacePool backs AcquireWorkspace/ReleaseWorkspace. One pool serves
+// all graph sizes: Reset grows a pooled workspace as needed, and road-scale
+// workspaces are a few MB at most.
+var workspacePool = sync.Pool{New: func() any { return &Workspace{} }}
+
+// AcquireWorkspace returns a pooled workspace ready for searches on graphs
+// of up to n nodes. Pair with ReleaseWorkspace so steady-state query
+// serving reuses a small set of workspaces instead of allocating per
+// request.
+func AcquireWorkspace(n int) *Workspace {
+	w := workspacePool.Get().(*Workspace)
+	w.Reset(n)
+	return w
+}
+
+// ReleaseWorkspace returns w to the pool. The caller must not touch w (or
+// slices obtained from it, e.g. DijkstraBounded's settled set) afterwards.
+func ReleaseWorkspace(w *Workspace) { workspacePool.Put(w) }
+
+// DistOf returns the exact shortest path distance of a node settled by the
+// last bounded/targeted search, or Unreachable for unsettled nodes.
+func (w *Workspace) DistOf(v graph.NodeID) float64 {
+	if int(v) < len(w.done) && w.done[v] == w.epoch {
+		return w.dist[v]
+	}
+	return Unreachable
+}
+
+// ParentOf returns the predecessor of a settled node on its shortest path
+// (graph.Invalid for the source and unsettled nodes).
+func (w *Workspace) ParentOf(v graph.NodeID) graph.NodeID {
+	if int(v) < len(w.done) && w.done[v] == w.epoch {
+		return w.parent[v]
+	}
+	return graph.Invalid
+}
+
+// PathTo reconstructs the path from the last search's source to v, or nil
+// if v was not reached.
+func (w *Workspace) PathTo(v graph.NodeID) graph.Path {
+	if int(v) >= len(w.seen) || w.seen[v] != w.epoch {
+		return nil
+	}
+	var rev graph.Path
+	for u := v; u != graph.Invalid; u = w.parent[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// label sets the tentative distance and parent of v, stamping it seen.
+func (w *Workspace) label(v graph.NodeID, d float64, parent graph.NodeID) {
+	w.seen[v] = w.epoch
+	w.dist[v] = d
+	w.parent[v] = parent
+}
+
+// dijkstra is the shared search core, mirroring the package-level dijkstra:
+// stop early once stopAt settles, never settle beyond bound, record settle
+// order when collect is set.
+func (w *Workspace) dijkstra(g graph.View, src, stopAt graph.NodeID, bound float64, collect bool) {
+	w.Reset(g.NumNodes())
+	w.label(src, 0, graph.Invalid)
+	w.heapPush(src, 0)
+	for len(w.items) > 0 {
+		v, d := w.heapPop()
+		if d > bound {
+			break
+		}
+		w.done[v] = w.epoch
+		if collect {
+			w.settled = append(w.settled, v)
+		}
+		if v == stopAt {
+			break
+		}
+		for _, e := range g.Neighbors(v) {
+			if w.done[e.To] == w.epoch {
+				continue
+			}
+			nd := d + e.W
+			if w.seen[e.To] != w.epoch {
+				w.label(e.To, nd, v)
+				w.heapPush(e.To, nd)
+			} else if nd < w.dist[e.To] {
+				w.label(e.To, nd, v)
+				w.heapDecrease(e.To, nd)
+			}
+		}
+	}
+}
+
+// DijkstraTo runs Dijkstra from src with early termination once dst is
+// settled, allocating only the returned path.
+func (w *Workspace) DijkstraTo(g graph.View, src, dst graph.NodeID) (float64, graph.Path) {
+	w.dijkstra(g, src, dst, Unreachable, false)
+	if w.seen[dst] != w.epoch {
+		return Unreachable, nil
+	}
+	return w.dist[dst], w.PathTo(dst)
+}
+
+// DijkstraBounded settles every node v with dist(src, v) ≤ bound and
+// returns them in settle (non-decreasing distance) order. The returned
+// slice is owned by the workspace and valid until the next search; read
+// distances with DistOf.
+func (w *Workspace) DijkstraBounded(g graph.View, src graph.NodeID, bound float64) []graph.NodeID {
+	w.dijkstra(g, src, graph.Invalid, bound, true)
+	return w.settled
+}
+
+// DijkstraToTargets runs Dijkstra from src until every target is settled
+// (or the graph is exhausted) and returns the targets' distances in the
+// given order, Unreachable for unreached ones. The result is written into
+// out when it has capacity; otherwise a fresh slice is allocated.
+func (w *Workspace) DijkstraToTargets(g graph.View, src graph.NodeID, targets []graph.NodeID, out []float64) []float64 {
+	w.Reset(g.NumNodes())
+	remaining := 0
+	for _, v := range targets {
+		if w.want[v] != w.epoch {
+			w.want[v] = w.epoch
+			remaining++
+		}
+	}
+	w.label(src, 0, graph.Invalid)
+	w.heapPush(src, 0)
+	for len(w.items) > 0 && remaining > 0 {
+		v, d := w.heapPop()
+		w.done[v] = w.epoch
+		if w.want[v] == w.epoch {
+			w.want[v] = 0 // epoch is never 0, so this unmarks
+			remaining--
+		}
+		for _, e := range g.Neighbors(v) {
+			if w.done[e.To] == w.epoch {
+				continue
+			}
+			nd := d + e.W
+			if w.seen[e.To] != w.epoch {
+				w.label(e.To, nd, v)
+				w.heapPush(e.To, nd)
+			} else if nd < w.dist[e.To] {
+				w.label(e.To, nd, v)
+				w.heapDecrease(e.To, nd)
+			}
+		}
+	}
+	if cap(out) < len(targets) {
+		out = make([]float64, len(targets))
+	} else {
+		out = out[:len(targets)]
+	}
+	for i, v := range targets {
+		out[i] = w.DistOf(v)
+	}
+	return out
+}
+
+// DijkstraRow runs a full Dijkstra from src and returns the complete |V|
+// distance row (Unreachable for unreached nodes), reusing row's backing
+// array when it has capacity. Unlike the workspace labels, the returned row
+// is caller-owned — the shape hint-construction and all-pairs pipelines
+// need, since they retain rows beyond the next search.
+func (w *Workspace) DijkstraRow(g graph.View, src graph.NodeID, row []float64) []float64 {
+	w.dijkstra(g, src, graph.Invalid, Unreachable, false)
+	n := w.n
+	if cap(row) < n {
+		row = make([]float64, n)
+	} else {
+		row = row[:n]
+	}
+	for v := 0; v < n; v++ {
+		if w.seen[v] == w.epoch {
+			row[v] = w.dist[v]
+		} else {
+			row[v] = Unreachable
+		}
+	}
+	return row
+}
+
+// AStar computes a shortest path from src to dst with the given admissible
+// lower bound, allocating only the returned path. Closed nodes re-open on
+// improvement, exactly like the package-level AStar.
+func (w *Workspace) AStar(g graph.View, src, dst graph.NodeID, lb LowerBound) (float64, graph.Path) {
+	w.Reset(g.NumNodes())
+	w.label(src, 0, graph.Invalid)
+	w.heapPush(src, lb(src))
+
+	best := Unreachable
+	for len(w.items) > 0 {
+		// Once every queued f-value is at least the best target distance,
+		// no improvement is possible (admissibility).
+		if best < Unreachable && w.items[0].key >= best {
+			break
+		}
+		v, _ := w.heapPop()
+		if v == dst {
+			best = w.dist[v]
+			continue
+		}
+		dv := w.dist[v]
+		for _, e := range g.Neighbors(v) {
+			nd := dv + e.W
+			if w.seen[e.To] == w.epoch && nd >= w.dist[e.To] {
+				continue
+			}
+			w.label(e.To, nd, v)
+			f := nd + lb(e.To)
+			if w.heapContains(e.To) {
+				w.heapDecrease(e.To, f)
+			} else {
+				w.heapPush(e.To, f) // also re-opens closed nodes
+			}
+		}
+	}
+	if best == Unreachable {
+		return Unreachable, nil
+	}
+	return best, w.PathTo(dst)
+}
+
+// tree materializes the workspace labels as a full Tree — the compatibility
+// bridge for callers that retain whole trees. When settledOnly is set, only
+// settled nodes get values (matching DijkstraBounded's erase-tentative
+// contract).
+func (w *Workspace) tree(src graph.NodeID, settledOnly bool) *Tree {
+	t := &Tree{
+		Source: src,
+		Dist:   make([]float64, w.n),
+		Parent: make([]graph.NodeID, w.n),
+	}
+	for v := 0; v < w.n; v++ {
+		valid := w.seen[v] == w.epoch
+		if settledOnly {
+			valid = w.done[v] == w.epoch
+		}
+		if valid {
+			t.Dist[v] = w.dist[v]
+			t.Parent[v] = w.parent[v]
+		} else {
+			t.Dist[v] = Unreachable
+			t.Parent[v] = graph.Invalid
+		}
+	}
+	return t
+}
+
+// --- dense-index binary heap ---
+// Same shape as the map-indexed Heap in heap.go (which the client-side
+// tuple searches keep using: decoded tuple IDs are attacker-chosen, so a
+// dense array would be an allocation amplification vector there). Ordering,
+// tie-breaking and swap discipline are identical, which keeps settle order
+// — and therefore proof bytes — unchanged.
+
+func (w *Workspace) heapPush(node graph.NodeID, key float64) {
+	w.items = append(w.items, heapItem{node, key})
+	i := len(w.items) - 1
+	w.pos[node] = int32(i)
+	w.posStamp[node] = w.epoch
+	w.heapUp(i)
+}
+
+func (w *Workspace) heapPop() (graph.NodeID, float64) {
+	top := w.items[0]
+	last := len(w.items) - 1
+	w.heapSwap(0, last)
+	w.items = w.items[:last]
+	w.pos[top.node] = -1 // stamped but popped ⇒ not queued
+	if last > 0 {
+		w.heapDown(0)
+	}
+	return top.node, top.key
+}
+
+func (w *Workspace) heapDecrease(node graph.NodeID, key float64) {
+	if w.posStamp[node] != w.epoch {
+		return
+	}
+	i := w.pos[node]
+	if i < 0 || w.items[i].key <= key {
+		return
+	}
+	w.items[i].key = key
+	w.heapUp(int(i))
+}
+
+func (w *Workspace) heapContains(node graph.NodeID) bool {
+	return w.posStamp[node] == w.epoch && w.pos[node] >= 0
+}
+
+func (w *Workspace) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if w.items[parent].key <= w.items[i].key {
+			break
+		}
+		w.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (w *Workspace) heapDown(i int) {
+	n := len(w.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && w.items[l].key < w.items[small].key {
+			small = l
+		}
+		if r < n && w.items[r].key < w.items[small].key {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		w.heapSwap(i, small)
+		i = small
+	}
+}
+
+func (w *Workspace) heapSwap(i, j int) {
+	w.items[i], w.items[j] = w.items[j], w.items[i]
+	w.pos[w.items[i].node] = int32(i)
+	w.pos[w.items[j].node] = int32(j)
+}
