@@ -28,11 +28,11 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./...
 
 # Machine-readable hot-path numbers (ns/op, B/op, allocs/op) for the
-# standard world → BENCH_PR2.json. CI uploads this as an artifact so perf
-# regressions are visible in PR checks; cmd/benchjson -baseline compares
-# against a previous run.
+# standard world → BENCH_PR3.json, with the committed PR2 snapshot embedded
+# as the baseline. CI uploads this as an artifact so perf regressions are
+# visible in PR checks.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR2.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR3.json -baseline BENCH_PR2.json
 
 fmt:
 	gofmt -l -w .

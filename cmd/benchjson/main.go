@@ -2,20 +2,27 @@
 // standard benchmark world (DE at scale 0.05, the same world the root
 // benchmarks use) and emits machine-readable JSON: ns/op, B/op and
 // allocs/op for cold queries, cached queries, client verification, owner
-// outsourcing and graph construction.
+// outsourcing (at 1/4/8 workers), incremental updates vs full rebuild, and
+// graph construction.
 //
 // The output is the perf trajectory record for the repo: CI uploads it as
 // an artifact on every run (`make bench-json`), and a committed snapshot
-// (BENCH_PR2.json) pins each PR's baseline-vs-after numbers. Pass
+// (BENCH_PR3.json) pins each PR's baseline-vs-after numbers. Pass
 // -baseline with a previous output file to embed it and per-metric ratios:
 //
-//	go run ./cmd/benchjson -out BENCH_PR2.json -baseline old.json
+//	go run ./cmd/benchjson -out BENCH_PR3.json -baseline BENCH_PR2.json
+//
+// Worker-sweep lanes (outsource-all/workers=N) force GOMAXPROCS=N for the
+// measurement; the report's cpus field records the physical budget — on a
+// single-core host the sweep shows fan-out overhead, not speedup, so read
+// it together with cpus.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
@@ -33,8 +40,11 @@ type Metrics struct {
 
 // Report is the emitted document.
 type Report struct {
-	Schema  string             `json:"schema"`
-	Go      string             `json:"go"`
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	// CPUs is runtime.NumCPU at measurement time — the context the
+	// worker-sweep lanes must be read in.
+	CPUs    int                `json:"cpus"`
 	World   World              `json:"world"`
 	Results map[string]Metrics `json:"results"`
 	// Baseline is a previous run embedded via -baseline; Speedup holds
@@ -59,7 +69,7 @@ type Speedups struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR2.json", "output file (- for stdout)")
+	out := flag.String("out", "BENCH_PR3.json", "output file (- for stdout)")
 	baselineFile := flag.String("baseline", "", "previous benchjson output to embed for comparison")
 	flag.Parse()
 	if err := run(*out, *baselineFile); err != nil {
@@ -72,6 +82,7 @@ func run(out, baselineFile string) error {
 	r := Report{
 		Schema:  "spv-bench/v1",
 		Go:      runtime.Version(),
+		CPUs:    runtime.NumCPU(),
 		Results: map[string]Metrics{},
 	}
 
@@ -226,6 +237,156 @@ func run(out, baselineFile string) error {
 		}
 	})
 
+	// Worker sweep: the full multi-method outsource (DIJ+FULL+LDM+HYP — the
+	// owner pipeline the tentpole parallelized; FULL's |V| Dijkstras and
+	// |V|² row hashing dominate and fan out) under forced GOMAXPROCS.
+	prev := runtime.GOMAXPROCS(0)
+	for _, workers := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(workers)
+		measure(fmt.Sprintf("outsource-all/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, fn := range []func() error{
+					func() error { _, err := owner.OutsourceDIJ(); return err },
+					func() error { _, err := owner.OutsourceFULL(); return err },
+					func() error { _, err := owner.OutsourceLDM(); return err },
+					func() error { _, err := owner.OutsourceHYP(); return err },
+				} {
+					if err := fn(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+	runtime.GOMAXPROCS(prev)
+
+	// Update vs rebuild: a single-edge re-weighting through the full
+	// incremental pipeline (probe → patch all served methods → hot-swap)
+	// against a from-scratch re-outsource of the same method set. The
+	// served set is spvserve's default (DIJ+LDM+HYP); FULL's incremental
+	// path is measured separately since its rebuild dwarfs everything.
+	if err := benchUpdates(g.Clone(), measure); err != nil {
+		return err
+	}
+
+	return finish(r, out, baselineFile)
+}
+
+// benchUpdates measures the incremental update pipeline against full
+// rebuilds on private clones of the benchmark world (updates mutate the
+// owner's graph, so the main lanes must not share it).
+func benchUpdates(g *spv.Graph, measure func(string, func(b *testing.B))) error {
+	// A single edge's blast radius varies wildly (a hub edge can dirty a
+	// third of all sources, a peripheral one a handful), so the update
+	// lanes rotate through a seeded random edge sample and report the
+	// per-update average: each edge is perturbed by 5% then restored on
+	// its next visit, keeping every apply a real change.
+	type bedge struct {
+		u  spv.NodeID
+		e  spv.Edge
+		up bool
+	}
+	sampleEdges := func(g *spv.Graph, seed int64, count int) []bedge {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]bedge, 0, count)
+		// Dedup by undirected pair: a duplicate's perturb/restore toggles
+		// would collide into no-op applies and understate update cost.
+		seen := make(map[[2]spv.NodeID]bool, count)
+		for len(out) < count {
+			u := spv.NodeID(rng.Intn(g.NumNodes()))
+			adj := g.Neighbors(u)
+			if len(adj) == 0 {
+				continue
+			}
+			e := adj[rng.Intn(len(adj))]
+			key := [2]spv.NodeID{u, e.To}
+			if e.To < u {
+				key = [2]spv.NodeID{e.To, u}
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, bedge{u: u, e: e})
+		}
+		return out
+	}
+	step := func(dep *spv.Deployment, edges []bedge, i int) error {
+		be := &edges[i%len(edges)]
+		w := be.e.W
+		if !be.up {
+			w *= 1.05
+		}
+		be.up = !be.up
+		_, err := dep.ApplyUpdates([]spv.EdgeUpdate{{U: be.u, V: be.e.To, W: w}})
+		return err
+	}
+
+	// Served-set lanes: spvserve's default methods, end to end through the
+	// deployment (probe → patch → hot-swap → stats).
+	owner, err := spv.NewOwner(g.Clone(), spv.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	dep, err := spv.NewDeployment(owner, spv.ServeOptions{}, spv.DIJ, spv.LDM, spv.HYP)
+	if err != nil {
+		return err
+	}
+	edges := sampleEdges(owner.Graph(), 41, 64)
+	measure("update/single-edge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := step(dep, edges, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("rebuild/DIJ+LDM+HYP", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, fn := range []func() error{
+				func() error { _, err := owner.OutsourceDIJ(); return err },
+				func() error { _, err := owner.OutsourceLDM(); return err },
+				func() error { _, err := owner.OutsourceHYP(); return err },
+			} {
+				if err := fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	// FULL lanes, separately: its rebuild is the quadratic blow-up.
+	fowner, err := spv.NewOwner(g.Clone(), spv.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fdep, err := spv.NewDeployment(fowner, spv.ServeOptions{}, spv.FULL)
+	if err != nil {
+		return err
+	}
+	fedges := sampleEdges(fowner.Graph(), 43, 16)
+	measure("update/FULL-single-edge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := step(fdep, fedges, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("rebuild/FULL", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fowner.OutsourceFULL(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return nil
+}
+
+func finish(r Report, out, baselineFile string) error {
 	if baselineFile != "" {
 		var base Report
 		data, err := os.ReadFile(baselineFile)

@@ -47,17 +47,18 @@ func main() {
 		keyFile  = flag.String("key", "", "owner private key PEM (default: fresh key per run)")
 		landmark = flag.Int("landmarks", 0, "LDM landmark count (0 = config default)")
 		cells    = flag.Int("cells", 0, "HYP grid cell count (0 = config default)")
+		updates  = flag.Bool("updates", false, "enable owner-side POST /update (incremental edge re-weighting + hot-swap)")
 	)
 	flag.Parse()
 	if err := run(*addr, *dataset, *scale, *nodes, *edges, *seed, *methods,
-		*workers, *cache, *keyFile, *landmark, *cells); err != nil {
+		*workers, *cache, *keyFile, *landmark, *cells, *updates); err != nil {
 		fmt.Fprintf(os.Stderr, "spvserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, dataset string, scale float64, nodes, edges int, seed int64,
-	methodList string, workers int, cache int64, keyFile string, landmarks, cells int) error {
+	methodList string, workers int, cache int64, keyFile string, landmarks, cells int, updates bool) error {
 	g, err := buildNetwork(dataset, scale, nodes, edges, seed)
 	if err != nil {
 		return err
@@ -97,11 +98,23 @@ func run(addr, dataset string, scale float64, nodes, edges int, seed int64,
 	}
 	log.Printf("network ready: %d nodes, %d edges; outsourcing %v", g.NumNodes(), g.NumEdges(), ms)
 
-	srv, err := spv.NewServer(owner, spv.ServeOptions{Workers: workers, CacheBytes: cache}, ms...)
+	// Always deploy through the update-capable bundle; /update itself only
+	// opens with -updates, since it is the owner's side door (re-signing
+	// roots needs the private key this process holds anyway).
+	dep, err := spv.NewDeployment(owner, spv.ServeOptions{Workers: workers, CacheBytes: cache}, ms...)
 	if err != nil {
 		return err
 	}
-	log.Printf("serving %v on %s (/query /batch /verifier /stats)", srv.Engine().Methods(), addr)
+	srv, err := spv.NewServerFromEngine(dep.Engine(), owner.Verifier())
+	if err != nil {
+		return err
+	}
+	endpoints := "/query /batch /verifier /stats"
+	if updates {
+		srv.EnableUpdates(dep)
+		endpoints += " /update"
+	}
+	log.Printf("serving %v on %s (%s)", dep.Engine().Methods(), addr, endpoints)
 	// Explicit timeouts: the daemon fronts many untrusting clients, and the
 	// zero-value http.Server would let slow-loris connections pin goroutines
 	// forever. Write timeout stays generous for large DIJ proofs.

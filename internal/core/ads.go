@@ -7,6 +7,7 @@ import (
 	"github.com/authhints/spv/internal/graph"
 	"github.com/authhints/spv/internal/mht"
 	"github.com/authhints/spv/internal/order"
+	"github.com/authhints/spv/internal/par"
 )
 
 // networkADS is the graph-node Merkle tree of §III-B: extended-tuples Φ(v)
@@ -22,8 +23,10 @@ type networkADS struct {
 
 // buildNetworkADS encodes every node's extended-tuple (with the method's
 // extra bytes) in ordering sequence and folds them into the Merkle tree.
-// Leaf digesting and tree level hashing fan out across GOMAXPROCS inside
-// mht, so owner outsourcing of large networks scales with cores.
+// Tuple encoding, leaf digesting and tree level hashing all fan out across
+// GOMAXPROCS (each leaf position is independent), so owner outsourcing of
+// large networks scales with cores while the root stays byte-identical to
+// a serial build.
 func buildNetworkADS(g *graph.Graph, cfg Config, extraFn func(graph.NodeID) []byte) (*networkADS, error) {
 	ord, err := order.Compute(g, cfg.Ordering, cfg.OrderSeed)
 	if err != nil {
@@ -32,19 +35,56 @@ func buildNetworkADS(g *graph.Graph, cfg Config, extraFn func(graph.NodeID) []by
 	n := g.NumNodes()
 	msgs := make([][]byte, n)
 	leaves := make([][]byte, n)
-	for pos, v := range ord.Seq {
-		t := g.TupleOf(v)
-		if extraFn != nil {
-			t.Extra = extraFn(v)
+	par.Chunks(n, adsParallelThreshold, func(lo, hi int) {
+		for pos := lo; pos < hi; pos++ {
+			msgs[pos] = encodeTupleMsg(g, ord.Seq[pos], extraFn, nil)
 		}
-		msgs[pos] = t.AppendBinary(nil)
-	}
+	})
 	mht.HashMessages(cfg.Hash, msgs, leaves)
 	tree, err := mht.Build(cfg.Hash, cfg.Fanout, leaves)
 	if err != nil {
 		return nil, err
 	}
 	return &networkADS{ord: ord, tree: tree, msgs: msgs}, nil
+}
+
+// adsParallelThreshold is the node count below which tuple encoding runs
+// inline — encoding is heavier per item than hashing, so fan-out pays off
+// earlier than mht's default threshold.
+const adsParallelThreshold = 512
+
+// encodeTupleMsg builds the canonical leaf message of node v.
+func encodeTupleMsg(g *graph.Graph, v graph.NodeID, extraFn func(graph.NodeID) []byte, buf []byte) []byte {
+	t := g.TupleOf(v)
+	if extraFn != nil {
+		t.Extra = extraFn(v)
+	}
+	return t.AppendBinary(buf)
+}
+
+// patched returns a copy-on-write networkADS with the given leaf messages
+// replaced and only the dirty Merkle paths rehashed. The receiver remains
+// fully usable by concurrent readers (old providers keep serving it), and
+// the result is byte-identical to rebuilding the ADS from the patched
+// message set. dirtyMsgs is keyed by leaf position.
+func (a *networkADS) patched(dirtyMsgs map[int][]byte) (*networkADS, int, error) {
+	if len(dirtyMsgs) == 0 {
+		return a, 0, nil
+	}
+	h := a.tree.Alg().New()
+	msgs := append([][]byte(nil), a.msgs...)
+	dirtyLeaves := make(map[int][]byte, len(dirtyMsgs))
+	for pos, msg := range dirtyMsgs {
+		msgs[pos] = msg
+		h.Reset()
+		h.Write(msg)
+		dirtyLeaves[pos] = h.Sum(nil)
+	}
+	tree, err := a.tree.UpdateLeaves(dirtyLeaves)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &networkADS{ord: a.ord, tree: tree, msgs: msgs}, len(dirtyMsgs), nil
 }
 
 // Root returns the tree root the owner signs.

@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"github.com/authhints/spv/internal/digest"
+	"github.com/authhints/spv/internal/graph"
 	"github.com/authhints/spv/internal/hints/landmark"
 	"github.com/authhints/spv/internal/order"
 	"github.com/authhints/spv/internal/sig"
@@ -77,6 +78,19 @@ type Config struct {
 	HintSeed  int64
 	// Cells (p) parameterizes HYP's grid.
 	Cells int
+
+	// PinnedLandmarks bypasses LDM's landmark selection with an explicit
+	// placement. The incremental update pipeline keeps an outsourced
+	// provider's placement fixed (LDMProvider.Landmarks exposes it), so a
+	// from-scratch rebuild with the same pinned set reproduces an updated
+	// owner's roots, signatures and proofs byte for byte.
+	PinnedLandmarks []graph.NodeID
+	// PinnedLambda pins LDM's quantization step the same way (zero
+	// derives it from the observed Dmax); LDMProvider.Lambda exposes an
+	// outsourced provider's value. Updates always keep λ pinned —
+	// re-deriving it would ripple every payload whenever the longest
+	// landmark distance moves.
+	PinnedLambda float64
 }
 
 // DefaultConfig mirrors the paper's default setting (Table II): Hilbert

@@ -2,12 +2,24 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/authhints/spv/internal/graph"
 	"github.com/authhints/spv/internal/mbt"
 	"github.com/authhints/spv/internal/mht"
 	"github.com/authhints/spv/internal/sp"
 )
+
+// fullRowFn regenerates source rows against a frozen view — the forest's
+// on-demand half for proofs, and the callback swapped in when an update
+// re-freezes the network.
+func fullRowFn(view *graph.CSR) func(i int) []float64 {
+	return func(i int) []float64 {
+		w := sp.AcquireWorkspace(view.NumNodes())
+		defer sp.ReleaseWorkspace(w)
+		return w.DijkstraRow(view, graph.NodeID(i), nil)
+	}
+}
 
 // This file implements FULL, fully materialized distance verification
 // (paper §IV-B): the owner materializes dist(vi, vj) for every node pair
@@ -40,7 +52,12 @@ type FULLProvider struct {
 
 // OutsourceFULL builds the network ADS and the all-pairs distance forest,
 // and signs both roots. This is the method whose pre-computation explodes
-// with |V| (quadratic output, |V| Dijkstra runs).
+// with |V| (quadratic output, |V| Dijkstra runs) — both the Dijkstra runs
+// and the per-row subtree hashing fan out across GOMAXPROCS workers, each
+// worker folding its own rows (ForestBuilder.SetRow) so no quadratic work
+// serializes behind a reorder buffer. Row roots land in dense source order
+// regardless of completion order, keeping the forest root byte-identical
+// to a serial build.
 func (o *Owner) OutsourceFULL() (*FULLProvider, error) {
 	ads, err := buildNetworkADS(o.g, o.cfg, nil)
 	if err != nil {
@@ -51,21 +68,22 @@ func (o *Owner) OutsourceFULL() (*FULLProvider, error) {
 	if err != nil {
 		return nil, err
 	}
+	var mu sync.Mutex
 	var addErr error
-	sp.AllPairsRows(o.g, func(src graph.NodeID, dist []float64) {
-		if addErr == nil {
-			addErr = builder.AddRow(dist)
+	sp.AllPairsRowsUnordered(o.g, func(src graph.NodeID, dist []float64) {
+		if err := builder.SetRow(int(src), dist); err != nil {
+			mu.Lock()
+			if addErr == nil {
+				addErr = err
+			}
+			mu.Unlock()
 		}
 	})
 	if addErr != nil {
 		return nil, addErr
 	}
 	view := o.frozenView()
-	forest, err := builder.Finish(func(i int) []float64 {
-		w := sp.AcquireWorkspace(view.NumNodes())
-		defer sp.ReleaseWorkspace(w)
-		return w.DijkstraRow(view, graph.NodeID(i), nil)
-	})
+	forest, err := builder.Finish(fullRowFn(view))
 	if err != nil {
 		return nil, err
 	}

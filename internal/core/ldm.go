@@ -45,11 +45,13 @@ type LDMProvider struct {
 // parameters.
 func (o *Owner) OutsourceLDM() (*LDMProvider, error) {
 	h, _, err := landmark.Build(o.g, landmark.Options{
-		C:        o.cfg.Landmarks,
-		Bits:     o.cfg.QuantBits,
-		Xi:       o.cfg.Xi,
-		Strategy: o.cfg.Strategy,
-		Seed:     o.cfg.HintSeed,
+		C:           o.cfg.Landmarks,
+		Bits:        o.cfg.QuantBits,
+		Xi:          o.cfg.Xi,
+		Strategy:    o.cfg.Strategy,
+		Seed:        o.cfg.HintSeed,
+		Fixed:       o.cfg.PinnedLandmarks,
+		FixedLambda: o.cfg.PinnedLambda,
 	})
 	if err != nil {
 		return nil, err
@@ -67,6 +69,19 @@ func (o *Owner) OutsourceLDM() (*LDMProvider, error) {
 	}
 	return &LDMProvider{g: o.g, view: o.frozenView(), hints: h, ads: ads, rootSig: rootSig}, nil
 }
+
+// Landmarks returns the provider's landmark placement (a copy). An
+// incremental update pipeline pins this set; pass it as
+// Config.PinnedLandmarks to reproduce an updated owner's hints byte for
+// byte in a from-scratch re-outsource.
+func (p *LDMProvider) Landmarks() []graph.NodeID {
+	return append([]graph.NodeID(nil), p.hints.Landmarks...)
+}
+
+// Lambda returns the provider's quantization step — pass it as
+// Config.PinnedLambda alongside PinnedLandmarks when reproducing an
+// updated owner byte for byte.
+func (p *LDMProvider) Lambda() float64 { return p.hints.Lambda }
 
 // LDMProof is the answer to an LDM query: the path, the hint parameters,
 // the Lemma 2 subgraph tuples (with embedded landmark payloads), and the

@@ -20,15 +20,41 @@ type Owner struct {
 	// frozen is the lazily built CSR snapshot shared by every provider
 	// this owner outsources: the CSR is immutable and safe for unbounded
 	// concurrent use, so one copy serves all four methods instead of four
-	// identical deep snapshots.
-	freezeOnce sync.Once
-	frozen     *graph.CSR
+	// identical deep snapshots. ApplyUpdates replaces it after mutating
+	// the graph; providers keep the snapshot they were built against.
+	mu     sync.Mutex
+	frozen *graph.CSR
+	epoch  int64 // bumped once per applied update batch
+
+	// bridges caches the Tarjan bridge set. Bridge-ness depends only on
+	// topology, which edge re-weighting never touches, so one computation
+	// serves every update. (Structural mutations of the graph after the
+	// first update are outside the owner contract.)
+	bridgeOnce sync.Once
+	bridges    map[uint64]graph.BridgeSide
+}
+
+// bridgeSet returns the cached topology bridge set, computing it once.
+func (o *Owner) bridgeSet() map[uint64]graph.BridgeSide {
+	o.bridgeOnce.Do(func() { o.bridges = o.g.Bridges() })
+	return o.bridges
 }
 
 // frozenView returns the shared CSR snapshot, building it on first use.
 func (o *Owner) frozenView() *graph.CSR {
-	o.freezeOnce.Do(func() { o.frozen = o.g.Freeze() })
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.frozen == nil {
+		o.frozen = o.g.Freeze()
+	}
 	return o.frozen
+}
+
+// Epoch returns the number of update batches applied to this owner.
+func (o *Owner) Epoch() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.epoch
 }
 
 // NewOwner validates the configuration, checks the graph, and generates the

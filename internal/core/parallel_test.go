@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	cryptorand "crypto/rand"
+	"runtime"
+	"testing"
+
+	"github.com/authhints/spv/internal/netgen"
+	"github.com/authhints/spv/internal/sig"
+)
+
+// TestParallelOutsourceByteIdentical pins the tentpole guarantee of the
+// parallel owner pipeline: outsourcing under GOMAXPROCS=1 and under a wide
+// worker fan-out must produce identical roots and signatures for every
+// method — workers write disjoint slots, so scheduling can never leak into
+// the bytes.
+func TestParallelOutsourceByteIdentical(t *testing.T) {
+	g, err := netgen.Generate(netgen.DE, netgen.Config{Scale: 0.01, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Landmarks = 6
+	cfg.Cells = 9
+	signer, err := sig.GenerateKey(cryptorand.Reader, cfg.RSABits)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type roots struct {
+		dijRoot, dijSig   []byte
+		fullNet, fullDist []byte
+		ldmRoot, ldmSig   []byte
+		hypNet, hypDist   []byte
+	}
+	build := func() roots {
+		owner, err := NewOwnerWithSigner(g.Clone(), cfg, signer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dij, err := owner.OutsourceDIJ()
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := owner.OutsourceFULL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ldm, err := owner.OutsourceLDM()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hyp, err := owner.OutsourceHYP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := roots{
+			dijRoot: dij.ads.Root(), dijSig: dij.rootSig,
+			fullNet: full.ads.Root(), fullDist: full.forest.Root(),
+			ldmRoot: ldm.ads.Root(), ldmSig: ldm.rootSig,
+			hypNet: hyp.ads.Root(),
+		}
+		if hyp.distMBT != nil {
+			r.hypDist = hyp.distMBT.Root()
+		}
+		return r
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	serial := build()
+	runtime.GOMAXPROCS(8)
+	parallel := build()
+	runtime.GOMAXPROCS(prev)
+
+	for _, pair := range []struct {
+		what string
+		a, b []byte
+	}{
+		{"DIJ root", serial.dijRoot, parallel.dijRoot},
+		{"DIJ sig", serial.dijSig, parallel.dijSig},
+		{"FULL network root", serial.fullNet, parallel.fullNet},
+		{"FULL forest root", serial.fullDist, parallel.fullDist},
+		{"LDM root", serial.ldmRoot, parallel.ldmRoot},
+		{"LDM sig", serial.ldmSig, parallel.ldmSig},
+		{"HYP network root", serial.hypNet, parallel.hypNet},
+		{"HYP distance root", serial.hypDist, parallel.hypDist},
+	} {
+		if !bytes.Equal(pair.a, pair.b) {
+			t.Errorf("%s differs between GOMAXPROCS=1 and GOMAXPROCS=8", pair.what)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"bytes"
+	cryptorand "crypto/rand"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/netgen"
+	"github.com/authhints/spv/internal/sig"
+	"github.com/authhints/spv/internal/workload"
+)
+
+// updateWorld is the quad of providers an update test threads its patches
+// through.
+type updateWorld struct {
+	dij  *DIJProvider
+	full *FULLProvider
+	ldm  *LDMProvider
+	hyp  *HYPProvider
+}
+
+func outsourceAll(t *testing.T, o *Owner) updateWorld {
+	t.Helper()
+	var w updateWorld
+	var err error
+	if w.dij, err = o.OutsourceDIJ(); err != nil {
+		t.Fatal(err)
+	}
+	if w.full, err = o.OutsourceFULL(); err != nil {
+		t.Fatal(err)
+	}
+	if w.ldm, err = o.OutsourceLDM(); err != nil {
+		t.Fatal(err)
+	}
+	if w.hyp, err = o.OutsourceHYP(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// randomUpdates picks `count` random existing edges and re-weights them by
+// factors that cover decreases, increases and exact no-ops.
+func randomUpdates(g *graph.Graph, rng *rand.Rand, count int) []EdgeUpdate {
+	factors := []float64{0.5, 0.93, 1.0, 1.5, 2.0}
+	ups := make([]EdgeUpdate, 0, count)
+	for len(ups) < count {
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		adj := g.Neighbors(u)
+		if len(adj) == 0 {
+			continue
+		}
+		e := adj[rng.Intn(len(adj))]
+		w := e.W * factors[rng.Intn(len(factors))]
+		ups = append(ups, EdgeUpdate{U: u, V: e.To, W: w})
+	}
+	return ups
+}
+
+// TestIncrementalUpdateMatchesRebuild is the cross-validation gate of the
+// update pipeline: after seeded random update sequences, every patched
+// provider must carry roots, signatures and per-query proof encodings
+// byte-identical to a from-scratch re-outsource of the updated network
+// (with the landmark placement pinned — selection is re-made only on full
+// re-outsource).
+func TestIncrementalUpdateMatchesRebuild(t *testing.T) {
+	cases := []struct {
+		name         string
+		seed         int64
+		steps, batch int
+	}{
+		{"single-updates", 11, 4, 1},
+		{"batched-updates", 23, 2, 5},
+		{"long-sequence", 37, 6, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := netgen.Generate(netgen.DE, netgen.Config{Scale: 0.01, Seed: tc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runUpdateCrossValidation(t, g, tc.seed, tc.steps, tc.batch)
+		})
+	}
+}
+
+// TestIncrementalUpdateMatchesRebuildLineGraph pins the bridge fast path's
+// far-side branch deterministically: on a path graph every edge is a
+// bridge and updates near the middle put landmarks and borders on both
+// sides of the cut, so both resummation directions (and the lazy
+// near-side walk) must reproduce the rebuild byte for byte.
+func TestIncrementalUpdateMatchesRebuildLineGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	n := 48
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(float64(i)*200, 50*rng.Float64())
+	}
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(graph.NodeID(i-1), graph.NodeID(i), 50+200*rng.Float64())
+	}
+	runUpdateCrossValidation(t, g, 51, 5, 1)
+}
+
+func runUpdateCrossValidation(t *testing.T, g *graph.Graph, seed int64, steps, batch int) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Landmarks = 6
+	cfg.Cells = 9
+	signer, err := sig.GenerateKey(cryptorand.Reader, cfg.RSABits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := NewOwnerWithSigner(g, cfg, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := outsourceAll(t, owner)
+	pinned := w.ldm.Landmarks()
+
+	rng := rand.New(rand.NewSource(seed))
+	wantEpoch := int64(0)
+	for step := 0; step < steps; step++ {
+		ups := randomUpdates(owner.Graph(), rng, batch)
+		b, err := owner.ApplyUpdates(ups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b.DirtyNodes()) > 0 {
+			wantEpoch++ // all-no-op batches don't bump the epoch
+		}
+		if w.dij, _, err = b.PatchDIJ(w.dij); err != nil {
+			t.Fatal(err)
+		}
+		if w.full, _, err = b.PatchFULL(w.full); err != nil {
+			t.Fatal(err)
+		}
+		if w.ldm, _, err = b.PatchLDM(w.ldm); err != nil {
+			t.Fatal(err)
+		}
+		if w.hyp, _, err = b.PatchHYP(w.hyp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if owner.Epoch() != wantEpoch {
+		t.Fatalf("owner epoch = %d, want %d", owner.Epoch(), wantEpoch)
+	}
+
+	// From-scratch rebuild of the updated network: same key, same
+	// config, landmark placement and quantization step pinned to
+	// the original outsourcing (updates never re-derive either).
+	cfg2 := cfg
+	cfg2.PinnedLandmarks = pinned
+	cfg2.PinnedLambda = w.ldm.Lambda()
+	owner2, err := NewOwnerWithSigner(owner.Graph().Clone(), cfg2, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := outsourceAll(t, owner2)
+
+	mustEq := func(what string, a, b []byte) {
+		t.Helper()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s differs between incremental update and rebuild", what)
+		}
+	}
+	mustEq("DIJ root", w.dij.ads.Root(), r.dij.ads.Root())
+	mustEq("DIJ root sig", w.dij.rootSig, r.dij.rootSig)
+	mustEq("FULL network root", w.full.ads.Root(), r.full.ads.Root())
+	mustEq("FULL network sig", w.full.netSig, r.full.netSig)
+	mustEq("FULL forest root", w.full.forest.Root(), r.full.forest.Root())
+	mustEq("FULL forest sig", w.full.distSig, r.full.distSig)
+	mustEq("LDM root", w.ldm.ads.Root(), r.ldm.ads.Root())
+	mustEq("LDM root sig", w.ldm.rootSig, r.ldm.rootSig)
+	if w.ldm.hints.Lambda != r.ldm.hints.Lambda {
+		t.Fatalf("LDM lambda %v vs rebuild %v", w.ldm.hints.Lambda, r.ldm.hints.Lambda)
+	}
+	mustEq("HYP network root", w.hyp.ads.Root(), r.hyp.ads.Root())
+	mustEq("HYP network sig", w.hyp.netSig, r.hyp.netSig)
+	if (w.hyp.distMBT == nil) != (r.hyp.distMBT == nil) {
+		t.Fatal("HYP distance tree presence differs")
+	}
+	if w.hyp.distMBT != nil {
+		mustEq("HYP distance root", w.hyp.distMBT.Root(), r.hyp.distMBT.Root())
+		mustEq("HYP distance sig", w.hyp.distSig, r.hyp.distSig)
+	}
+
+	// Per-method proofs must be byte-identical and verify.
+	qs, err := workload.Generate(owner.Graph(), 5, 2000, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := owner.Verifier()
+	for qi, q := range qs {
+		dp1, err1 := w.dij.Query(q.S, q.T)
+		dp2, err2 := r.dij.Query(q.S, q.T)
+		checkProofPair(t, fmt.Sprintf("DIJ q%d", qi), err1, err2,
+			proofBytes(dp1), proofBytes(dp2), func() error { return VerifyDIJ(verifier, q.S, q.T, dp1) })
+		fp1, err1 := w.full.Query(q.S, q.T)
+		fp2, err2 := r.full.Query(q.S, q.T)
+		checkProofPair(t, fmt.Sprintf("FULL q%d", qi), err1, err2,
+			proofBytes(fp1), proofBytes(fp2), func() error { return VerifyFULL(verifier, q.S, q.T, fp1) })
+		lp1, err1 := w.ldm.Query(q.S, q.T)
+		lp2, err2 := r.ldm.Query(q.S, q.T)
+		checkProofPair(t, fmt.Sprintf("LDM q%d", qi), err1, err2,
+			proofBytes(lp1), proofBytes(lp2), func() error { return VerifyLDM(verifier, q.S, q.T, lp1) })
+		hp1, err1 := w.hyp.Query(q.S, q.T)
+		hp2, err2 := r.hyp.Query(q.S, q.T)
+		checkProofPair(t, fmt.Sprintf("HYP q%d", qi), err1, err2,
+			proofBytes(hp1), proofBytes(hp2), func() error { return VerifyHYP(verifier, q.S, q.T, hp1) })
+	}
+}
+
+type binaryAppender interface{ AppendBinary([]byte) []byte }
+
+func proofBytes(p binaryAppender) []byte {
+	if p == nil {
+		return nil
+	}
+	return p.AppendBinary(nil)
+}
+
+func checkProofPair(t *testing.T, what string, err1, err2 error, b1, b2 []byte, verify func() error) {
+	t.Helper()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("%s: query errors %v / %v", what, err1, err2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("%s: proof encodings differ between incremental update and rebuild", what)
+	}
+	if err := verify(); err != nil {
+		t.Fatalf("%s: patched provider's proof rejected: %v", what, err)
+	}
+}
+
+// TestNoOpUpdateLeavesEverythingUntouched pins the zero-work fast path: a
+// re-weighting to the current weight dirties nothing and reuses every root
+// and signature by pointer-or-bytes.
+func TestNoOpUpdateLeavesEverythingUntouched(t *testing.T) {
+	g, err := netgen.Generate(netgen.DE, netgen.Config{Scale: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Landmarks = 4
+	cfg.Cells = 9
+	owner, err := NewOwner(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dij, err := owner.OutsourceDIJ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u graph.NodeID
+	for g.Degree(u) == 0 {
+		u++
+	}
+	e := g.Neighbors(u)[0]
+	b, err := owner.UpdateEdgeWeight(u, e.To, e.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.AffectedSources() != 0 || len(b.DirtyNodes()) != 0 {
+		t.Fatalf("no-op update marked %d sources / %d nodes dirty", b.AffectedSources(), len(b.DirtyNodes()))
+	}
+	p2, st, err := b.PatchDIJ(dij)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LeavesPatched != 0 {
+		t.Fatalf("no-op update patched %d leaves", st.LeavesPatched)
+	}
+	if !bytes.Equal(p2.ads.Root(), dij.ads.Root()) || !bytes.Equal(p2.rootSig, dij.rootSig) {
+		t.Fatal("no-op update changed root or signature")
+	}
+}
+
+// TestApplyUpdatesRejectsBadInput pins the validation surface.
+func TestApplyUpdatesRejectsBadInput(t *testing.T) {
+	g, err := netgen.Generate(netgen.DE, netgen.Config{Scale: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := NewOwner(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.ApplyUpdates(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := owner.UpdateEdgeWeight(0, 0, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	var u graph.NodeID
+	for g.Degree(u) == 0 {
+		u++
+	}
+	e := g.Neighbors(u)[0]
+	if _, err := owner.UpdateEdgeWeight(u, e.To, -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := owner.UpdateEdgeWeight(graph.NodeID(g.NumNodes()), 0, 1); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}

@@ -17,6 +17,43 @@ type tupleRecord struct {
 	Bytes []byte
 }
 
+// tupleSpan returns the inclusive [lo, hi] range of Merkle leaf positions
+// a record set covers, or ok=false for an empty set. Leaf layouts preserve
+// network locality (Hilbert/KD/BFS orderings), so the span is a tight
+// summary of which part of the tree a proof exposes — the serving layer
+// stores it per cached proof and invalidates on dirty-leaf overlap.
+func tupleSpan(recs []tupleRecord) (lo, hi uint32, ok bool) {
+	if len(recs) == 0 {
+		return 0, 0, false
+	}
+	lo, hi = recs[0].Pos, recs[0].Pos
+	for _, r := range recs[1:] {
+		if r.Pos < lo {
+			lo = r.Pos
+		}
+		if r.Pos > hi {
+			hi = r.Pos
+		}
+	}
+	return lo, hi, true
+}
+
+// LeafSpan returns the range of network-ADS leaf positions the proof's
+// tuples cover; see tupleSpan.
+func (pr *DIJProof) LeafSpan() (lo, hi uint32, ok bool) { return tupleSpan(pr.Tuples) }
+
+// LeafSpan returns the range of network-ADS leaf positions the proof's
+// tuples cover; see tupleSpan.
+func (pr *FULLProof) LeafSpan() (lo, hi uint32, ok bool) { return tupleSpan(pr.Tuples) }
+
+// LeafSpan returns the range of network-ADS leaf positions the proof's
+// tuples cover; see tupleSpan.
+func (pr *LDMProof) LeafSpan() (lo, hi uint32, ok bool) { return tupleSpan(pr.Tuples) }
+
+// LeafSpan returns the range of network-ADS leaf positions the proof's
+// tuples cover; see tupleSpan.
+func (pr *HYPProof) LeafSpan() (lo, hi uint32, ok bool) { return tupleSpan(pr.Tuples) }
+
 // appendTupleBlock serializes a tuple set:
 //
 //	count uint32 | count × (pos uint32, len uint32, bytes)

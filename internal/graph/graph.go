@@ -156,6 +156,30 @@ func (g *Graph) MustAddEdge(u, v NodeID, w float64) {
 
 func (g *Graph) valid(v NodeID) bool { return v >= 0 && int(v) < len(g.adj) }
 
+// SetEdgeWeight re-weights the existing undirected edge (u, v), returning
+// the previous weight. The adjacency structure (and therefore every
+// ordering and partition derived from it) is unchanged — this is the
+// mutation primitive behind the owner's incremental update pipeline.
+// Not safe for use concurrent with readers of g; providers search frozen
+// CSR snapshots precisely so the owner can mutate between freezes.
+func (g *Graph) SetEdgeWeight(u, v NodeID, w float64) (float64, error) {
+	switch {
+	case !g.valid(u) || !g.valid(v):
+		return 0, fmt.Errorf("%w: endpoint out of range (%d, %d)", ErrBadEdge, u, v)
+	case w < 0 || math.IsNaN(w) || math.IsInf(w, 0):
+		return 0, fmt.Errorf("%w: weight %v", ErrBadEdge, w)
+	}
+	iu, ok := searchAdj(g.adj[u], v)
+	if !ok {
+		return 0, fmt.Errorf("%w: no edge (%d, %d)", ErrBadEdge, u, v)
+	}
+	iv, _ := searchAdj(g.adj[v], u)
+	old := g.adj[u][iu].W
+	g.adj[u][iu].W = w
+	g.adj[v][iv].W = w
+	return old, nil
+}
+
 // RemoveEdge deletes the undirected edge (u, v), reporting whether it
 // existed.
 func (g *Graph) RemoveEdge(u, v NodeID) bool {
@@ -276,6 +300,79 @@ func (g *Graph) Validate() error {
 		return fmt.Errorf("graph: edge count %d does not match adjacency (%d half-edges)", g.edges, count)
 	}
 	return nil
+}
+
+// EdgeKey canonically packs an undirected edge for set membership.
+func EdgeKey(u, v NodeID) uint64 {
+	if v < u {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// BridgeSide describes one bridge: Node is the endpoint whose side of the
+// cut is the DFS subtree, Size that side's node count. The other side is
+// the rest of the component.
+type BridgeSide struct {
+	Node NodeID
+	Size int32
+}
+
+// Bridges returns the bridge edges (edges whose removal disconnects their
+// component), keyed by EdgeKey, each annotated with its cut side. Bridges
+// are a topology-only property — re-weighting never changes them — so
+// callers may cache the set across weight updates. Iterative Tarjan
+// lowlink, O(|V|+|E|).
+func (g *Graph) Bridges() map[uint64]BridgeSide {
+	n := g.NumNodes()
+	bridges := make(map[uint64]BridgeSide)
+	disc := make([]int32, n) // 0 = unvisited; else discovery time+1
+	low := make([]int32, n)
+	size := make([]int32, n) // DFS subtree size
+	parent := make([]NodeID, n)
+	next := make([]int, n) // per-node adjacency cursor for the explicit stack
+	var stack []NodeID
+	time := int32(0)
+	for s := 0; s < n; s++ {
+		if disc[s] != 0 {
+			continue
+		}
+		parent[s] = Invalid
+		time++
+		disc[s], low[s], size[s] = time, time, 1
+		stack = append(stack[:0], NodeID(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			adj := g.adj[v]
+			if next[v] < len(adj) {
+				e := adj[next[v]]
+				next[v]++
+				switch {
+				case disc[e.To] == 0:
+					parent[e.To] = v
+					time++
+					disc[e.To], low[e.To], size[e.To] = time, time, 1
+					stack = append(stack, e.To)
+				case e.To != parent[v]:
+					if disc[e.To] < low[v] {
+						low[v] = disc[e.To]
+					}
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if p := parent[v]; p != Invalid {
+				size[p] += size[v]
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if low[v] > disc[p] {
+					bridges[EdgeKey(p, v)] = BridgeSide{Node: v, Size: size[v]}
+				}
+			}
+		}
+	}
+	return bridges
 }
 
 // ConnectedComponents returns, for every node, the index of its connected

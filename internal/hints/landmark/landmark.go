@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/par"
 	"github.com/authhints/spv/internal/sp"
 )
 
@@ -38,6 +40,22 @@ type Options struct {
 	Xi       float64  // compression threshold ξ (paper default 50.0)
 	Strategy Strategy // landmark selection strategy
 	Seed     int64    // seed for RandomSel and the Farthest starting point
+
+	// Fixed pins the landmark set, bypassing Strategy/Seed selection. The
+	// incremental update pipeline rebuilds hints against the original
+	// placement (selection is a placement choice, re-made only on a full
+	// re-outsource), and cross-validation rebuilds use it to reproduce an
+	// updated owner's hints byte for byte.
+	Fixed []graph.NodeID
+
+	// FixedLambda pins the quantization step instead of deriving it from
+	// the observed Dmax. λ is a public parameter bound into the root
+	// signature, and deriving it per build makes every payload ripple
+	// whenever an update stretches the longest landmark distance — so the
+	// update pipeline pins the outsource-time λ. Distances beyond the
+	// pinned scale saturate at the top unit, which only loosens lower
+	// bounds (Lemma 3 keeps holding); zero derives λ as usual.
+	FixedLambda float64
 }
 
 // Validate checks option ranges.
@@ -50,6 +68,9 @@ func (o Options) Validate() error {
 	}
 	if o.Xi < 0 || math.IsNaN(o.Xi) {
 		return fmt.Errorf("landmark: ξ = %v must be non-negative", o.Xi)
+	}
+	if o.FixedLambda < 0 || math.IsNaN(o.FixedLambda) || math.IsInf(o.FixedLambda, 0) {
+		return fmt.Errorf("landmark: pinned λ = %v must be a non-negative finite value", o.FixedLambda)
 	}
 	switch o.Strategy {
 	case Farthest, RandomSel:
@@ -65,6 +86,12 @@ type Hints struct {
 	Bits      int            // quantization bits b
 	Lambda    float64        // quantization step λ
 	Dmax      float64        // maximum landmark distance observed
+
+	// Dists[i] is landmark i's exact distance row — the Dijkstra output the
+	// quantized units derive from. Retained owner-side so an edge-weight
+	// update only re-runs the rows its probe marks dirty; everything below
+	// (Dmax, λ, Units, compression) is deterministically re-derived.
+	Dists [][]float64
 
 	// Units[v][i] is the quantized distance unit of node v to landmark i:
 	// distb(s_i, v) = Lambda * Units[v][i]. Retained for every node so the
@@ -85,6 +112,12 @@ type Stats struct {
 
 // Build computes the full LDM hint set: select landmarks, compute distance
 // vectors (c Dijkstra runs), quantize (Eq. 5), compress (ξ-greedy).
+//
+// Known-upfront landmark sets (RandomSel, Options.Fixed) fan their Dijkstra
+// runs across GOMAXPROCS workers on pooled workspaces; Farthest selection
+// is inherently sequential (each pick depends on the previous row's
+// distances), so only its derivation stages parallelize. Either way the
+// resulting hints are byte-identical to a single-threaded build.
 func Build(g *graph.Graph, opts Options) (*Hints, Stats, error) {
 	var stats Stats
 	if err := opts.Validate(); err != nil {
@@ -94,14 +127,40 @@ func Build(g *graph.Graph, opts Options) (*Hints, Stats, error) {
 	if n == 0 {
 		return nil, stats, fmt.Errorf("landmark: empty graph")
 	}
-	c := opts.C
-	if c > n {
-		c = n
-	}
 
-	// Select landmarks and collect exact distance vectors (c × n): c full
-	// Dijkstra runs over the frozen CSR view on one reused workspace.
-	landmarks, dists := selectLandmarks(g.Freeze(), c, opts.Strategy, opts.Seed)
+	view := g.Freeze()
+	var landmarks []graph.NodeID
+	var dists [][]float64
+	if len(opts.Fixed) > 0 {
+		for _, l := range opts.Fixed {
+			if l < 0 || int(l) >= n {
+				return nil, stats, fmt.Errorf("landmark: fixed landmark %d out of range [0, %d)", l, n)
+			}
+		}
+		landmarks = append([]graph.NodeID(nil), opts.Fixed...)
+		dists = parallelRows(view, landmarks)
+	} else {
+		c := opts.C
+		if c > n {
+			c = n
+		}
+		landmarks, dists = selectLandmarks(view, c, opts.Strategy, opts.Seed)
+	}
+	h, stats := FromRows(landmarks, dists, opts)
+	return h, stats, nil
+}
+
+// FromRows derives the complete hint set from a landmark placement and its
+// exact distance rows: Dmax, λ, quantized units (Eq. 5, parallel across
+// nodes) and ξ-compression. It is the deterministic tail of Build, shared
+// with the incremental update pipeline, which re-runs only dirty rows and
+// re-derives the rest. dists is retained, not copied.
+func FromRows(landmarks []graph.NodeID, dists [][]float64, opts Options) (*Hints, Stats) {
+	c := len(landmarks)
+	n := 0
+	if c > 0 {
+		n = len(dists[0])
+	}
 
 	// Dmax over all finite landmark distances.
 	dmax := 0.0
@@ -112,7 +171,10 @@ func Build(g *graph.Graph, opts Options) (*Hints, Stats, error) {
 			}
 		}
 	}
-	lambda := dmax / float64((uint64(1)<<opts.Bits)-1)
+	lambda := opts.FixedLambda
+	if lambda == 0 {
+		lambda = dmax / float64((uint64(1)<<opts.Bits)-1)
+	}
 	if lambda == 0 {
 		lambda = 1 // degenerate single-point graphs
 	}
@@ -122,31 +184,86 @@ func Build(g *graph.Graph, opts Options) (*Hints, Stats, error) {
 		Bits:      opts.Bits,
 		Lambda:    lambda,
 		Dmax:      dmax,
+		Dists:     dists,
 		Units:     make([][]uint32, n),
 		Ref:       make([]graph.NodeID, n),
 		Eps:       make([]uint32, n),
 	}
 	maxUnit := uint32((uint64(1) << opts.Bits) - 1)
-	for v := 0; v < n; v++ {
-		row := make([]uint32, c)
-		for i := 0; i < c; i++ {
-			d := dists[i][v]
-			if d == sp.Unreachable {
-				row[i] = maxUnit // unreachable saturates the scale
-				continue
+	par.Chunks(n, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			row := make([]uint32, c)
+			for i := 0; i < c; i++ {
+				d := dists[i][v]
+				if d == sp.Unreachable {
+					row[i] = maxUnit // unreachable saturates the scale
+					continue
+				}
+				u := uint32(math.Round(d / lambda))
+				if u > maxUnit {
+					u = maxUnit
+				}
+				row[i] = u
 			}
-			u := uint32(math.Round(d / lambda))
-			if u > maxUnit {
-				u = maxUnit
-			}
-			row[i] = u
+			h.Units[v] = row
+			h.Ref[v] = graph.NodeID(v)
 		}
-		h.Units[v] = row
-		h.Ref[v] = graph.NodeID(v)
-	}
+	})
 
-	stats = h.compress(opts.Xi)
-	return h, stats, nil
+	stats := h.compress(opts.Xi)
+	return h, stats
+}
+
+// QuantizationUnchanged reports whether quantizing dists under h's
+// (pinned) λ reproduces h's units exactly — the common outcome of a small
+// re-weighting, where distances move by less than half a quantization
+// step. When true, the caller can reuse h's derived state (units,
+// compression, payloads) wholesale and only swap the exact rows.
+func (h *Hints) QuantizationUnchanged(dists [][]float64) bool {
+	maxUnit := uint32((uint64(1) << h.Bits) - 1)
+	n := len(h.Units)
+	var diff atomic.Bool // workers only ever set; reads race-free
+	par.Chunks(n, 0, func(lo, hi int) {
+		for v := lo; v < hi && !diff.Load(); v++ {
+			row := h.Units[v]
+			for i := range row {
+				d := dists[i][v]
+				u := maxUnit
+				if d != sp.Unreachable {
+					if u = uint32(math.Round(d / h.Lambda)); u > maxUnit {
+						u = maxUnit
+					}
+				}
+				if u != row[i] {
+					diff.Store(true)
+					return
+				}
+			}
+		}
+	})
+	return !diff.Load()
+}
+
+// WithRows returns hints sharing every derived structure with h but
+// carrying the given exact rows — valid only when QuantizationUnchanged
+// held for them.
+func (h *Hints) WithRows(dists [][]float64) *Hints {
+	nh := *h
+	nh.Dists = dists
+	return &nh
+}
+
+// parallelRows computes every landmark's full distance row concurrently,
+// one pooled workspace per worker. Rows are independent, so the output
+// matches a sequential run bit for bit.
+func parallelRows(g graph.View, landmarks []graph.NodeID) [][]float64 {
+	dists := make([][]float64, len(landmarks))
+	par.Work(len(landmarks), func(i int) {
+		w := sp.AcquireWorkspace(g.NumNodes())
+		defer sp.ReleaseWorkspace(w)
+		dists[i] = w.DijkstraRow(g, landmarks[i], nil)
+	})
+	return dists
 }
 
 // selectLandmarks returns c landmarks and their exact distance vectors.
@@ -154,19 +271,32 @@ func selectLandmarks(g graph.View, c int, strat Strategy, seed int64) ([]graph.N
 	n := g.NumNodes()
 	rng := rand.New(rand.NewSource(seed))
 	landmarks := make([]graph.NodeID, 0, c)
-	dists := make([][]float64, 0, c)
-	w := sp.AcquireWorkspace(n)
-	defer sp.ReleaseWorkspace(w)
 
 	switch strat {
 	case RandomSel:
-		for _, p := range rng.Perm(n)[:c] {
-			landmarks = append(landmarks, graph.NodeID(p))
+		// Partial Fisher–Yates over a virtual identity array: only the c
+		// displaced slots live in the map, so selection costs O(c) extra
+		// memory instead of rand.Perm's O(n) — the difference between a
+		// hiccup and an allocation spike on million-node graphs.
+		moved := make(map[int]int, c)
+		for i := 0; i < c; i++ {
+			j := i + rng.Intn(n-i)
+			vj, ok := moved[j]
+			if !ok {
+				vj = j
+			}
+			if vi, ok := moved[i]; ok {
+				moved[j] = vi
+			} else {
+				moved[j] = i
+			}
+			landmarks = append(landmarks, graph.NodeID(vj))
 		}
-		for _, l := range landmarks {
-			dists = append(dists, w.DijkstraRow(g, l, nil))
-		}
+		return landmarks, parallelRows(g, landmarks)
 	default: // Farthest
+		dists := make([][]float64, 0, c)
+		w := sp.AcquireWorkspace(n)
+		defer sp.ReleaseWorkspace(w)
 		cur := graph.NodeID(rng.Intn(n))
 		minDist := make([]float64, n)
 		for i := range minDist {
@@ -196,8 +326,8 @@ func selectLandmarks(g graph.View, c int, strat Strategy, seed int64) ([]graph.N
 			}
 			cur = next
 		}
+		return landmarks, dists
 	}
-	return landmarks, dists
 }
 
 // C returns the number of landmarks.

@@ -1,0 +1,74 @@
+package landmark
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/authhints/spv/internal/graph"
+)
+
+// TestPartialFisherYatesSelection pins the O(c)-memory random sampler:
+// deterministic per seed, distinct, in range — including the degenerate
+// c = n case, where it must produce a full permutation.
+func TestPartialFisherYatesSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := randomRoadGraph(rng, 60)
+	for _, c := range []int{1, 7, 59, 60} {
+		o := defaultOpts()
+		o.Strategy = RandomSel
+		o.C = c
+		h1, _, err := Build(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, _, err := Build(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h1.Landmarks) != c {
+			t.Fatalf("c=%d: selected %d landmarks", c, len(h1.Landmarks))
+		}
+		seen := map[graph.NodeID]bool{}
+		for i, l := range h1.Landmarks {
+			if l < 0 || int(l) >= g.NumNodes() {
+				t.Fatalf("c=%d: landmark %d out of range", c, l)
+			}
+			if seen[l] {
+				t.Fatalf("c=%d: duplicate landmark %d", c, l)
+			}
+			seen[l] = true
+			if h2.Landmarks[i] != l {
+				t.Fatalf("c=%d: selection not deterministic per seed", c)
+			}
+		}
+	}
+}
+
+// TestFixedLandmarks pins the placement-pinning path the incremental
+// update pipeline and its cross-validation rebuilds rely on.
+func TestFixedLandmarks(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g := randomRoadGraph(rng, 50)
+	fixed := []graph.NodeID{3, 41, 7, 19}
+	o := defaultOpts()
+	o.Fixed = fixed
+	h, _, err := Build(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Landmarks) != len(fixed) {
+		t.Fatalf("got %d landmarks, want %d", len(h.Landmarks), len(fixed))
+	}
+	for i, l := range h.Landmarks {
+		if l != fixed[i] {
+			t.Fatalf("landmark %d = %d, want %d (order must be preserved)", i, l, fixed[i])
+		}
+	}
+	if h.Dists == nil || len(h.Dists) != len(fixed) {
+		t.Fatal("exact distance rows not retained")
+	}
+	o.Fixed = []graph.NodeID{graph.NodeID(g.NumNodes())}
+	if _, _, err := Build(g, o); err == nil {
+		t.Error("out-of-range fixed landmark accepted")
+	}
+}

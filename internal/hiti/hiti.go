@@ -15,12 +15,11 @@ package hiti
 import (
 	"encoding/binary"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/authhints/spv/internal/geom"
 	"github.com/authhints/spv/internal/graph"
 	"github.com/authhints/spv/internal/mbt"
+	"github.com/authhints/spv/internal/par"
 	"github.com/authhints/spv/internal/sp"
 )
 
@@ -32,7 +31,14 @@ type Hyper struct {
 	Borders  []graph.NodeID // all border nodes, ascending
 
 	borderIdx map[graph.NodeID]int // node → row in W
-	w         [][]float64          // W*[i][j]: dist between Borders[i], Borders[j]
+	// Static builds hold W* border-indexed: wb[i][j] = dist(Borders[i],
+	// Borders[j]), O(B²) memory. The first incremental update upgrades to
+	// full rows w[i][x] (indexed by node, O(B·|V|) memory, wb dropped):
+	// full rows are what make bridge-edge re-weightings resummable with
+	// O(|V|) additions along retained shortest-path prefixes instead of B
+	// fresh searches — a cost only update-serving deployments pay.
+	wb        [][]float64
+	w         [][]float64
 	cellNodes map[geom.CellID][]graph.NodeID
 	// cellBorders caches each cell's border nodes (ascending) so the query
 	// hot path never re-scans cell membership.
@@ -88,38 +94,145 @@ func Build(g *graph.Graph, p int) (*Hyper, error) {
 		h.cellBorders[c] = append(h.cellBorders[c], b)
 	}
 
-	// Materialize W*: one Dijkstra per border node, all borders as targets.
-	// Workers search the frozen CSR view with a reusable workspace each, so
-	// the only per-row allocation is the retained row itself.
+	// Materialize W* border-indexed: one Dijkstra per border node, all
+	// borders as targets, early-terminating once they settle. Workers
+	// search the frozen CSR view with a pooled workspace each.
 	view := g.Freeze()
-	b := len(h.Borders)
-	h.w = make([][]float64, b)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > b {
-		workers = b
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, b)
-	for i := 0; i < b; i++ {
-		next <- i
-	}
-	close(next)
-	for wkr := 0; wkr < workers; wkr++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ws := sp.AcquireWorkspace(n)
-			defer sp.ReleaseWorkspace(ws)
-			for i := range next {
-				h.w[i] = ws.DijkstraToTargets(view, h.Borders[i], h.Borders, nil)
-			}
-		}()
-	}
-	wg.Wait()
+	h.wb = make([][]float64, len(h.Borders))
+	par.Work(len(h.Borders), func(i int) {
+		ws := sp.AcquireWorkspace(view.NumNodes())
+		defer sp.ReleaseWorkspace(ws)
+		h.wb[i] = ws.DijkstraToTargets(view, h.Borders[i], h.Borders, nil)
+	})
 	return h, nil
+}
+
+// value returns W*(Borders[i], x) for border x under either storage form.
+func (h *Hyper) value(i int, x graph.NodeID) float64 {
+	if h.w != nil {
+		return h.w[i][x]
+	}
+	return h.wb[i][h.borderIdx[x]]
+}
+
+// HasFullRows reports whether full distance rows have been materialized
+// (the update pipeline's storage form).
+func (h *Hyper) HasFullRows() bool { return h.w != nil }
+
+// WithFullRows returns a Hyper carrying full distance rows computed over
+// view, dropping the border-indexed form. The update pipeline upgrades a
+// static Hyper with this exactly once (cost: one row rebuild), after which
+// updates patch incrementally. DijkstraRow settles the border targets with
+// the same relaxations DijkstraToTargets performs before its early stop,
+// so border values are bitwise unchanged by the upgrade.
+func (h *Hyper) WithFullRows(view graph.View) *Hyper {
+	nh := *h
+	nh.wb = nil
+	nh.w = make([][]float64, len(h.Borders))
+	nh.materializeRows(view, nil)
+	return &nh
+}
+
+// materializeRows (re)computes full border rows over view: all of them
+// when rows is nil, else exactly the given border indices. Rows are
+// independent Dijkstra runs, so recomputation is bitwise identical to a
+// fresh build for any row whose distances are unchanged. Full-rows form
+// only.
+func (h *Hyper) materializeRows(view graph.View, rows []int) {
+	n := len(rows)
+	if rows == nil {
+		n = len(h.Borders)
+	}
+	par.Work(n, func(k int) {
+		i := k
+		if rows != nil {
+			i = rows[k]
+		}
+		ws := sp.AcquireWorkspace(view.NumNodes())
+		defer sp.ReleaseWorkspace(ws)
+		h.w[i] = ws.DijkstraRow(view, h.Borders[i], nil)
+	})
+}
+
+// WithPatchedRows returns a Hyper sharing the partition and border sets
+// with the receiver, with every row deep-copied and handed to patch for
+// in-place mutation (the update pipeline's bridge resummation). The
+// receiver stays valid for concurrent readers. Full-rows form only.
+func (h *Hyper) WithPatchedRows(patch func(src graph.NodeID, row []float64)) *Hyper {
+	nh := *h
+	nh.w = make([][]float64, len(h.w))
+	for i, row := range h.w {
+		nr := append([]float64(nil), row...)
+		patch(h.Borders[i], nr)
+		nh.w[i] = nr
+	}
+	return &nh
+}
+
+// WithUpdatedRows returns a Hyper sharing the partition, border sets and
+// every clean row with the receiver, with the given border rows re-run
+// against view (the post-update network). The receiver stays valid for
+// concurrent readers.
+func (h *Hyper) WithUpdatedRows(view graph.View, rows []int) *Hyper {
+	nh := *h
+	nh.w = append([][]float64(nil), h.w...)
+	nh.materializeRows(view, rows)
+	return &nh
+}
+
+// CrossingEntries returns the canonical entries for border pairs that
+// straddle the given node partition (inF[x] = x on the far side). Across a
+// bridge only straddling pairs can change value, so the update pipeline
+// diffs exactly these instead of all B² pairs.
+func (h *Hyper) CrossingEntries(inF []bool) []mbt.Entry {
+	var bf, bc []int
+	for i, bn := range h.Borders {
+		if inF[bn] {
+			bf = append(bf, i)
+		} else {
+			bc = append(bc, i)
+		}
+	}
+	out := make([]mbt.Entry, 0, len(bf)*len(bc))
+	for _, i := range bf {
+		for _, j := range bc {
+			lo, hi := i, j
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			u, v := h.Borders[lo], h.Borders[hi]
+			out = append(out, mbt.Entry{
+				Key:   HyperKey(u, v, h.CellOf[u], h.CellOf[v]),
+				Value: h.value(lo, v),
+			})
+		}
+	}
+	return out
+}
+
+// RowEntries returns the canonical hyper-edge entries whose values derive
+// from border row i — the (i, j ≥ i) triangle Entries materializes. Patch
+// paths recompute exactly these after re-running row i.
+func (h *Hyper) RowEntries(i int) []mbt.Entry {
+	b := len(h.Borders)
+	out := make([]mbt.Entry, 0, b-i)
+	u := h.Borders[i]
+	for j := i; j < b; j++ {
+		v := h.Borders[j]
+		out = append(out, mbt.Entry{
+			Key:   HyperKey(u, v, h.CellOf[u], h.CellOf[v]),
+			Value: h.value(i, v),
+		})
+	}
+	return out
+}
+
+// BorderIndex returns border b's row index in W*, or -1 for non-borders.
+func (h *Hyper) BorderIndex(b graph.NodeID) int {
+	if i, ok := h.borderIdx[b]; ok {
+		return i
+	}
+	return -1
 }
 
 // NumBorders returns the number of border nodes.
@@ -145,11 +258,10 @@ func (h *Hyper) HyperEdge(u, v graph.NodeID) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
-	j, ok := h.borderIdx[v]
-	if !ok {
+	if _, ok := h.borderIdx[v]; !ok {
 		return 0, false
 	}
-	return h.w[i][j], true
+	return h.value(i, v), true
 }
 
 // Hyper-edge key layout: the distance Merkle B-tree is keyed cell-pair
@@ -195,7 +307,7 @@ func (h *Hyper) Entries() []mbt.Entry {
 			u, v := h.Borders[i], h.Borders[j]
 			out = append(out, mbt.Entry{
 				Key:   HyperKey(u, v, h.CellOf[u], h.CellOf[v]),
-				Value: h.w[i][j],
+				Value: h.value(i, v),
 			})
 		}
 	}

@@ -25,13 +25,14 @@ type Forest struct {
 	rowFn  func(i int) []float64
 }
 
-// ForestBuilder accumulates row roots in source order.
+// ForestBuilder accumulates row roots, either in source order (AddRow) or
+// out of order from concurrent workers (SetRow).
 type ForestBuilder struct {
 	alg      digest.Alg
 	fanout   int
 	n        int
-	rowRoots [][]byte
-	buf      []byte
+	next     int      // rows consumed by AddRow
+	rowRoots [][]byte // dense, indexed by source
 }
 
 // NewForestBuilder prepares a builder for an n×n matrix.
@@ -45,56 +46,101 @@ func NewForestBuilder(alg digest.Alg, fanout, n int) (*ForestBuilder, error) {
 	if fanout < 2 || fanout > mht.MaxFanout {
 		return nil, fmt.Errorf("mbt: fanout %d out of range", fanout)
 	}
-	return &ForestBuilder{alg: alg, fanout: fanout, n: n, rowRoots: make([][]byte, 0, n)}, nil
+	return &ForestBuilder{alg: alg, fanout: fanout, n: n, rowRoots: make([][]byte, n)}, nil
 }
 
 // AddRow folds row i (which must arrive in order: 0, 1, 2, ...) into its
 // subtree root. vals[j] is dist(i, j) and must have length n.
 func (b *ForestBuilder) AddRow(vals []float64) error {
-	i := len(b.rowRoots)
-	if i >= b.n {
+	if b.next >= b.n {
 		return fmt.Errorf("mbt: too many rows (n=%d)", b.n)
+	}
+	if err := b.SetRow(b.next, vals); err != nil {
+		return err
+	}
+	b.next++
+	return nil
+}
+
+// SetRow folds row i into its subtree root. Unlike AddRow it carries the
+// row index explicitly, so concurrent workers may fold distinct rows
+// simultaneously — row hashing is the quadratic cost of FULL outsourcing,
+// and this is where it fans out across cores. Safe for concurrent use on
+// distinct i.
+func (b *ForestBuilder) SetRow(i int, vals []float64) error {
+	if i < 0 || i >= b.n {
+		return fmt.Errorf("mbt: row %d out of range [0, %d)", i, b.n)
 	}
 	if len(vals) != b.n {
 		return fmt.Errorf("mbt: row %d has %d values, want %d", i, len(vals), b.n)
 	}
-	root, err := b.rowRoot(i, vals)
+	t, err := rowTree(b.alg, b.fanout, b.n, i, vals)
 	if err != nil {
 		return err
 	}
-	b.rowRoots = append(b.rowRoots, root)
+	b.rowRoots[i] = t.Root()
 	return nil
 }
 
-func (b *ForestBuilder) rowRoot(i int, vals []float64) ([]byte, error) {
-	t, err := b.rowTree(i, vals)
+// rowTree builds the subtree over row i's entries. Standalone (no shared
+// scratch) so builder workers and proof regeneration can run concurrently.
+func rowTree(alg digest.Alg, fanout, n, i int, vals []float64) (*mht.Tree, error) {
+	leaves := make([][]byte, n)
+	var buf []byte
+	for j := 0; j < n; j++ {
+		e := Entry{Key: MakeKey(uint32(i), uint32(j)), Value: vals[j]}
+		buf = e.AppendBinary(buf[:0])
+		leaves[j] = alg.Sum(buf)
+	}
+	return mht.Build(alg, fanout, leaves)
+}
+
+// RowRoot computes the subtree root of row i of an n×n forest — the leaf
+// the top tree authenticates for source i. The incremental update path uses
+// it to re-fold only dirty rows.
+func RowRoot(alg digest.Alg, fanout, n, i int, vals []float64) ([]byte, error) {
+	if len(vals) != n {
+		return nil, fmt.Errorf("mbt: row %d has %d values, want %d", i, len(vals), n)
+	}
+	t, err := rowTree(alg, fanout, n, i, vals)
 	if err != nil {
 		return nil, err
 	}
 	return t.Root(), nil
 }
 
-func (b *ForestBuilder) rowTree(i int, vals []float64) (*mht.Tree, error) {
-	leaves := make([][]byte, b.n)
-	for j := 0; j < b.n; j++ {
-		e := Entry{Key: MakeKey(uint32(i), uint32(j)), Value: vals[j]}
-		b.buf = e.AppendBinary(b.buf[:0])
-		leaves[j] = b.alg.Sum(b.buf)
-	}
-	return mht.Build(b.alg, b.fanout, leaves)
-}
-
 // Finish builds the top tree. rowFn must regenerate row i on demand for
 // proof generation (it is the provider's half; clients never need it).
+// Every row must have been folded via AddRow or SetRow.
 func (b *ForestBuilder) Finish(rowFn func(i int) []float64) (*Forest, error) {
-	if len(b.rowRoots) != b.n {
-		return nil, fmt.Errorf("mbt: %d rows added, want %d", len(b.rowRoots), b.n)
+	for i, r := range b.rowRoots {
+		if r == nil {
+			return nil, fmt.Errorf("mbt: row %d never folded", i)
+		}
 	}
 	top, err := mht.Build(b.alg, b.fanout, b.rowRoots)
 	if err != nil {
 		return nil, err
 	}
 	return &Forest{alg: b.alg, fanout: b.fanout, n: b.n, top: top, rowFn: rowFn}, nil
+}
+
+// WithPatchedRows returns a forest whose row roots are replaced by newRoots
+// (keyed by source), with only the dirty top-tree paths rehashed; the
+// receiver stays valid for concurrent readers. rowFn regenerates rows
+// against the post-update network and replaces the receiver's callback.
+func (f *Forest) WithPatchedRows(newRoots map[int][]byte, rowFn func(i int) []float64) (*Forest, error) {
+	top, err := f.top.UpdateLeaves(newRoots)
+	if err != nil {
+		return nil, err
+	}
+	return &Forest{alg: f.alg, fanout: f.fanout, n: f.n, top: top, rowFn: rowFn}, nil
+}
+
+// RowRootEqual reports whether row i's current root equals root — patch
+// paths use it to drop no-op row updates before touching the top tree.
+func (f *Forest) RowRootEqual(i int, root []byte) bool {
+	return bytes.Equal(f.top.Leaf(i), root)
 }
 
 // Root returns the forest root digest (signed by the data owner).
@@ -121,18 +167,17 @@ func (f *Forest) Prove(i, j int) (*ForestProof, error) {
 	if len(vals) != f.n {
 		return nil, fmt.Errorf("mbt: row function returned %d values, want %d", len(vals), f.n)
 	}
-	b := &ForestBuilder{alg: f.alg, fanout: f.fanout, n: f.n}
-	rowTree, err := b.rowTree(i, vals)
+	rt, err := rowTree(f.alg, f.fanout, f.n, i, vals)
 	if err != nil {
 		return nil, err
 	}
 	// Detect drift between construction-time and proof-time rows early: a
 	// stale provider cache would otherwise surface as an opaque client-side
 	// root mismatch.
-	if !bytes.Equal(rowTree.Root(), f.top.Leaf(i)) {
+	if !bytes.Equal(rt.Root(), f.top.Leaf(i)) {
 		return nil, fmt.Errorf("mbt: row %d regenerated with different contents", i)
 	}
-	rowProof, err := rowTree.Prove([]int{j})
+	rowProof, err := rt.Prove([]int{j})
 	if err != nil {
 		return nil, err
 	}

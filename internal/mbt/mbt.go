@@ -100,6 +100,42 @@ func Build(alg digest.Alg, fanout int, entries []Entry) (*Tree, error) {
 	return t, nil
 }
 
+// UpdateValues returns a tree in which each entry's value is replaced by
+// the one given (keys must already exist; the key set never changes under
+// edge re-weighting), plus the number of leaves actually rewritten.
+// Entries whose value is bit-identical are skipped, and only the dirty
+// Merkle paths are rehashed — the receiver stays valid for concurrent
+// readers. Byte-identical to Build over the patched entry set.
+func (t *Tree) UpdateValues(entries []Entry) (*Tree, int, error) {
+	alg := t.mt.Alg()
+	dirty := make(map[int][]byte, len(entries))
+	var vals []float64
+	var buf []byte
+	for _, e := range entries {
+		i := sort.Search(len(t.keys), func(i int) bool { return t.keys[i] >= e.Key })
+		if i >= len(t.keys) || t.keys[i] != e.Key {
+			return nil, 0, fmt.Errorf("mbt: key %d not present", e.Key)
+		}
+		if math.Float64bits(t.vals[i]) == math.Float64bits(e.Value) {
+			continue
+		}
+		if vals == nil {
+			vals = append([]float64(nil), t.vals...)
+		}
+		vals[i] = e.Value
+		buf = e.AppendBinary(buf[:0])
+		dirty[i] = alg.Sum(buf)
+	}
+	if len(dirty) == 0 {
+		return t, 0, nil
+	}
+	mt, err := t.mt.UpdateLeaves(dirty)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Tree{keys: t.keys, vals: vals, mt: mt}, len(dirty), nil
+}
+
 // Root returns the signed-root digest of the tree.
 func (t *Tree) Root() []byte { return t.mt.Root() }
 

@@ -17,11 +17,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"runtime"
 	"slices"
-	"sync"
+	"sort"
 
 	"github.com/authhints/spv/internal/digest"
+	"github.com/authhints/spv/internal/par"
 )
 
 // MaxFanout bounds the tree fanout; the paper evaluates 2..32.
@@ -104,45 +104,11 @@ func Build(alg digest.Alg, fanout int, leaves [][]byte) (*Tree, error) {
 	return t, nil
 }
 
-// parallelThreshold is the work-item count below which hashing runs
-// sequentially: goroutine fan-out only pays for itself on wide levels (in
-// practice the leaf level and the one above it on large networks).
-const parallelThreshold = 2048
-
-// parallelChunks splits [0, n) into contiguous per-worker ranges and runs
-// fn on each concurrently; below the threshold it runs inline. fn ranges
-// are disjoint, so callers writing range-local outputs need no locking and
-// results are byte-identical to the sequential order.
-func parallelChunks(n int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if n < parallelThreshold || workers <= 1 {
-		fn(0, n)
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
 // hashLevel computes one level of parent digests, fanning wide levels out
 // across GOMAXPROCS workers (each parent digest depends only on its own
 // child range).
 func hashLevel(alg digest.Alg, cur [][]byte, grp grouping, next [][]byte) {
-	parallelChunks(grp.groups, func(lo, hi int) {
+	par.Chunks(grp.groups, 0, func(lo, hi int) {
 		hashGroups(alg, cur, grp, next, lo, hi)
 	})
 }
@@ -172,7 +138,7 @@ func BuildFromMessages(alg digest.Alg, fanout int, msgs [][]byte) (*Tree, error)
 // HashMessages fills digests[i] with the hash of msgs[i], in parallel for
 // large inputs. len(digests) must equal len(msgs).
 func HashMessages(alg digest.Alg, msgs [][]byte, digests [][]byte) {
-	parallelChunks(len(msgs), func(lo, hi int) {
+	par.Chunks(len(msgs), 0, func(lo, hi int) {
 		hashMessageRange(alg, msgs, digests, lo, hi)
 	})
 }
@@ -184,6 +150,63 @@ func hashMessageRange(alg digest.Alg, msgs, digests [][]byte, lo, hi int) {
 		h.Write(msgs[i])
 		digests[i] = h.Sum(nil)
 	}
+}
+
+// UpdateLeaves returns a new tree in which leaf i carries digest d for
+// every (i, d) in dirty, rehashing only the O(k·log n) internal digests on
+// the dirty leaves' root paths. The receiver is left untouched and remains
+// fully usable — clean digests are shared between the two trees, so
+// concurrent readers of the old tree (in-flight proof constructions) never
+// observe the patch. The result is byte-identical to Build over the patched
+// leaf slice.
+func (t *Tree) UpdateLeaves(dirty map[int][]byte) (*Tree, error) {
+	if len(dirty) == 0 {
+		return t, nil
+	}
+	n := t.NumLeaves()
+	for i, d := range dirty {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("mht: dirty leaf %d out of range [0, %d)", i, n)
+		}
+		if len(d) != t.alg.Size() {
+			return nil, fmt.Errorf("mht: dirty leaf %d digest has %d bytes, want %d", i, len(d), t.alg.Size())
+		}
+	}
+	nt := &Tree{alg: t.alg, fanout: t.fanout, levels: make([][][]byte, len(t.levels))}
+	// Copy the outer slice of each level (pointer copies only) so digests
+	// can be replaced without touching the shared backing arrays.
+	for l, lvl := range t.levels {
+		nt.levels[l] = append([][]byte(nil), lvl...)
+	}
+	// Dirty positions at the current level, ascending and deduplicated.
+	pos := make([]int, 0, len(dirty))
+	for i, d := range dirty {
+		nt.levels[0][i] = d
+		pos = append(pos, i)
+	}
+	sort.Ints(pos)
+	h := t.alg.New()
+	for l := 0; l+1 < len(nt.levels); l++ {
+		grp := groupLevel(len(nt.levels[l]), t.fanout)
+		parents := pos[:0]
+		for _, p := range pos {
+			pp := grp.parentOf(p)
+			if len(parents) > 0 && parents[len(parents)-1] == pp {
+				continue // ascending children share ascending parents
+			}
+			parents = append(parents, pp)
+		}
+		for _, p := range parents {
+			first, last := grp.childRange(p)
+			h.Reset()
+			for _, child := range nt.levels[l][first:last] {
+				h.Write(child)
+			}
+			nt.levels[l+1][p] = h.Sum(nil)
+		}
+		pos = parents
+	}
+	return nt, nil
 }
 
 // Root returns the root digest.

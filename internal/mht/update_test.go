@@ -1,0 +1,94 @@
+package mht
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/authhints/spv/internal/digest"
+)
+
+func randomLeaves(rng *rand.Rand, n int) [][]byte {
+	leaves := make([][]byte, n)
+	for i := range leaves {
+		l := make([]byte, digest.SHA1.Size())
+		rng.Read(l)
+		leaves[i] = l
+	}
+	return leaves
+}
+
+// TestUpdateLeavesMatchesRebuild pins the patch contract across shapes:
+// UpdateLeaves must produce exactly the tree Build produces over the
+// patched leaf slice — every level, every digest — while leaving the
+// receiver untouched.
+func TestUpdateLeavesMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, fanout := range []int{2, 3, 8} {
+		for _, n := range []int{1, 2, 5, 33, 100} {
+			leaves := randomLeaves(rng, n)
+			tr, err := Build(digest.SHA1, fanout, append([][]byte(nil), leaves...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			origRoot := append([]byte(nil), tr.Root()...)
+			for _, k := range []int{1, 2, n} {
+				if k > n {
+					continue
+				}
+				dirty := make(map[int][]byte, k)
+				patched := append([][]byte(nil), leaves...)
+				for len(dirty) < k {
+					i := rng.Intn(n)
+					d := make([]byte, digest.SHA1.Size())
+					rng.Read(d)
+					dirty[i] = d
+					patched[i] = d
+				}
+				nt, err := tr.UpdateLeaves(dirty)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := Build(digest.SHA1, fanout, patched)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(nt.levels) != len(want.levels) {
+					t.Fatalf("fanout=%d n=%d k=%d: height %d, want %d", fanout, n, k, len(nt.levels), len(want.levels))
+				}
+				for l := range want.levels {
+					for i := range want.levels[l] {
+						if !bytes.Equal(nt.levels[l][i], want.levels[l][i]) {
+							t.Fatalf("fanout=%d n=%d k=%d: digest (%d,%d) differs from rebuild", fanout, n, k, l, i)
+						}
+					}
+				}
+				if !bytes.Equal(tr.Root(), origRoot) {
+					t.Fatalf("fanout=%d n=%d k=%d: receiver root mutated by UpdateLeaves", fanout, n, k)
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateLeavesRejectsBadInput pins the validation surface.
+func TestUpdateLeavesRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr, err := Build(digest.SHA1, 2, randomLeaves(rng, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([]byte, digest.SHA1.Size())
+	if _, err := tr.UpdateLeaves(map[int][]byte{8: good}); err == nil {
+		t.Error("out-of-range leaf accepted")
+	}
+	if _, err := tr.UpdateLeaves(map[int][]byte{-1: good}); err == nil {
+		t.Error("negative leaf accepted")
+	}
+	if _, err := tr.UpdateLeaves(map[int][]byte{0: good[:4]}); err == nil {
+		t.Error("short digest accepted")
+	}
+	if nt, err := tr.UpdateLeaves(nil); err != nil || nt != tr {
+		t.Error("empty patch should return the receiver unchanged")
+	}
+}

@@ -1,0 +1,88 @@
+// Package par provides the small fan-out primitives the owner-side
+// pipelines share: contiguous chunking for uniform element work (hashing,
+// encoding, quantizing) and an atomic work queue for skewed per-item work
+// (Dijkstra rows, whose cost varies with how much of the graph a source
+// reaches).
+//
+// Both helpers are deterministic in their *outputs*: workers write disjoint
+// index ranges or distinct items, so results are byte-identical to a
+// sequential run regardless of scheduling. That property is what lets the
+// outsourcing pipeline fan out across cores while still producing the same
+// Merkle roots, signatures and proofs as a serial build.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ChunkThreshold is the default element count below which Chunks runs
+// inline: goroutine fan-out only pays for itself on wide inputs.
+const ChunkThreshold = 2048
+
+// Chunks splits [0, n) into contiguous per-worker ranges and runs fn on
+// each concurrently; below threshold (<= 0 selects ChunkThreshold) it runs
+// inline. Ranges are disjoint, so callers writing range-local outputs need
+// no locking and results match the sequential order byte for byte.
+func Chunks(n, threshold int, fn func(lo, hi int)) {
+	if threshold <= 0 {
+		threshold = ChunkThreshold
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if n < threshold || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Work runs fn(i) for every i in [0, n) across GOMAXPROCS workers pulling
+// from one atomic counter — the right shape when per-item cost is skewed
+// (graph searches) and chunking would leave workers idle. fn must be safe
+// to call concurrently for distinct i; items are claimed in ascending order
+// but may complete out of order.
+func Work(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

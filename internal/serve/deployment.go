@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/authhints/spv/internal/core"
+)
+
+// Deployment couples an owner, its outsourced providers and a serving
+// engine into the live system the paper's deployment model implies: the
+// owner applies edge-weight updates, each registered provider is patched
+// incrementally (dirty rows re-run, dirty Merkle paths rehashed, roots
+// re-signed), and the engine hot-swaps to the patched providers while
+// queries keep flowing. One Deployment serializes its updates; queries
+// never block on them.
+type Deployment struct {
+	mu     sync.Mutex // serializes ApplyUpdates (owner mutation + swaps)
+	owner  *core.Owner
+	engine *Engine
+
+	dij  *core.DIJProvider
+	full *core.FULLProvider
+	ldm  *core.LDMProvider
+	hyp  *core.HYPProvider
+}
+
+// NewDeployment outsources each requested method from the owner, registers
+// the providers on a fresh engine, and returns the update-capable bundle.
+// With no methods given it serves all four (note FULL's quadratic
+// pre-computation).
+func NewDeployment(o *core.Owner, opts Options, methods ...core.Method) (*Deployment, error) {
+	if len(methods) == 0 {
+		methods = core.Methods()
+	}
+	d := &Deployment{owner: o, engine: NewEngine(opts)}
+	for _, m := range methods {
+		var err error
+		switch m {
+		case core.DIJ:
+			if d.dij, err = o.OutsourceDIJ(); err == nil {
+				d.engine.RegisterDIJ(d.dij)
+			}
+		case core.FULL:
+			if d.full, err = o.OutsourceFULL(); err == nil {
+				d.engine.RegisterFULL(d.full)
+			}
+		case core.LDM:
+			if d.ldm, err = o.OutsourceLDM(); err == nil {
+				d.engine.RegisterLDM(d.ldm)
+			}
+		case core.HYP:
+			if d.hyp, err = o.OutsourceHYP(); err == nil {
+				d.engine.RegisterHYP(d.hyp)
+			}
+		default:
+			err = fmt.Errorf("serve: unknown method %q", m)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Engine returns the serving engine (share it with servers and clients).
+func (d *Deployment) Engine() *Engine { return d.engine }
+
+// Owner returns the data owner behind this deployment.
+func (d *Deployment) Owner() *core.Owner { return d.owner }
+
+// UpdateSummary reports what one ApplyUpdates batch did across the owner
+// and every registered provider.
+type UpdateSummary struct {
+	// Epoch is the owner's update-batch counter after this batch.
+	Epoch int64 `json:"epoch"`
+	// AffectedSources counts sources the probes marked dirty — the rows
+	// any full-row structure had to consider re-running.
+	AffectedSources int `json:"affected_sources"`
+	// RowsRecomputed totals Dijkstra rows re-run across providers.
+	RowsRecomputed int `json:"rows_recomputed"`
+	// LeavesPatched totals network-ADS leaves rewritten across providers;
+	// DistLeavesPatched the distance-ADS leaves (FULL rows, HYP entries).
+	LeavesPatched     int `json:"leaves_patched"`
+	DistLeavesPatched int `json:"dist_leaves_patched"`
+	// Duration is the end-to-end batch latency: probes, patches and swaps.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// ApplyUpdates applies a batch of edge re-weightings end to end: mutate
+// the owner's network, patch every registered provider incrementally, and
+// hot-swap the engine. On success every served proof reflects the updated
+// network. On failure the engine keeps serving whatever mix of old and
+// already-swapped providers it holds — each proof remains self-consistent
+// (it verifies under the root it carries) — and the caller should fall
+// back to a full re-outsource.
+func (d *Deployment) ApplyUpdates(ups []core.EdgeUpdate) (UpdateSummary, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	start := time.Now()
+	batch, err := d.owner.ApplyUpdates(ups)
+	if err != nil {
+		return UpdateSummary{}, err
+	}
+	sum := UpdateSummary{Epoch: batch.Epoch(), AffectedSources: batch.AffectedSources()}
+	if len(batch.DirtyNodes()) == 0 {
+		// Every update was a no-op: no provider state can have moved, so
+		// skip the patches, swaps and epoch bump entirely.
+		sum.Duration = time.Since(start)
+		return sum, nil
+	}
+	absorb := func(st *core.PatchStats) {
+		sum.RowsRecomputed += st.RowsRecomputed
+		sum.LeavesPatched += st.LeavesPatched
+		sum.DistLeavesPatched += st.DistLeavesPatched
+	}
+	if d.dij != nil {
+		p, st, err := batch.PatchDIJ(d.dij)
+		if err != nil {
+			return sum, fmt.Errorf("serve: patch DIJ: %w", err)
+		}
+		d.dij = p
+		if err := d.engine.SwapDIJ(p, st); err != nil {
+			return sum, err
+		}
+		absorb(st)
+	}
+	if d.full != nil {
+		p, st, err := batch.PatchFULL(d.full)
+		if err != nil {
+			return sum, fmt.Errorf("serve: patch FULL: %w", err)
+		}
+		d.full = p
+		if err := d.engine.SwapFULL(p, st); err != nil {
+			return sum, err
+		}
+		absorb(st)
+	}
+	if d.ldm != nil {
+		p, st, err := batch.PatchLDM(d.ldm)
+		if err != nil {
+			return sum, fmt.Errorf("serve: patch LDM: %w", err)
+		}
+		d.ldm = p
+		if err := d.engine.SwapLDM(p, st); err != nil {
+			return sum, err
+		}
+		absorb(st)
+	}
+	if d.hyp != nil {
+		p, st, err := batch.PatchHYP(d.hyp)
+		if err != nil {
+			return sum, fmt.Errorf("serve: patch HYP: %w", err)
+		}
+		d.hyp = p
+		if err := d.engine.SwapHYP(p, st); err != nil {
+			return sum, err
+		}
+		absorb(st)
+	}
+	sum.Duration = time.Since(start)
+	d.engine.NoteUpdate(sum.Duration, sum.LeavesPatched)
+	return sum, nil
+}

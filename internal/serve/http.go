@@ -20,20 +20,32 @@ import (
 //	POST     /batch    {"queries": [...]}  →  {"answers": [...]}
 //	GET      /verifier the owner's public key, PEM (clients bootstrap
 //	                   verification from this, out of band from proofs)
-//	GET      /stats    engine counter snapshot, JSON
+//	GET      /stats    engine counter snapshot, JSON (includes the graph
+//	                   epoch and last-update latency once updates flow)
+//	POST     /update   {"updates": [{"u","v","w"}...]} — owner-side edge
+//	                   re-weighting; 403 unless EnableUpdates wired a
+//	                   Deployment (the daemon must co-host the owner key)
 //	GET      /healthz  liveness
 //
 // Proof bytes decode with spv.Decode<Method>Proof and verify against the
-// /verifier key — the server never holds the owner's private key.
+// /verifier key — the server never holds the owner's private key (the
+// optional update path holds it by construction: re-signing roots is the
+// owner's half, so /update only exists on owner-co-hosted daemons).
 type Server struct {
 	engine      *Engine
 	verifierPEM []byte
 	mux         *http.ServeMux
+	deployment  *Deployment // nil: updates disabled
 }
 
 // MaxBatch bounds one /batch request; larger batches are rejected with 400
 // rather than letting one client monopolize the pool.
 const MaxBatch = 4096
+
+// MaxUpdateBatch bounds one /update request: each changed edge costs
+// probes or a bridge plan while holding the deployment's update mutex, so
+// an unbounded batch could pin the owner pipeline for one caller.
+const MaxUpdateBatch = 1024
 
 // NewServer wraps an engine and the owner's public verifier (served to
 // clients verbatim) into an http.Handler.
@@ -53,11 +65,18 @@ func NewServer(e *Engine, v *sig.Verifier) (*Server, error) {
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/verifier", s.handleVerifier)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
 	return s, nil
 }
+
+// EnableUpdates wires the owner-side update pipeline into /update. Only
+// call this on daemons that legitimately co-host the owner (cmd/spvserve
+// with -updates); pure provider deployments leave it off and the endpoint
+// answers 403.
+func (s *Server) EnableUpdates(d *Deployment) { s.deployment = d }
 
 // Engine returns the wrapped engine (for stats and direct use).
 func (s *Server) Engine() *Engine { return s.engine }
@@ -189,6 +208,43 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		out.Answers[i] = toWire(a)
 	}
 	writeJSON(w, out)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.deployment == nil {
+		http.Error(w, "updates disabled on this server", http.StatusForbidden)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Updates []core.EdgeUpdate `json:"updates"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<24)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad update body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Updates) == 0 {
+		http.Error(w, "empty update batch", http.StatusBadRequest)
+		return
+	}
+	if len(req.Updates) > MaxUpdateBatch {
+		http.Error(w, fmt.Sprintf("update batch of %d exceeds limit %d", len(req.Updates), MaxUpdateBatch),
+			http.StatusBadRequest)
+		return
+	}
+	sum, err := s.deployment.ApplyUpdates(req.Updates)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, graph.ErrBadEdge) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, sum)
 }
 
 func (s *Server) handleVerifier(w http.ResponseWriter, r *http.Request) {

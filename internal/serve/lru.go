@@ -95,6 +95,28 @@ func (c *lruCache) Add(k cacheKey, v cached) {
 	}
 }
 
+// Invalidate removes every entry of method m for which pred returns true,
+// returning how many were dropped. Invalidations are not counted as
+// evictions — they are correctness drops, not budget pressure.
+func (c *lruCache) Invalidate(m core.Method, pred func(cacheKey, cached) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	var next *list.Element
+	for el := c.order.Front(); el != nil; el = next {
+		next = el.Next()
+		ent := el.Value.(*lruEntry)
+		if ent.key.m != m || !pred(ent.key, ent.val) {
+			continue
+		}
+		c.order.Remove(el)
+		delete(c.items, ent.key)
+		c.bytes -= ent.size
+		removed++
+	}
+	return removed
+}
+
 // Len returns the current entry count.
 func (c *lruCache) Len() int {
 	c.mu.Lock()

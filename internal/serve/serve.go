@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,16 +81,47 @@ type Options struct {
 // CacheBytes zero: 64 MiB, a few thousand typical proofs.
 const DefaultCacheBytes = 64 << 20
 
+// cover summarizes which network-ADS leaf positions a proof exposes (an
+// inclusive interval — leaf layouts preserve locality, so the interval is
+// tight). The cache keeps it per entry so a hot-swap can invalidate exactly
+// the proofs that show (or derive from) dirtied leaves.
+type cover struct {
+	lo, hi uint32
+	ok     bool
+}
+
+func (c cover) overlaps(sortedDirty []uint32) bool {
+	if !c.ok {
+		return true // unknown coverage: invalidate conservatively
+	}
+	i := sort.Search(len(sortedDirty), func(i int) bool { return sortedDirty[i] >= c.lo })
+	return i < len(sortedDirty) && sortedDirty[i] <= c.hi
+}
+
 // queryFn is the method-erased provider hot path: build (or fetch) a proof
-// for one endpoint pair and return its exact wire encoding.
-type queryFn func(vs, vt graph.NodeID) (dist float64, hops int, wire []byte, err error)
+// for one endpoint pair and return its exact wire encoding plus its leaf
+// coverage.
+type queryFn func(vs, vt graph.NodeID) (dist float64, hops int, wire []byte, cov cover, err error)
+
+// methodSlot holds one method's hot-swappable provider closure. The
+// pointer swaps atomically, so queries racing an update see either the old
+// or the new provider — both of which produce self-consistent proofs
+// (every proof carries the root signature it verifies under). gen counts
+// swaps: a cold construction records the gen it started under and skips
+// the cache insert if a swap landed meanwhile, so a racing build can never
+// re-poison the cache with a pre-swap proof after the invalidation pass.
+type methodSlot struct {
+	fn  atomic.Pointer[queryFn]
+	gen atomic.Int64
+}
 
 // Engine is a thread-safe, batched front-end over one or more outsourced
-// providers. Construct with NewEngine, attach providers with Register*,
-// then share freely across goroutines.
+// providers. Construct with NewEngine, attach providers with Register*
+// (before sharing), then share freely across goroutines; Swap* hot-swaps a
+// registered method's provider at any time.
 type Engine struct {
 	workers int
-	run     map[core.Method]queryFn
+	run     map[core.Method]*methodSlot
 	cache   *lruCache // nil when caching is disabled
 	flights flightGroup
 	stats   engineStats
@@ -104,6 +137,11 @@ type engineStats struct {
 	errors     atomic.Int64
 	proofBytes atomic.Int64
 	coldNanos  atomic.Int64
+
+	epoch            atomic.Int64
+	lastUpdateNanos  atomic.Int64
+	leavesPatched    atomic.Int64
+	cacheInvalidated atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the engine's counters.
@@ -130,6 +168,15 @@ type Snapshot struct {
 	CacheEvictions    int64 `json:"cache_evictions"`
 	CacheBytes        int64 `json:"cache_bytes"`
 	CacheBytesEvicted int64 `json:"cache_bytes_evicted"`
+	// Epoch counts provider hot-swap batches applied to this engine (the
+	// graph epoch operators watch for snapshot churn); LastUpdate is the
+	// latest batch's end-to-end latency and LeavesPatched the lifetime
+	// total of ADS leaves rewritten by updates. CacheInvalidated counts
+	// cached proofs dropped because an update dirtied leaves they cover.
+	Epoch            int64         `json:"epoch"`
+	LastUpdate       time.Duration `json:"last_update_ns"`
+	LeavesPatched    int64         `json:"leaves_patched"`
+	CacheInvalidated int64         `json:"cache_invalidated"`
 	// Methods lists the registered methods.
 	Methods []core.Method `json:"methods"`
 }
@@ -143,7 +190,7 @@ func NewEngine(opts Options) *Engine {
 	}
 	e := &Engine{
 		workers: workers,
-		run:     make(map[core.Method]queryFn),
+		run:     make(map[core.Method]*methodSlot),
 	}
 	switch {
 	case opts.CacheBytes > 0:
@@ -177,54 +224,145 @@ func encodeWire(appendFn func([]byte) []byte) []byte {
 	return wire
 }
 
+// dijFn wraps a DIJ provider as a queryFn.
+func dijFn(p *core.DIJProvider) queryFn {
+	return func(vs, vt graph.NodeID) (float64, int, []byte, cover, error) {
+		pr, err := p.Query(vs, vt)
+		if err != nil {
+			return 0, 0, nil, cover{}, err
+		}
+		lo, hi, ok := pr.LeafSpan()
+		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), cover{lo, hi, ok}, nil
+	}
+}
+
+func fullFn(p *core.FULLProvider) queryFn {
+	return func(vs, vt graph.NodeID) (float64, int, []byte, cover, error) {
+		pr, err := p.Query(vs, vt)
+		if err != nil {
+			return 0, 0, nil, cover{}, err
+		}
+		lo, hi, ok := pr.LeafSpan()
+		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), cover{lo, hi, ok}, nil
+	}
+}
+
+func ldmFn(p *core.LDMProvider) queryFn {
+	return func(vs, vt graph.NodeID) (float64, int, []byte, cover, error) {
+		pr, err := p.Query(vs, vt)
+		if err != nil {
+			return 0, 0, nil, cover{}, err
+		}
+		lo, hi, ok := pr.LeafSpan()
+		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), cover{lo, hi, ok}, nil
+	}
+}
+
+func hypFn(p *core.HYPProvider) queryFn {
+	return func(vs, vt graph.NodeID) (float64, int, []byte, cover, error) {
+		pr, err := p.Query(vs, vt)
+		if err != nil {
+			return 0, 0, nil, cover{}, err
+		}
+		lo, hi, ok := pr.LeafSpan()
+		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), cover{lo, hi, ok}, nil
+	}
+}
+
 // RegisterDIJ serves DIJ queries from p. Registering a method twice
 // replaces the provider.
-func (e *Engine) RegisterDIJ(p *core.DIJProvider) {
-	e.register(core.DIJ, func(vs, vt graph.NodeID) (float64, int, []byte, error) {
-		pr, err := p.Query(vs, vt)
-		if err != nil {
-			return 0, 0, nil, err
-		}
-		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), nil
-	})
-}
+func (e *Engine) RegisterDIJ(p *core.DIJProvider) { e.register(core.DIJ, dijFn(p)) }
 
 // RegisterFULL serves FULL queries from p.
-func (e *Engine) RegisterFULL(p *core.FULLProvider) {
-	e.register(core.FULL, func(vs, vt graph.NodeID) (float64, int, []byte, error) {
-		pr, err := p.Query(vs, vt)
-		if err != nil {
-			return 0, 0, nil, err
-		}
-		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), nil
-	})
-}
+func (e *Engine) RegisterFULL(p *core.FULLProvider) { e.register(core.FULL, fullFn(p)) }
 
 // RegisterLDM serves LDM queries from p.
-func (e *Engine) RegisterLDM(p *core.LDMProvider) {
-	e.register(core.LDM, func(vs, vt graph.NodeID) (float64, int, []byte, error) {
-		pr, err := p.Query(vs, vt)
-		if err != nil {
-			return 0, 0, nil, err
-		}
-		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), nil
-	})
-}
+func (e *Engine) RegisterLDM(p *core.LDMProvider) { e.register(core.LDM, ldmFn(p)) }
 
 // RegisterHYP serves HYP queries from p.
-func (e *Engine) RegisterHYP(p *core.HYPProvider) {
-	e.register(core.HYP, func(vs, vt graph.NodeID) (float64, int, []byte, error) {
-		pr, err := p.Query(vs, vt)
-		if err != nil {
-			return 0, 0, nil, err
-		}
-		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), nil
-	})
+func (e *Engine) RegisterHYP(p *core.HYPProvider) { e.register(core.HYP, hypFn(p)) }
+
+// register must run before the engine is shared: the run map itself is
+// read without locking on the hot path (only the slot pointers swap).
+func (e *Engine) register(m core.Method, fn queryFn) {
+	sl, ok := e.run[m]
+	if !ok {
+		sl = &methodSlot{}
+		e.run[m] = sl
+	}
+	sl.fn.Store(&fn)
 }
 
-// register must run before the engine is shared: the run map is read
-// without locking on the hot path.
-func (e *Engine) register(m core.Method, fn queryFn) { e.run[m] = fn }
+// SwapDIJ hot-swaps the DIJ provider for a patched one; see swap.
+func (e *Engine) SwapDIJ(p *core.DIJProvider, st *core.PatchStats) error {
+	return e.swap(core.DIJ, dijFn(p), st)
+}
+
+// SwapFULL hot-swaps the FULL provider for a patched one; see swap.
+func (e *Engine) SwapFULL(p *core.FULLProvider, st *core.PatchStats) error {
+	return e.swap(core.FULL, fullFn(p), st)
+}
+
+// SwapLDM hot-swaps the LDM provider for a patched one; see swap.
+func (e *Engine) SwapLDM(p *core.LDMProvider, st *core.PatchStats) error {
+	return e.swap(core.LDM, ldmFn(p), st)
+}
+
+// SwapHYP hot-swaps the HYP provider for a patched one; see swap.
+func (e *Engine) SwapHYP(p *core.HYPProvider, st *core.PatchStats) error {
+	return e.swap(core.HYP, hypFn(p), st)
+}
+
+// swap atomically replaces a registered method's provider closure, then
+// drops exactly the cached proofs the patch dirtied: entries whose leaf
+// coverage intersects a rewritten (or derived-stale) leaf, and — for FULL —
+// entries whose endpoints' distance rows changed. Untouched entries stay
+// cached: their proofs expose only clean leaves, so the data they show (and
+// the optimality of their paths) still holds in the updated network; they
+// simply verify under the root they were signed with. In-flight queries
+// race the pointer swap benignly — every proof is self-consistent.
+func (e *Engine) swap(m core.Method, fn queryFn, st *core.PatchStats) error {
+	sl, ok := e.run[m]
+	if !ok {
+		return fmt.Errorf("%w %q", ErrUnknownMethod, m)
+	}
+	sl.gen.Add(1) // before the store: builds that saw the old fn must not cache
+	sl.fn.Store(&fn)
+	if e.cache == nil || st == nil {
+		return nil
+	}
+	dirty := make([]uint32, 0, len(st.DirtyLeaves)+len(st.StaleCover))
+	for _, p := range st.DirtyLeaves {
+		dirty = append(dirty, uint32(p))
+	}
+	for _, p := range st.StaleCover {
+		dirty = append(dirty, uint32(p))
+	}
+	slices.Sort(dirty)
+	var dirtyRows map[graph.NodeID]bool
+	if len(st.DirtyRows) > 0 {
+		dirtyRows = make(map[graph.NodeID]bool, len(st.DirtyRows))
+		for _, r := range st.DirtyRows {
+			dirtyRows[graph.NodeID(r)] = true
+		}
+	}
+	if len(dirty) == 0 && dirtyRows == nil {
+		return nil
+	}
+	n := e.cache.Invalidate(m, func(k cacheKey, c cached) bool {
+		return c.cov.overlaps(dirty) || dirtyRows[k.vs] || dirtyRows[k.vt]
+	})
+	e.stats.cacheInvalidated.Add(int64(n))
+	return nil
+}
+
+// NoteUpdate records one completed update batch: bumps the engine epoch
+// and publishes the batch's latency and patched-leaf count to /stats.
+func (e *Engine) NoteUpdate(d time.Duration, leavesPatched int) {
+	e.stats.epoch.Add(1)
+	e.stats.lastUpdateNanos.Store(int64(d))
+	e.stats.leavesPatched.Add(int64(leavesPatched))
+}
 
 // Methods lists the registered methods in the paper's order.
 func (e *Engine) Methods() []core.Method {
@@ -290,7 +428,13 @@ func (e *Engine) Stats() Snapshot {
 		Errors:     e.stats.errors.Load(),
 		ProofBytes: e.stats.proofBytes.Load(),
 		ColdTime:   time.Duration(e.stats.coldNanos.Load()),
-		Methods:    e.Methods(),
+
+		Epoch:            e.stats.epoch.Load(),
+		LastUpdate:       time.Duration(e.stats.lastUpdateNanos.Load()),
+		LeavesPatched:    e.stats.leavesPatched.Load(),
+		CacheInvalidated: e.stats.cacheInvalidated.Load(),
+
+		Methods: e.Methods(),
 	}
 	if e.cache != nil {
 		s.CacheLen = e.cache.Len()
@@ -302,13 +446,15 @@ func (e *Engine) Stats() Snapshot {
 }
 
 // cached is the unit both the LRU cache and singleflight hand around: one
-// proof's exact wire encoding plus its headline numbers. The wire slice is
-// shared between cache and flights and must never be mutated; answers get
-// their own copy.
+// proof's exact wire encoding plus its headline numbers and leaf coverage
+// (kept so hot-swaps can invalidate precisely). The wire slice is shared
+// between cache and flights and must never be mutated; answers get their
+// own copy.
 type cached struct {
 	dist float64
 	hops int
 	wire []byte
+	cov  cover
 }
 
 // query is the engine hot path: cache lookup, then singleflight around the
@@ -324,11 +470,13 @@ func (e *Engine) query(q Query) (ans Answer) {
 		}
 	}()
 	e.stats.queries.Add(1)
-	fn, ok := e.run[q.Method]
+	sl, ok := e.run[q.Method]
 	if !ok {
 		e.stats.errors.Add(1)
 		return Answer{Query: q, Err: fmt.Errorf("%w %q", ErrUnknownMethod, q.Method)}
 	}
+	gen := sl.gen.Load() // read before fn: conservative under a racing swap
+	fn := *sl.fn.Load()
 	key := cacheKey{m: q.Method, vs: q.VS, vt: q.VT}
 	if e.cache != nil {
 		if c, ok := e.cache.Get(key); ok {
@@ -345,13 +493,17 @@ func (e *Engine) query(q Query) (ans Answer) {
 			}
 		}
 		start := time.Now()
-		dist, hops, wire, err := fn(q.VS, q.VT)
+		dist, hops, wire, cov, err := fn(q.VS, q.VT)
 		if err != nil {
 			return cached{}, err
 		}
 		e.stats.coldNanos.Add(int64(time.Since(start)))
-		c := cached{dist: dist, hops: hops, wire: wire}
-		if e.cache != nil {
+		c := cached{dist: dist, hops: hops, wire: wire, cov: cov}
+		// Don't cache across a swap: a build racing an update may carry a
+		// pre-swap proof whose dirtied coverage the invalidation pass
+		// already handled; dropping the insert (rare) keeps the cache's
+		// invariant, the answer itself is still served.
+		if e.cache != nil && sl.gen.Load() == gen {
 			e.cache.Add(key, c)
 		}
 		return c, nil

@@ -413,7 +413,7 @@ func TestEngineConcurrentHammer(t *testing.T) {
 func TestEnginePanicContainedPerQuery(t *testing.T) {
 	w := testWorld(t)
 	e := w.engine(Options{Workers: 2})
-	e.register("BOOM", func(vs, vt graph.NodeID) (float64, int, []byte, error) {
+	e.register("BOOM", func(vs, vt graph.NodeID) (float64, int, []byte, cover, error) {
 		panic("construction bug")
 	})
 	out := e.QueryBatch([]Query{

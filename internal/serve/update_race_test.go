@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/authhints/spv/internal/core"
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/netgen"
+	"github.com/authhints/spv/internal/workload"
+)
+
+// TestQueriesRaceUpdates hammers the engine with concurrent queries across
+// methods while the deployment applies update batches and hot-swaps
+// providers. Every returned proof must pass full client verification —
+// each proof carries the root signature it was built under, so answers
+// racing a swap verify against whichever root they were signed under.
+// Run with -race, this also pins the swap path's memory safety.
+func TestQueriesRaceUpdates(t *testing.T) {
+	g, err := netgen.Generate(netgen.DE, netgen.Config{Scale: 0.01, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Landmarks = 5
+	cfg.Cells = 9
+	owner, err := core.NewOwner(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := NewDeployment(owner, Options{CacheBytes: 1 << 20}, core.DIJ, core.LDM, core.HYP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := workload.Generate(g, 12, 2000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := owner.Verifier()
+	engine := dep.Engine()
+	methods := []core.Method{core.DIJ, core.LDM, core.HYP}
+
+	const batches = 8
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				q := qs[rng.Intn(len(qs))]
+				a, err := engine.Query(Query{Method: methods[rng.Intn(len(methods))], VS: q.S, VT: q.T})
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				if err := verifyWire(verifier, a); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < batches; i++ {
+		ups := make([]core.EdgeUpdate, 0, 2)
+		for len(ups) < 2 {
+			u := graph.NodeID(rng.Intn(g.NumNodes()))
+			adj := owner.Graph().Neighbors(u)
+			if len(adj) == 0 {
+				continue
+			}
+			e := adj[rng.Intn(len(adj))]
+			ups = append(ups, core.EdgeUpdate{U: u, V: e.To, W: e.W * (0.6 + rng.Float64())})
+		}
+		if _, err := dep.ApplyUpdates(ups); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("racing query failed verification: %v", err)
+	}
+	s := engine.Stats()
+	if s.Epoch != batches {
+		t.Errorf("engine epoch = %d, want %d", s.Epoch, batches)
+	}
+	if s.LastUpdate <= 0 {
+		t.Error("last-update latency not recorded")
+	}
+}
+
+// verifyWire runs full client-side verification of an answer's wire proof.
+func verifyWire(v interface {
+	Verify(msg, sig []byte) error
+}, a Answer) error {
+	q := a.Query
+	switch q.Method {
+	case core.DIJ:
+		pr, _, err := core.DecodeDIJProof(a.Proof)
+		if err != nil {
+			return err
+		}
+		return core.VerifyDIJ(v, q.VS, q.VT, pr)
+	case core.LDM:
+		pr, _, err := core.DecodeLDMProof(a.Proof)
+		if err != nil {
+			return err
+		}
+		return core.VerifyLDM(v, q.VS, q.VT, pr)
+	case core.HYP:
+		pr, _, err := core.DecodeHYPProof(a.Proof)
+		if err != nil {
+			return err
+		}
+		return core.VerifyHYP(v, q.VS, q.VT, pr)
+	case core.FULL:
+		pr, _, err := core.DecodeFULLProof(a.Proof)
+		if err != nil {
+			return err
+		}
+		return core.VerifyFULL(v, q.VS, q.VT, pr)
+	}
+	return nil
+}

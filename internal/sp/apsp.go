@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/par"
 )
 
 // FloydWarshall computes all-pairs shortest path distances with the textbook
@@ -121,6 +122,23 @@ func AllPairsRows(g *graph.Graph, sink func(src graph.NodeID, dist []float64)) {
 			want++
 		}
 	}
+}
+
+// AllPairsRowsUnordered delivers every source row like AllPairsRows but
+// calls sink concurrently from worker goroutines, in whatever order rows
+// complete. Sinks that fold each row into an independent slot (FULL's
+// per-row subtree roots) take this form and keep the fold itself on the
+// worker, instead of serializing O(|V|²) post-processing behind a
+// reordering channel. sink must be safe for concurrent calls with distinct
+// sources and owns the row slice.
+func AllPairsRowsUnordered(g *graph.Graph, sink func(src graph.NodeID, dist []float64)) {
+	n := g.NumNodes()
+	view := g.Freeze()
+	par.Work(n, func(s int) {
+		w := AcquireWorkspace(n)
+		defer ReleaseWorkspace(w)
+		sink(graph.NodeID(s), w.DijkstraRow(view, graph.NodeID(s), nil))
+	})
 }
 
 // DistanceMatrix materializes the full all-pairs matrix via AllPairsRows.

@@ -342,6 +342,56 @@ func NewEngine(o *Owner, opts ServeOptions, methods ...Method) (*QueryEngine, er
 // want NewEngine, which outsources for you.
 func NewRawEngine(opts ServeOptions) *QueryEngine { return serve.NewEngine(opts) }
 
+// Incremental updates: the owner applies edge re-weightings without a full
+// re-outsource — two probe Dijkstras bound which hint/distance rows can
+// change, only those re-run, and only the dirty Merkle paths rehash. The
+// resulting roots, signatures and proofs are byte-identical to a
+// from-scratch re-outsource (with the landmark placement pinned). See
+// DESIGN.md §8.
+
+// EdgeUpdate re-weights one existing road segment.
+type EdgeUpdate = core.EdgeUpdate
+
+// UpdateBatch carries the owner-side dirty sets of one applied batch; its
+// Patch* methods derive updated providers copy-on-write.
+type UpdateBatch = core.UpdateBatch
+
+// PatchStats reports what one provider patch rewrote.
+type PatchStats = core.PatchStats
+
+// Deployment couples an owner, its providers and a serving engine, keeping
+// them in sync under edge-weight updates via atomic hot-swaps.
+type Deployment = serve.Deployment
+
+// UpdateSummary reports one end-to-end Deployment update batch.
+type UpdateSummary = serve.UpdateSummary
+
+// NewDeployment outsources each requested method and returns the
+// update-capable owner+engine bundle. With no methods given it serves all
+// four (note FULL's quadratic pre-computation).
+func NewDeployment(o *Owner, opts ServeOptions, methods ...Method) (*Deployment, error) {
+	return serve.NewDeployment(o, opts, methods...)
+}
+
+// NewServerFromEngine wraps an already-built engine and the owner's public
+// verifier in the HTTP daemon surface; pair with NewDeployment when the
+// engine must stay hot-swappable under updates.
+func NewServerFromEngine(e *QueryEngine, v *Verifier) (*Server, error) {
+	return serve.NewServer(e, v)
+}
+
+// NewUpdatableServer builds the HTTP daemon surface around a deployment:
+// proofs, the owner's public key, engine stats (graph epoch, last-update
+// latency) and the owner-side POST /update endpoint.
+func NewUpdatableServer(d *Deployment) (*Server, error) {
+	s, err := serve.NewServer(d.Engine(), d.Owner().Verifier())
+	if err != nil {
+		return nil, err
+	}
+	s.EnableUpdates(d)
+	return s, nil
+}
+
 // NewServer builds the full provider daemon surface: outsourced providers,
 // query engine, and the HTTP handler that serves proofs and the owner's
 // public key. The server never holds the owner's private key.
