@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench bench-json fmt fmt-check vet clean
+# Snapshot file produced by `make snap` and audited by `make snap-verify`.
+SNAP ?= snapshot.spv
+
+.PHONY: all build test short race bench bench-json snap snap-verify fmt fmt-check vet clean
 
 all: build vet fmt-check race
 
@@ -28,11 +31,23 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./...
 
 # Machine-readable hot-path numbers (ns/op, B/op, allocs/op) for the
-# standard world → BENCH_PR3.json, with the committed PR2 snapshot embedded
+# standard world → BENCH_PR4.json, with the committed PR3 snapshot embedded
 # as the baseline. CI uploads this as an artifact so perf regressions are
 # visible in PR checks.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR3.json -baseline BENCH_PR2.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR4.json -baseline BENCH_PR3.json
+
+# Persistent ADS snapshot of the standard world (spvserve's default served
+# set), written via the public save path.
+snap:
+	$(GO) run ./cmd/spvsnap make -out $(SNAP) -dataset DE -scale 0.05 -methods DIJ,LDM,HYP
+
+# Full snapshot audit: container CRCs, structural load, then 64 sample
+# proofs per method built, decoded and client-verified against the
+# embedded public key. CI runs snap + snap-verify as its round-trip lane.
+snap-verify:
+	$(GO) run ./cmd/spvsnap info $(SNAP)
+	$(GO) run ./cmd/spvsnap verify $(SNAP) -proofs 64
 
 fmt:
 	gofmt -l -w .

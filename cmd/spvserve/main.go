@@ -1,24 +1,40 @@
 // Command spvserve is the service provider daemon: it builds (or loads) a
 // road network, outsources the requested verification methods from an
-// in-process owner, and serves authenticated shortest path proofs over
-// HTTP to any number of untrusting clients.
+// in-process owner — or cold-starts from a persistent snapshot in seconds,
+// without recomputing a single hash — and serves authenticated shortest
+// path proofs over HTTP to any number of untrusting clients.
 //
 //	# Serve LDM and HYP proofs for a 1/20-scale DE network on :8080.
 //	spvserve -dataset DE -scale 0.05 -methods LDM,HYP
 //
+//	# Outsource once, persist, then replicate: every replica serves proofs
+//	# byte-identical to the origin's.
+//	spvserve -dataset DE -scale 0.05 -key owner.pem -save world.spv   # origin
+//	spvserve -snapshot world.spv -addr :8081              # replica 1 (no owner key)
+//	spvserve -snapshot world.spv -addr :8082              # replica 2
+//
+//	# Resume an update-capable owner from a snapshot + the same persisted
+//	# key the origin ran with (spvquery keygen -key owner.pem creates one;
+//	# a fresh per-run key can never resume — the snapshot pins its public
+//	# half).
+//	spvserve -snapshot world.spv -key owner.pem -updates -save world.spv
+//
 //	# Query it (JSON):
 //	curl 'localhost:8080/query?method=LDM&vs=17&vt=1860'
 //
-//	# Batch, binary proofs, public key, throughput counters:
+//	# Batch, binary proofs, public key, throughput counters, snapshots:
 //	curl -d '{"queries":[{"method":"LDM","vs":17,"vt":1860}]}' localhost:8080/batch
 //	curl 'localhost:8080/query?method=LDM&vs=17&vt=1860&format=binary' -o proof.bin
 //	curl localhost:8080/verifier
 //	curl localhost:8080/stats
+//	curl -X POST localhost:8080/snapshot        # persist current state (needs -save)
 //
 // Clients verify with spv.Decode<Method>Proof + spv.Verify<Method> against
 // the /verifier key; the daemon holds the private key only long enough to
 // sign ADS roots at startup (or loads a persisted key with -key, keeping
-// key custody out of the serving process's long-term state).
+// key custody out of the serving process's long-term state). Snapshot
+// replicas never see the private key at all — the snapshot carries only
+// public material.
 package main
 
 import (
@@ -48,78 +64,111 @@ func main() {
 		landmark = flag.Int("landmarks", 0, "LDM landmark count (0 = config default)")
 		cells    = flag.Int("cells", 0, "HYP grid cell count (0 = config default)")
 		updates  = flag.Bool("updates", false, "enable owner-side POST /update (incremental edge re-weighting + hot-swap)")
+		snapFile = flag.String("snapshot", "", "cold-start from this snapshot file instead of outsourcing")
+		saveFile = flag.String("save", "", "write a snapshot here after startup and enable POST /snapshot")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataset, *scale, *nodes, *edges, *seed, *methods,
-		*workers, *cache, *keyFile, *landmark, *cells, *updates); err != nil {
+	opts := serveFlags{
+		addr: *addr, dataset: *dataset, scale: *scale, nodes: *nodes, edges: *edges,
+		seed: *seed, methods: *methods, workers: *workers, cache: *cache,
+		keyFile: *keyFile, landmarks: *landmark, cells: *cells, updates: *updates,
+		snapFile: *snapFile, saveFile: *saveFile,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "spvserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataset string, scale float64, nodes, edges int, seed int64,
-	methodList string, workers int, cache int64, keyFile string, landmarks, cells int, updates bool) error {
-	g, err := buildNetwork(dataset, scale, nodes, edges, seed)
-	if err != nil {
-		return err
-	}
-	cfg := spv.DefaultConfig()
-	if landmarks > 0 {
-		cfg.Landmarks = landmarks
-	}
-	if cells > 0 {
-		cfg.Cells = cells
-	}
+// serveFlags carries the parsed command line.
+type serveFlags struct {
+	addr, dataset, methods, keyFile, snapFile, saveFile string
+	scale                                               float64
+	nodes, edges, workers, landmarks, cells             int
+	seed, cache                                         int64
+	updates                                             bool
+}
 
-	var owner *spv.Owner
-	if keyFile != "" {
-		pem, err := os.ReadFile(keyFile)
+func run(fl serveFlags) error {
+	serveOpts := spv.ServeOptions{Workers: fl.workers, CacheBytes: fl.cache}
+	var (
+		engine   *spv.QueryEngine
+		verifier *spv.Verifier
+		dep      *spv.Deployment
+		err      error
+	)
+	switch {
+	case fl.snapFile != "" && fl.updates:
+		// Owner resume: snapshot + persisted key → update-capable deployment
+		// continuing the snapshot's epoch sequence.
+		if fl.keyFile == "" {
+			return fmt.Errorf("-snapshot with -updates needs -key (the snapshot holds no private key)")
+		}
+		signer, err := loadSigner(fl.keyFile)
 		if err != nil {
 			return err
 		}
-		signer, err := spv.ParseSignerPEM(pem)
-		if err != nil {
-			return fmt.Errorf("parse %s: %w", keyFile, err)
+		start := time.Now()
+		if dep, err = spv.LoadDeployment(fl.snapFile, signer, serveOpts); err != nil {
+			return err
 		}
-		owner, err = spv.NewOwnerWithSigner(g, cfg, signer)
+		engine, verifier = dep.Engine(), dep.Owner().Verifier()
+		log.Printf("resumed owner deployment from %s in %v: epoch %d, methods %v",
+			fl.snapFile, time.Since(start).Round(time.Millisecond), dep.Owner().Epoch(), engine.Methods())
+	case fl.snapFile != "":
+		// Replica: public material only, cold-start without recomputing a hash.
+		if fl.saveFile != "" {
+			// Replicas can re-publish the snapshot they booted from (e.g. to
+			// seed further replicas), but hold no owner state to snapshot anew.
+			return fmt.Errorf("-save on a key-less replica is not supported; copy %s instead", fl.snapFile)
+		}
+		if fl.keyFile != "" {
+			// Silently ignoring the key would let an operator believe the
+			// owner resumed when only a replica booted.
+			return fmt.Errorf("-key with -snapshot needs -updates (owner resume); drop -key for a replica")
+		}
+		start := time.Now()
+		e, set, err := spv.LoadEngine(fl.snapFile, serveOpts)
 		if err != nil {
 			return err
 		}
-	} else {
-		owner, err = spv.NewOwner(g, cfg)
-		if err != nil {
+		engine, verifier = e, set.Verifier
+		log.Printf("replica cold-started from %s in %v: epoch %d, %d nodes, methods %v",
+			fl.snapFile, time.Since(start).Round(time.Millisecond),
+			set.Epoch, set.Graph.NumNodes(), engine.Methods())
+	default:
+		if dep, err = buildDeployment(fl, serveOpts); err != nil {
 			return err
 		}
+		engine, verifier = dep.Engine(), dep.Owner().Verifier()
 	}
 
-	var ms []spv.Method
-	for _, name := range strings.Split(methodList, ",") {
-		ms = append(ms, spv.Method(strings.ToUpper(strings.TrimSpace(name))))
-	}
-	log.Printf("network ready: %d nodes, %d edges; outsourcing %v", g.NumNodes(), g.NumEdges(), ms)
-
-	// Always deploy through the update-capable bundle; /update itself only
-	// opens with -updates, since it is the owner's side door (re-signing
-	// roots needs the private key this process holds anyway).
-	dep, err := spv.NewDeployment(owner, spv.ServeOptions{Workers: workers, CacheBytes: cache}, ms...)
-	if err != nil {
-		return err
-	}
-	srv, err := spv.NewServerFromEngine(dep.Engine(), owner.Verifier())
+	srv, err := spv.NewServerFromEngine(engine, verifier)
 	if err != nil {
 		return err
 	}
 	endpoints := "/query /batch /verifier /stats"
-	if updates {
+	if fl.updates {
 		srv.EnableUpdates(dep)
 		endpoints += " /update"
 	}
-	log.Printf("serving %v on %s (%s)", dep.Engine().Methods(), addr, endpoints)
+	if fl.saveFile != "" && dep != nil {
+		snapFn := spv.FileSnapshot(dep, fl.saveFile)
+		if res, err := snapFn(); err != nil {
+			return fmt.Errorf("initial snapshot: %w", err)
+		} else {
+			log.Printf("snapshot written: %s (%d bytes, epoch %d, %v)",
+				res.Path, res.Bytes, res.Epoch, res.Duration.Round(time.Millisecond))
+		}
+		srv.EnableSnapshot(snapFn)
+		endpoints += " /snapshot"
+	}
+	log.Printf("serving %v on %s (%s)", engine.Methods(), fl.addr, endpoints)
 	// Explicit timeouts: the daemon fronts many untrusting clients, and the
 	// zero-value http.Server would let slow-loris connections pin goroutines
 	// forever. Write timeout stays generous for large DIJ proofs.
 	hs := &http.Server{
-		Addr:              addr,
+		Addr:              fl.addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
@@ -129,17 +178,58 @@ func run(addr, dataset string, scale float64, nodes, edges int, seed int64,
 	return hs.ListenAndServe()
 }
 
-func buildNetwork(dataset string, scale float64, nodes, edges int, seed int64) (*spv.Graph, error) {
-	if nodes > 0 {
-		if edges <= 0 {
-			edges = nodes + nodes/20
-		}
-		return spv.SynthesizeNetwork(nodes, edges, seed)
+// buildDeployment is the classic startup path: synthesize/load a network
+// and outsource the requested methods from an in-process owner.
+func buildDeployment(fl serveFlags, serveOpts spv.ServeOptions) (*spv.Deployment, error) {
+	g, err := spv.BuildNetwork(fl.dataset, fl.scale, fl.nodes, fl.edges, fl.seed)
+	if err != nil {
+		return nil, err
 	}
-	for _, d := range spv.Datasets() {
-		if strings.EqualFold(string(d), dataset) {
-			return spv.GenerateNetwork(d, spv.NetworkConfig{Scale: scale, Seed: seed})
+	cfg := spv.DefaultConfig()
+	if fl.landmarks > 0 {
+		cfg.Landmarks = fl.landmarks
+	}
+	if fl.cells > 0 {
+		cfg.Cells = fl.cells
+	}
+
+	var owner *spv.Owner
+	if fl.keyFile != "" {
+		signer, err := loadSigner(fl.keyFile)
+		if err != nil {
+			return nil, err
+		}
+		owner, err = spv.NewOwnerWithSigner(g, cfg, signer)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		owner, err = spv.NewOwner(g, cfg)
+		if err != nil {
+			return nil, err
 		}
 	}
-	return nil, fmt.Errorf("unknown dataset %q (want one of %v)", dataset, spv.Datasets())
+
+	var ms []spv.Method
+	for _, name := range strings.Split(fl.methods, ",") {
+		ms = append(ms, spv.Method(strings.ToUpper(strings.TrimSpace(name))))
+	}
+	log.Printf("network ready: %d nodes, %d edges; outsourcing %v", g.NumNodes(), g.NumEdges(), ms)
+
+	// Always deploy through the update-capable bundle; /update itself only
+	// opens with -updates, since it is the owner's side door (re-signing
+	// roots needs the private key this process holds anyway).
+	return spv.NewDeployment(owner, serveOpts, ms...)
+}
+
+func loadSigner(keyFile string) (*spv.Signer, error) {
+	pem, err := os.ReadFile(keyFile)
+	if err != nil {
+		return nil, err
+	}
+	signer, err := spv.ParseSignerPEM(pem)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", keyFile, err)
+	}
+	return signer, nil
 }

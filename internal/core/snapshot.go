@@ -1,0 +1,923 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"github.com/authhints/spv/internal/digest"
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/hints/landmark"
+	"github.com/authhints/spv/internal/hiti"
+	"github.com/authhints/spv/internal/mbt"
+	"github.com/authhints/spv/internal/mht"
+	"github.com/authhints/spv/internal/order"
+	"github.com/authhints/spv/internal/par"
+	"github.com/authhints/spv/internal/sig"
+	"github.com/authhints/spv/internal/snapshot"
+)
+
+// This file serializes a complete outsourced deployment — graph, config,
+// per-method Merkle trees with every precomputed interior digest, hint
+// rows, signatures and the update epoch — into the internal/snapshot
+// container, and loads it back without recomputing a single hash or
+// running a single search. The split of labor with the container layer:
+// snapshot frames and CRC-checks opaque sections; this file owns the
+// section kinds and their payload encodings.
+//
+// What is stored vs re-derived is chosen by cost: Merkle levels (the
+// hashing bill), hint distance rows (the Dijkstra bill) and signatures
+// (the RSA bill) are stored; tuple encodings, quantization, compression,
+// grid partitions and hyper-edge key sets are cheap deterministic
+// functions of the stored state and are re-derived at load, in parallel.
+// That keeps snapshots compact AND guarantees the loaded provider cannot
+// disagree with itself — there is one source of truth per fact.
+//
+// Trust model: a snapshot is provider-side state. CRCs catch accidental
+// corruption; a malicious snapshot can at worst make the provider emit
+// proofs that fail client verification, because clients check everything
+// against the owner's signed roots. Loaders therefore validate shape
+// (dimensions, ranges, bijections) strictly but trust digest values.
+
+// Snapshot section kinds. The core sections (config, graph, verifier,
+// ordering) must precede method sections; see DESIGN.md §9 for the byte
+// layout of each payload.
+const (
+	snapKindConfig   = 1
+	snapKindGraph    = 2
+	snapKindVerifier = 3
+	snapKindOrdering = 4
+	snapKindDIJ      = 5
+	snapKindFULL     = 6
+	snapKindLDM      = 7
+	snapKindHYP      = 8
+)
+
+// SnapshotSectionName returns the display name of a snapshot section
+// kind, or "unknown" — the single source inspection tools (cmd/spvsnap)
+// use, so new kinds never drift out of their listings.
+func SnapshotSectionName(kind uint32) string {
+	switch kind {
+	case snapKindConfig:
+		return "config"
+	case snapKindGraph:
+		return "graph"
+	case snapKindVerifier:
+		return "verifier"
+	case snapKindOrdering:
+		return "ordering"
+	case snapKindDIJ:
+		return "DIJ"
+	case snapKindFULL:
+		return "FULL"
+	case snapKindLDM:
+		return "LDM"
+	case snapKindHYP:
+		return "HYP"
+	}
+	return "unknown"
+}
+
+// ErrBadSnapshot tags semantic snapshot failures: sections that are
+// well-framed (CRCs pass) but whose payloads are malformed, inconsistent
+// with each other, or from an incompatible writer. Container-level
+// integrity failures surface as snapshot.ErrCorrupt instead.
+var ErrBadSnapshot = errors.New("core: bad snapshot")
+
+// ProviderSet is a complete deserialized deployment: everything a replica
+// needs to serve authenticated proofs (providers, public key, epoch), and
+// everything an owner process needs to resume updates (graph, config —
+// plus its private key, which never enters a snapshot). Provider fields
+// are nil for methods the snapshot does not carry.
+//
+// A loaded ProviderSet obeys the same concurrency contract as freshly
+// outsourced providers: every non-nil provider is immutable and safe for
+// unbounded concurrent Query use.
+type ProviderSet struct {
+	Cfg      Config
+	Graph    *graph.Graph
+	Verifier *sig.Verifier
+	// Epoch is the owner's update-batch counter at save time; RestoreOwner
+	// continues the sequence from here.
+	Epoch int64
+
+	DIJ  *DIJProvider
+	FULL *FULLProvider
+	LDM  *LDMProvider
+	HYP  *HYPProvider
+}
+
+// Methods lists the methods present in the set, in the paper's order.
+func (s *ProviderSet) Methods() []Method {
+	var out []Method
+	if s.DIJ != nil {
+		out = append(out, DIJ)
+	}
+	if s.FULL != nil {
+		out = append(out, FULL)
+	}
+	if s.LDM != nil {
+		out = append(out, LDM)
+	}
+	if s.HYP != nil {
+		out = append(out, HYP)
+	}
+	return out
+}
+
+// WriteSnapshot serializes the owner's deployment state plus the given
+// outsourced providers (any may be nil, at least one must not be) into w.
+// Every provider must have been outsourced by — or patched through — this
+// owner against its current graph; a provider from another owner or a
+// stale update generation is rejected. Returns the bytes written.
+//
+// WriteSnapshot reads the owner's graph and the providers' structures but
+// mutates nothing; it must not run concurrently with ApplyUpdates (the
+// serving layer's Deployment.Save serializes against updates for you).
+func (o *Owner) WriteSnapshot(w io.Writer, dij *DIJProvider, full *FULLProvider, ldm *LDMProvider, hyp *HYPProvider) (int64, error) {
+	for name, g := range map[string]*graph.Graph{"DIJ": providerGraph(dij), "FULL": providerGraph(full), "LDM": providerGraph(ldm), "HYP": providerGraph(hyp)} {
+		if g != nil && g != o.g {
+			return 0, fmt.Errorf("core: %s provider was not outsourced from this owner", name)
+		}
+	}
+	set := &ProviderSet{
+		Cfg: o.cfg, Graph: o.g, Verifier: o.Verifier(), Epoch: o.Epoch(),
+		DIJ: dij, FULL: full, LDM: ldm, HYP: hyp,
+	}
+	return set.WriteTo(w)
+}
+
+// providerGraph extracts the graph of a possibly nil provider, tolerating
+// typed nils from each provider type.
+func providerGraph[P interface{ graphRef() *graph.Graph }](p P) *graph.Graph {
+	return p.graphRef()
+}
+
+func (p *DIJProvider) graphRef() *graph.Graph {
+	if p == nil {
+		return nil
+	}
+	return p.g
+}
+func (p *FULLProvider) graphRef() *graph.Graph {
+	if p == nil {
+		return nil
+	}
+	return p.g
+}
+func (p *LDMProvider) graphRef() *graph.Graph {
+	if p == nil {
+		return nil
+	}
+	return p.g
+}
+func (p *HYPProvider) graphRef() *graph.Graph {
+	if p == nil {
+		return nil
+	}
+	return p.g
+}
+
+// WriteTo serializes the set into w in snapshot container format: the core
+// sections (config, graph, verifier, ordering) followed by one section per
+// present method. It returns the total bytes written. Safe to call on a
+// loaded set (replicas can re-publish the snapshot they booted from); not
+// safe concurrently with owner mutation of the underlying graph.
+func (s *ProviderSet) WriteTo(w io.Writer) (int64, error) {
+	if s.Graph == nil || s.Verifier == nil {
+		return 0, errors.New("core: snapshot needs a graph and a verifier")
+	}
+	ord, err := s.sharedOrdering()
+	if err != nil {
+		return 0, err
+	}
+	sw, err := snapshot.NewWriter(w, s.Epoch)
+	if err != nil {
+		return 0, err
+	}
+	if err := sw.Section(snapKindConfig, appendSnapConfig(nil, s.Cfg)); err != nil {
+		return sw.Bytes(), err
+	}
+	var gb bytes.Buffer
+	if _, err := s.Graph.WriteTo(&gb); err != nil {
+		return sw.Bytes(), err
+	}
+	if err := sw.Section(snapKindGraph, gb.Bytes()); err != nil {
+		return sw.Bytes(), err
+	}
+	pem, err := s.Verifier.MarshalPEM()
+	if err != nil {
+		return sw.Bytes(), err
+	}
+	if err := sw.Section(snapKindVerifier, pem); err != nil {
+		return sw.Bytes(), err
+	}
+	if err := sw.Section(snapKindOrdering, appendSnapOrdering(nil, ord)); err != nil {
+		return sw.Bytes(), err
+	}
+	if s.DIJ != nil {
+		payload := appendSnapTree(appendBytes(nil, s.DIJ.rootSig), s.DIJ.ads.tree)
+		if err := sw.Section(snapKindDIJ, payload); err != nil {
+			return sw.Bytes(), err
+		}
+	}
+	if s.FULL != nil {
+		payload := appendBytes(nil, s.FULL.netSig)
+		payload = appendBytes(payload, s.FULL.distSig)
+		payload = appendSnapTree(payload, s.FULL.ads.tree)
+		payload = appendSnapTree(payload, s.FULL.forest.Top())
+		if err := sw.Section(snapKindFULL, payload); err != nil {
+			return sw.Bytes(), err
+		}
+	}
+	if s.LDM != nil {
+		payload, err := appendSnapLDM(nil, s.LDM)
+		if err != nil {
+			return sw.Bytes(), err
+		}
+		if err := sw.Section(snapKindLDM, payload); err != nil {
+			return sw.Bytes(), err
+		}
+	}
+	if s.HYP != nil {
+		if err := sw.Section(snapKindHYP, appendSnapHYP(nil, s.HYP)); err != nil {
+			return sw.Bytes(), err
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return sw.Bytes(), err
+	}
+	return sw.Bytes(), nil
+}
+
+// sharedOrdering returns the (single) leaf ordering all present providers
+// were built under, verifying they agree — a mixed set would produce a
+// snapshot whose method sections silently disagree about leaf positions.
+func (s *ProviderSet) sharedOrdering() (*order.Ordering, error) {
+	var ord *order.Ordering
+	for _, a := range []*networkADS{adsOf(s.DIJ), adsOf(s.FULL), adsOf(s.LDM), adsOf(s.HYP)} {
+		if a == nil {
+			continue
+		}
+		if ord == nil {
+			ord = a.ord
+			continue
+		}
+		if len(ord.Seq) != len(a.ord.Seq) {
+			return nil, errors.New("core: providers disagree on leaf ordering")
+		}
+		for i := range ord.Seq {
+			if ord.Seq[i] != a.ord.Seq[i] {
+				return nil, errors.New("core: providers disagree on leaf ordering")
+			}
+		}
+	}
+	if ord == nil {
+		return nil, errors.New("core: snapshot needs at least one provider")
+	}
+	return ord, nil
+}
+
+func adsOf[P interface{ adsRef() *networkADS }](p P) *networkADS { return p.adsRef() }
+
+func (p *DIJProvider) adsRef() *networkADS {
+	if p == nil {
+		return nil
+	}
+	return p.ads
+}
+func (p *FULLProvider) adsRef() *networkADS {
+	if p == nil {
+		return nil
+	}
+	return p.ads
+}
+func (p *LDMProvider) adsRef() *networkADS {
+	if p == nil {
+		return nil
+	}
+	return p.ads
+}
+func (p *HYPProvider) adsRef() *networkADS {
+	if p == nil {
+		return nil
+	}
+	return p.ads
+}
+
+// OpenProviderSet loads a snapshot file — the provider cold-start path.
+func OpenProviderSet(path string) (*ProviderSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadProviderSet(f)
+}
+
+// ReadProviderSet deserializes a snapshot written by WriteSnapshot /
+// WriteTo. No hash is recomputed and no search is run: Merkle levels,
+// hint rows and signatures come from the file; tuple encodings,
+// quantization, compression and partitions are re-derived in parallel
+// from the loaded graph. All providers share one frozen CSR view.
+//
+// Round-trip contract (pinned by TestSnapshotRoundTrip): every loaded
+// provider emits proof wire encodings byte-identical to the provider it
+// was saved from, for every query and method.
+func ReadProviderSet(r io.Reader) (*ProviderSet, error) {
+	sr, err := snapshot.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	set := &ProviderSet{Epoch: sr.Epoch()}
+	var (
+		ord     *order.Ordering
+		view    *graph.CSR
+		haveCfg bool
+		seen    = map[uint32]bool{}
+	)
+	coreReady := func() bool { return haveCfg && set.Graph != nil && set.Verifier != nil && ord != nil }
+	for {
+		sec, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if seen[sec.Kind] {
+			return nil, fmt.Errorf("%w: duplicate section kind %d", ErrBadSnapshot, sec.Kind)
+		}
+		seen[sec.Kind] = true
+		if sec.Kind >= snapKindDIJ && !coreReady() {
+			return nil, fmt.Errorf("%w: method section %d before core sections", ErrBadSnapshot, sec.Kind)
+		}
+		switch sec.Kind {
+		case snapKindConfig:
+			if set.Cfg, err = decodeSnapConfig(sec.Payload); err != nil {
+				return nil, err
+			}
+			haveCfg = true
+		case snapKindGraph:
+			g, err := graph.Read(bytes.NewReader(sec.Payload))
+			if err != nil {
+				return nil, fmt.Errorf("%w: graph: %v", ErrBadSnapshot, err)
+			}
+			set.Graph = g
+		case snapKindVerifier:
+			v, err := sig.ParseVerifierPEM(sec.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("%w: verifier: %v", ErrBadSnapshot, err)
+			}
+			set.Verifier = v
+		case snapKindOrdering:
+			if set.Graph == nil {
+				return nil, fmt.Errorf("%w: ordering section before graph", ErrBadSnapshot)
+			}
+			if ord, err = decodeSnapOrdering(sec.Payload, set.Graph.NumNodes()); err != nil {
+				return nil, err
+			}
+		case snapKindDIJ:
+			if view == nil {
+				view = set.Graph.Freeze()
+			}
+			if set.DIJ, err = decodeSnapDIJ(sec.Payload, set.Graph, view, ord); err != nil {
+				return nil, err
+			}
+		case snapKindFULL:
+			if view == nil {
+				view = set.Graph.Freeze()
+			}
+			if set.FULL, err = decodeSnapFULL(sec.Payload, set.Graph, view, ord); err != nil {
+				return nil, err
+			}
+		case snapKindLDM:
+			if view == nil {
+				view = set.Graph.Freeze()
+			}
+			if set.LDM, err = decodeSnapLDM(sec.Payload, set.Graph, view, ord, set.Cfg); err != nil {
+				return nil, err
+			}
+		case snapKindHYP:
+			if view == nil {
+				view = set.Graph.Freeze()
+			}
+			if set.HYP, err = decodeSnapHYP(sec.Payload, set.Graph, view, ord, set.Cfg); err != nil {
+				return nil, err
+			}
+		default:
+			// Unknown kinds within a known version are state this loader
+			// does not understand — refusing beats silently serving less
+			// than the snapshot promises.
+			return nil, fmt.Errorf("%w: unknown section kind %d", ErrBadSnapshot, sec.Kind)
+		}
+	}
+	if !coreReady() {
+		return nil, fmt.Errorf("%w: missing core sections", ErrBadSnapshot)
+	}
+	if set.DIJ == nil && set.FULL == nil && set.LDM == nil && set.HYP == nil {
+		return nil, fmt.Errorf("%w: no method sections", ErrBadSnapshot)
+	}
+	if set.Epoch < 0 {
+		return nil, fmt.Errorf("%w: negative epoch %d", ErrBadSnapshot, set.Epoch)
+	}
+	return set, nil
+}
+
+// RestoreOwner rebuilds an owner around a persisted private key and a
+// loaded snapshot's graph, config and epoch, so that subsequent
+// ApplyUpdates batches continue the snapshot's epoch sequence. The caller
+// must have checked that signer's public half matches the snapshot's
+// verifier (sig.Verifier.Equal) — an owner with a different key would
+// re-sign patched roots that no distributed verifier accepts.
+func RestoreOwner(g *graph.Graph, cfg Config, signer *sig.Signer, epoch int64) (*Owner, error) {
+	if epoch < 0 {
+		return nil, fmt.Errorf("core: negative epoch %d", epoch)
+	}
+	o, err := NewOwnerWithSigner(g, cfg, signer)
+	if err != nil {
+		return nil, err
+	}
+	o.epoch = epoch
+	return o, nil
+}
+
+// --- payload encodings ---
+
+// appendSnapConfig encodes a Config:
+//
+//	hash u8 | fanout u32 | ordering str | orderSeed i64 | rsaBits u32 |
+//	landmarks u32 | quantBits u32 | xi f64 | strategy str | hintSeed i64 |
+//	cells u32 | pinnedLambda f64 | pinnedN u32 | pinnedN × u32
+func appendSnapConfig(buf []byte, cfg Config) []byte {
+	buf = append(buf, byte(cfg.Hash))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(cfg.Fanout))
+	buf = appendBytes(buf, []byte(cfg.Ordering))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(cfg.OrderSeed))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(cfg.RSABits))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(cfg.Landmarks))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(cfg.QuantBits))
+	buf = appendFloat(buf, cfg.Xi)
+	buf = appendBytes(buf, []byte(cfg.Strategy))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(cfg.HintSeed))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(cfg.Cells))
+	buf = appendFloat(buf, cfg.PinnedLambda)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(cfg.PinnedLandmarks)))
+	for _, l := range cfg.PinnedLandmarks {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(l))
+	}
+	return buf
+}
+
+func decodeSnapConfig(buf []byte) (Config, error) {
+	c := &snapCursor{buf: buf}
+	var cfg Config
+	cfg.Hash = digestAlg(c.u8())
+	cfg.Fanout = int(c.u32())
+	cfg.Ordering = order.Method(c.str())
+	cfg.OrderSeed = int64(c.u64())
+	cfg.RSABits = int(c.u32())
+	cfg.Landmarks = int(c.u32())
+	cfg.QuantBits = int(c.u32())
+	cfg.Xi = c.f64()
+	cfg.Strategy = landmark.Strategy(c.str())
+	cfg.HintSeed = int64(c.u64())
+	cfg.Cells = int(c.u32())
+	cfg.PinnedLambda = c.f64()
+	n := int(c.u32())
+	if c.err == nil && n > len(c.buf[c.off:])/4 {
+		c.fail("pinned landmark count %d exceeds payload", n)
+	}
+	for i := 0; i < n && c.err == nil; i++ {
+		cfg.PinnedLandmarks = append(cfg.PinnedLandmarks, graph.NodeID(c.u32()))
+	}
+	if err := c.finish("config"); err != nil {
+		return Config{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return cfg, nil
+}
+
+// appendSnapOrdering encodes the leaf ordering: method str | n u32 | n × u32.
+func appendSnapOrdering(buf []byte, ord *order.Ordering) []byte {
+	buf = appendBytes(buf, []byte(ord.Method))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ord.Seq)))
+	for _, v := range ord.Seq {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+func decodeSnapOrdering(buf []byte, numNodes int) (*order.Ordering, error) {
+	c := &snapCursor{buf: buf}
+	m := order.Method(c.str())
+	n := int(c.u32())
+	if c.err == nil && n != numNodes {
+		c.fail("ordering over %d nodes, graph has %d", n, numNodes)
+	}
+	if c.err == nil && n > len(c.buf[c.off:])/4 {
+		c.fail("ordering length %d exceeds payload", n)
+	}
+	seq := make([]graph.NodeID, 0, min(n, len(buf)/4))
+	for i := 0; i < n && c.err == nil; i++ {
+		seq = append(seq, graph.NodeID(c.u32()))
+	}
+	if err := c.finish("ordering"); err != nil {
+		return nil, err
+	}
+	ord, err := order.FromSeq(m, seq)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return ord, nil
+}
+
+// appendSnapTree encodes a Merkle tree, every level verbatim:
+//
+//	alg u8 | fanout u16 | levels u32 | per level: width u32 | width × digest
+func appendSnapTree(buf []byte, t *mht.Tree) []byte {
+	levels := t.Levels()
+	buf = append(buf, byte(t.Alg()))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(t.Fanout()))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(levels)))
+	for _, lvl := range levels {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(lvl)))
+		for _, d := range lvl {
+			buf = append(buf, d...)
+		}
+	}
+	return buf
+}
+
+func (c *snapCursor) tree() *mht.Tree {
+	alg := digestAlg(c.u8())
+	if c.err == nil && !alg.Valid() {
+		c.fail("invalid tree hash algorithm %d", alg)
+		return nil
+	}
+	fanout := int(c.u16())
+	numLevels := int(c.u32())
+	size := alg.Size()
+	// Cap the up-front allocation: a fanout-2 tree over 2^32 leaves has 33
+	// levels, so any honest level count fits in 64; a lying one must not
+	// allocate ahead of the bytes that back it.
+	levels := make([][][]byte, 0, min(numLevels, 64))
+	for l := 0; l < numLevels && c.err == nil; l++ {
+		width := int(c.u32())
+		if c.err != nil {
+			break
+		}
+		if width <= 0 || width > len(c.buf[c.off:])/size {
+			c.fail("tree level %d width %d exceeds payload", l, width)
+			break
+		}
+		// Copy the level's digest region out of the section payload: the
+		// tree retains its levels for the provider's lifetime, and
+		// sub-slicing would pin the whole payload — dominated by hint rows
+		// that were already parsed into their own storage — in memory.
+		region := append([]byte(nil), c.raw(width*size)...)
+		lvl := make([][]byte, width)
+		for i := range lvl {
+			lvl[i] = region[i*size : (i+1)*size : (i+1)*size]
+		}
+		levels = append(levels, lvl)
+	}
+	if c.err != nil {
+		return nil
+	}
+	t, err := mht.Rehydrate(alg, fanout, levels)
+	if err != nil {
+		c.fail("%v", err)
+		return nil
+	}
+	return t
+}
+
+// rehydrateADS rebuilds a networkADS from the loaded graph, ordering and
+// tree: leaf messages are re-encoded in parallel (deterministic in the
+// graph and the method's extra bytes), the tree digests come from the
+// snapshot.
+func rehydrateADS(g *graph.Graph, ord *order.Ordering, tree *mht.Tree, extraFn func(graph.NodeID) []byte) (*networkADS, error) {
+	n := g.NumNodes()
+	if tree.NumLeaves() != n {
+		return nil, fmt.Errorf("%w: network tree has %d leaves for %d nodes", ErrBadSnapshot, tree.NumLeaves(), n)
+	}
+	msgs := make([][]byte, n)
+	par.Chunks(n, adsParallelThreshold, func(lo, hi int) {
+		for pos := lo; pos < hi; pos++ {
+			msgs[pos] = encodeTupleMsg(g, ord.Seq[pos], extraFn, nil)
+		}
+	})
+	return &networkADS{ord: ord, tree: tree, msgs: msgs}, nil
+}
+
+// decodeSnapDIJ parses: rootSig bytes | network tree.
+func decodeSnapDIJ(buf []byte, g *graph.Graph, view *graph.CSR, ord *order.Ordering) (*DIJProvider, error) {
+	c := &snapCursor{buf: buf}
+	rootSig := c.bytes()
+	tree := c.tree()
+	if err := c.finish("DIJ"); err != nil {
+		return nil, err
+	}
+	ads, err := rehydrateADS(g, ord, tree, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &DIJProvider{g: g, view: view, ads: ads, rootSig: rootSig}, nil
+}
+
+// decodeSnapFULL parses: netSig | distSig | network tree | top tree.
+func decodeSnapFULL(buf []byte, g *graph.Graph, view *graph.CSR, ord *order.Ordering) (*FULLProvider, error) {
+	c := &snapCursor{buf: buf}
+	netSig := c.bytes()
+	distSig := c.bytes()
+	netTree := c.tree()
+	topTree := c.tree()
+	if err := c.finish("FULL"); err != nil {
+		return nil, err
+	}
+	ads, err := rehydrateADS(g, ord, netTree, nil)
+	if err != nil {
+		return nil, err
+	}
+	forest, err := mbt.RehydrateForest(g.NumNodes(), topTree, fullRowFn(view))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return &FULLProvider{g: g, view: view, ads: ads, forest: forest, netSig: netSig, distSig: distSig}, nil
+}
+
+// appendSnapLDM encodes: rootSig | bits u32 | lambda f64 | c u32 |
+// c × landmark u32 | c × n × dist f64 | network tree. The exact distance
+// rows are the stored truth; quantization, compression and payloads are
+// re-derived at load (deterministically, λ pinned), exactly as the
+// incremental update pipeline derives them.
+func appendSnapLDM(buf []byte, p *LDMProvider) ([]byte, error) {
+	h := p.hints
+	if h.Dists == nil {
+		return nil, errors.New("core: LDM provider retains no distance rows; cannot snapshot")
+	}
+	buf = appendBytes(buf, p.rootSig)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(h.Bits))
+	buf = appendFloat(buf, h.Lambda)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(h.Landmarks)))
+	for _, l := range h.Landmarks {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(l))
+	}
+	for _, row := range h.Dists {
+		for _, d := range row {
+			buf = appendFloat(buf, d)
+		}
+	}
+	return appendSnapTree(buf, p.ads.tree), nil
+}
+
+func decodeSnapLDM(buf []byte, g *graph.Graph, view *graph.CSR, ord *order.Ordering, cfg Config) (*LDMProvider, error) {
+	c := &snapCursor{buf: buf}
+	rootSig := c.bytes()
+	bits := int(c.u32())
+	lambda := c.f64()
+	nl := int(c.u32())
+	if c.err == nil && (bits < 1 || bits > 30) {
+		c.fail("quantization bits %d out of range", bits)
+	}
+	if c.err == nil && (lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0)) {
+		c.fail("bad lambda %v", lambda)
+	}
+	n := g.NumNodes()
+	if c.err == nil && (nl < 1 || nl > len(c.buf[c.off:])/4) {
+		c.fail("landmark count %d exceeds payload", nl)
+	}
+	var landmarks []graph.NodeID
+	for i := 0; i < nl && c.err == nil; i++ {
+		l := graph.NodeID(c.u32())
+		if int(l) >= n || l < 0 {
+			c.fail("landmark %d out of range [0, %d)", l, n)
+			break
+		}
+		landmarks = append(landmarks, l)
+	}
+	if c.err == nil && nl > len(c.buf[c.off:])/(8*n) {
+		c.fail("distance rows exceed payload")
+	}
+	dists := make([][]float64, 0, nl)
+	for i := 0; i < nl && c.err == nil; i++ {
+		row := make([]float64, n)
+		for j := 0; j < n && c.err == nil; j++ {
+			row[j] = c.f64()
+		}
+		dists = append(dists, row)
+	}
+	tree := c.tree()
+	if err := c.finish("LDM"); err != nil {
+		return nil, err
+	}
+	h, _ := landmark.FromRows(landmarks, dists, landmark.Options{
+		C:           len(landmarks),
+		Bits:        bits,
+		Xi:          cfg.Xi,
+		FixedLambda: lambda,
+	})
+	ads, err := rehydrateADS(g, ord, tree, func(v graph.NodeID) []byte {
+		return h.PayloadOf(v).AppendBinary(h.Bits, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LDMProvider{g: g, view: view, hints: h, ads: ads, rootSig: rootSig}, nil
+}
+
+// appendSnapHYP encodes: netSig | distSig | fullRows u8 | rows u32 |
+// rowLen u32 | rows × rowLen × f64 | hasDist u8 [| dist tree] | network
+// tree. The partition (grid, cells, borders) is re-derived at load; the
+// materialized W* rows are the stored truth and the hyper-edge entry set
+// is re-derived from them.
+func appendSnapHYP(buf []byte, p *HYPProvider) []byte {
+	buf = appendBytes(buf, p.netSig)
+	buf = appendBytes(buf, p.distSig)
+	full, rows := p.hyper.Rows()
+	if full {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	rowLen := 0
+	if len(rows) > 0 {
+		rowLen = len(rows[0])
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(rows)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(rowLen))
+	for _, row := range rows {
+		for _, d := range row {
+			buf = appendFloat(buf, d)
+		}
+	}
+	if p.distMBT != nil {
+		buf = append(buf, 1)
+		buf = appendSnapTree(buf, p.distMBT.MHT())
+	} else {
+		buf = append(buf, 0)
+	}
+	return appendSnapTree(buf, p.ads.tree)
+}
+
+func decodeSnapHYP(buf []byte, g *graph.Graph, view *graph.CSR, ord *order.Ordering, cfg Config) (*HYPProvider, error) {
+	c := &snapCursor{buf: buf}
+	netSig := c.bytes()
+	distSig := c.bytes()
+	fullFlag := c.u8()
+	numRows := int(c.u32())
+	rowLen := int(c.u32())
+	if c.err == nil && fullFlag > 1 {
+		c.fail("bad full-rows flag %d", fullFlag)
+	}
+	if c.err == nil && rowLen == 0 && numRows > 0 {
+		// Zero-length rows never occur (wb rows are B-long with B > 0, full
+		// rows |V|-long with |V| ≥ 2); a lying count must not allocate.
+		c.fail("%d hyper rows of length 0", numRows)
+	}
+	if c.err == nil && (rowLen < 0 || numRows < 0 || (rowLen > 0 && numRows > len(c.buf[c.off:])/(8*rowLen))) {
+		c.fail("hyper rows exceed payload")
+	}
+	rows := make([][]float64, 0, numRows)
+	for i := 0; i < numRows && c.err == nil; i++ {
+		row := make([]float64, rowLen)
+		for j := 0; j < rowLen && c.err == nil; j++ {
+			row[j] = c.f64()
+		}
+		rows = append(rows, row)
+	}
+	hasDist := c.u8()
+	var distTree *mht.Tree
+	if c.err == nil && hasDist > 1 {
+		c.fail("bad dist-tree flag %d", hasDist)
+	}
+	if c.err == nil && hasDist == 1 {
+		distTree = c.tree()
+	}
+	netTree := c.tree()
+	if err := c.finish("HYP"); err != nil {
+		return nil, err
+	}
+	hyper, err := hiti.Rehydrate(g, cfg.Cells, fullFlag == 1, rows)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	p := &HYPProvider{g: g, view: view, hyper: hyper, netSig: netSig, distSig: distSig}
+	if distTree != nil {
+		entries := hyper.Entries()
+		p.distMBT, err = mbt.RehydrateTree(entries, distTree)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+	} else if hyper.NumBorders() > 0 {
+		return nil, fmt.Errorf("%w: HYP section has %d borders but no distance tree", ErrBadSnapshot, hyper.NumBorders())
+	}
+	p.ads, err = rehydrateADS(g, ord, netTree, hyper.Extra)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// --- decode cursor ---
+
+// snapCursor walks a section payload with sticky-error semantics: the
+// first failure latches, later reads return zero values, and finish
+// reports it (or trailing garbage). This keeps the decoders linear
+// instead of error-pyramid shaped.
+type snapCursor struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (c *snapCursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("%w: %s", ErrBadSnapshot, fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *snapCursor) raw(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if len(c.buf)-c.off < n {
+		c.fail("truncated (%d bytes left, need %d)", len(c.buf)-c.off, n)
+		return nil
+	}
+	out := c.buf[c.off : c.off+n]
+	c.off += n
+	return out
+}
+
+func (c *snapCursor) u8() byte {
+	b := c.raw(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *snapCursor) u16() uint16 {
+	b := c.raw(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (c *snapCursor) u32() uint32 {
+	b := c.raw(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (c *snapCursor) u64() uint64 {
+	b := c.raw(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (c *snapCursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *snapCursor) bytes() []byte {
+	n := int(c.u32())
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(c.buf)-c.off {
+		c.fail("byte string of %d exceeds payload", n)
+		return nil
+	}
+	b := c.raw(n)
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (c *snapCursor) str() string { return string(c.bytes()) }
+
+func (c *snapCursor) finish(what string) error {
+	if c.err != nil {
+		return fmt.Errorf("%s section: %w", what, c.err)
+	}
+	if c.off != len(c.buf) {
+		return fmt.Errorf("%w: %s section has %d trailing bytes", ErrBadSnapshot, what, len(c.buf)-c.off)
+	}
+	return nil
+}
+
+// digestAlg narrows a decoded byte to the digest algorithm type.
+func digestAlg(b byte) digest.Alg { return digest.Alg(b) }

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/authhints/spv/internal/netgen"
+)
+
+// fuzzSnapshotSeed builds one small valid snapshot, once — RSA keygen and
+// outsourcing are too slow to repeat per fuzz case.
+var fuzzSnapshotSeed = sync.OnceValue(func() []byte {
+	g, err := netgen.Synthesize(60, 80, 11)
+	if err != nil {
+		panic(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Landmarks = 4
+	cfg.Cells = 9
+	owner, err := NewOwner(g, cfg)
+	if err != nil {
+		panic(err)
+	}
+	dij, err := owner.OutsourceDIJ()
+	if err != nil {
+		panic(err)
+	}
+	ldm, err := owner.OutsourceLDM()
+	if err != nil {
+		panic(err)
+	}
+	hyp, err := owner.OutsourceHYP()
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if _, err := owner.WriteSnapshot(&buf, dij, nil, ldm, hyp); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+})
+
+// FuzzReadProviderSet drives arbitrary bytes through the full snapshot
+// load path: container framing, section decoding and structure
+// rehydration must reject any malformed input with an error — truncated
+// files, lying section lengths and flipped CRC bytes must never panic or
+// allocate proportionally to a lying length field.
+func FuzzReadProviderSet(f *testing.F) {
+	valid := fuzzSnapshotSeed()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:40])
+	// A CRC-flipped mutant and a length-lying mutant as structured seeds.
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xFF
+	f.Add(flipped)
+	lying := append([]byte(nil), valid...)
+	lying[25] = 0x7F // high byte of the first section's length
+	f.Add(lying)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, err := ReadProviderSet(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that loads must be a self-consistent, queryable set.
+		if set.Graph == nil || set.Verifier == nil || len(set.Methods()) == 0 {
+			t.Fatal("loaded set is incomplete")
+		}
+	})
+}

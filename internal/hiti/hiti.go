@@ -48,6 +48,28 @@ type Hyper struct {
 // Build partitions g into approximately p grid cells and materializes all
 // border-pair distances (one bounded Dijkstra per border node; parallelized).
 func Build(g *graph.Graph, p int) (*Hyper, error) {
+	h, err := partition(g, p)
+	if err != nil {
+		return nil, err
+	}
+	// Materialize W* border-indexed: one Dijkstra per border node, all
+	// borders as targets, early-terminating once they settle. Workers
+	// search the frozen CSR view with a pooled workspace each.
+	view := g.Freeze()
+	h.wb = make([][]float64, len(h.Borders))
+	par.Work(len(h.Borders), func(i int) {
+		ws := sp.AcquireWorkspace(view.NumNodes())
+		defer sp.ReleaseWorkspace(ws)
+		h.wb[i] = ws.DijkstraToTargets(view, h.Borders[i], h.Borders, nil)
+	})
+	return h, nil
+}
+
+// partition derives everything that depends only on coordinates and
+// adjacency — the grid, cell membership, border flags and border order.
+// It is deterministic in g and p, which is what lets snapshot loading
+// (Rehydrate) rebuild it instead of persisting it.
+func partition(g *graph.Graph, p int) (*Hyper, error) {
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("hiti: empty graph")
 	}
@@ -93,17 +115,50 @@ func Build(g *graph.Graph, p int) (*Hyper, error) {
 		c := h.CellOf[b]
 		h.cellBorders[c] = append(h.cellBorders[c], b)
 	}
+	return h, nil
+}
 
-	// Materialize W* border-indexed: one Dijkstra per border node, all
-	// borders as targets, early-terminating once they settle. Workers
-	// search the frozen CSR view with a pooled workspace each.
-	view := g.Freeze()
-	h.wb = make([][]float64, len(h.Borders))
-	par.Work(len(h.Borders), func(i int) {
-		ws := sp.AcquireWorkspace(view.NumNodes())
-		defer sp.ReleaseWorkspace(ws)
-		h.wb[i] = ws.DijkstraToTargets(view, h.Borders[i], h.Borders, nil)
-	})
+// Rows exposes the materialized W* rows and their storage form for
+// snapshot serialization: full reports whether rows are full distance rows
+// (w, indexed by node) or the static border-indexed form (wb). The rows
+// are the Hyper's own storage — read-only for callers. Pair with
+// Rehydrate.
+func (h *Hyper) Rows() (full bool, rows [][]float64) {
+	if h.w != nil {
+		return true, h.w
+	}
+	return false, h.wb
+}
+
+// Rehydrate reconstructs a Hyper over g from previously materialized rows
+// without running a single search: the partition (grid, cells, borders) is
+// recomputed — it is cheap and deterministic in g and p — and the given
+// rows are installed under the storage form they were exported with. Row
+// dimensions are validated against the recomputed border set, so a
+// snapshot from a different graph or cell count fails loudly here rather
+// than as a root mismatch downstream. The rows slice is retained.
+func Rehydrate(g *graph.Graph, p int, full bool, rows [][]float64) (*Hyper, error) {
+	h, err := partition(g, p)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) != len(h.Borders) {
+		return nil, fmt.Errorf("hiti: %d rows for %d borders", len(rows), len(h.Borders))
+	}
+	want := len(h.Borders)
+	if full {
+		want = g.NumNodes()
+	}
+	for i, row := range rows {
+		if len(row) != want {
+			return nil, fmt.Errorf("hiti: row %d has %d values, want %d", i, len(row), want)
+		}
+	}
+	if full {
+		h.w = rows
+	} else {
+		h.wb = rows
+	}
 	return h, nil
 }
 

@@ -143,6 +143,30 @@ func (f *Forest) RowRootEqual(i int, root []byte) bool {
 	return bytes.Equal(f.top.Leaf(i), root)
 }
 
+// Top exposes the top tree over row roots for snapshot serialization
+// (dehydration); pair with RehydrateForest. Read-only.
+func (f *Forest) Top() *mht.Tree { return f.top }
+
+// RehydrateForest reconstructs a Forest from an already rehydrated top
+// tree, without re-folding a single row — the snapshot load path for FULL,
+// where the |V|² row hashing was paid once at outsourcing time. rowFn must
+// regenerate row i against the same network state the top tree
+// authenticates: Prove cross-checks every regenerated row's root against
+// its top-tree leaf, so drift surfaces provider-side, not as an opaque
+// client failure.
+func RehydrateForest(n int, top *mht.Tree, rowFn func(i int) []float64) (*Forest, error) {
+	if top == nil {
+		return nil, errors.New("mbt: nil top tree")
+	}
+	if n <= 0 || top.NumLeaves() != n {
+		return nil, fmt.Errorf("mbt: top tree has %d leaves for an n=%d forest", top.NumLeaves(), n)
+	}
+	if rowFn == nil {
+		return nil, errors.New("mbt: nil row function")
+	}
+	return &Forest{alg: top.Alg(), fanout: top.Fanout(), n: n, top: top, rowFn: rowFn}, nil
+}
+
 // Root returns the forest root digest (signed by the data owner).
 func (f *Forest) Root() []byte { return f.top.Root() }
 

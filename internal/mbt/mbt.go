@@ -136,6 +136,40 @@ func (t *Tree) UpdateValues(entries []Entry) (*Tree, int, error) {
 	return &Tree{keys: t.keys, vals: vals, mt: mt}, len(dirty), nil
 }
 
+// MHT exposes the underlying Merkle tree for snapshot serialization
+// (dehydration); pair with RehydrateTree. Read-only.
+func (t *Tree) MHT() *mht.Tree { return t.mt }
+
+// RehydrateTree reconstructs a Tree from its entries and an already
+// rehydrated Merkle tree, without re-hashing any leaf — the snapshot load
+// path. Entries are sorted internally; duplicates are rejected and the
+// entry count must match the tree's leaf count. Digest values are trusted
+// (see mht.Rehydrate): a lying snapshot produces proofs that fail client
+// verification, nothing worse.
+func RehydrateTree(entries []Entry, mt *mht.Tree) (*Tree, error) {
+	if mt == nil {
+		return nil, errors.New("mbt: nil merkle tree")
+	}
+	if len(entries) != mt.NumLeaves() {
+		return nil, fmt.Errorf("mbt: %d entries for %d leaves", len(entries), mt.NumLeaves())
+	}
+	sorted := append([]Entry(nil), entries...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Key < sorted[b].Key })
+	t := &Tree{
+		keys: make([]Key, len(sorted)),
+		vals: make([]float64, len(sorted)),
+		mt:   mt,
+	}
+	for i, e := range sorted {
+		if i > 0 && e.Key == sorted[i-1].Key {
+			return nil, fmt.Errorf("mbt: duplicate key %d", e.Key)
+		}
+		t.keys[i] = e.Key
+		t.vals[i] = e.Value
+	}
+	return t, nil
+}
+
 // Root returns the signed-root digest of the tree.
 func (t *Tree) Root() []byte { return t.mt.Root() }
 

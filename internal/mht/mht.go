@@ -209,6 +209,56 @@ func (t *Tree) UpdateLeaves(dirty map[int][]byte) (*Tree, error) {
 	return nt, nil
 }
 
+// Levels exposes the tree's digest levels — levels[0] the leaves,
+// levels[len-1] the single root — for snapshot serialization (the
+// dehydration half of the persistence hooks; Rehydrate is the other). The
+// returned slices are the tree's own storage: callers must treat them as
+// read-only and must not retain them across a tree mutation.
+func (t *Tree) Levels() [][][]byte { return t.levels }
+
+// Rehydrate reconstructs a Tree from previously exported levels without
+// recomputing a single hash — the snapshot load path, where interior
+// digests were already paid for at outsourcing time. The level shape is
+// validated exactly (widths must follow the B⁺-style grouping chain and
+// every digest must be alg-sized), but digest *values* are trusted: a
+// snapshot is provider-side state, and a wrong digest surfaces as a root
+// mismatch at client verification, never as unsoundness. The levels slice
+// is retained, not copied.
+func Rehydrate(alg digest.Alg, fanout int, levels [][][]byte) (*Tree, error) {
+	if !alg.Valid() {
+		return nil, fmt.Errorf("mht: invalid hash algorithm %d", alg)
+	}
+	if fanout < 2 || fanout > MaxFanout {
+		return nil, fmt.Errorf("mht: fanout %d out of range [2, %d]", fanout, MaxFanout)
+	}
+	if len(levels) == 0 || len(levels[0]) == 0 {
+		return nil, errors.New("mht: no levels")
+	}
+	size := alg.Size()
+	for l, lvl := range levels {
+		for i, d := range lvl {
+			if len(d) != size {
+				return nil, fmt.Errorf("mht: level %d digest %d has %d bytes, want %d", l, i, len(d), size)
+			}
+		}
+		last := l == len(levels)-1
+		switch {
+		case last && len(lvl) != 1:
+			return nil, fmt.Errorf("mht: top level has %d digests, want 1", len(lvl))
+		case !last:
+			want := groupLevel(len(lvl), fanout).groups
+			if len(levels[l+1]) != want {
+				return nil, fmt.Errorf("mht: level %d has %d digests, want %d under fanout %d",
+					l+1, len(levels[l+1]), want, fanout)
+			}
+			if len(lvl) == 1 {
+				return nil, fmt.Errorf("mht: level %d is a premature root", l)
+			}
+		}
+	}
+	return &Tree{alg: alg, fanout: fanout, levels: levels}, nil
+}
+
 // Root returns the root digest.
 func (t *Tree) Root() []byte { return t.levels[len(t.levels)-1][0] }
 

@@ -80,11 +80,31 @@ func Compute(g *graph.Graph, m Method, seed int64) (*Ordering, error) {
 	default:
 		return nil, fmt.Errorf("order: unknown method %q", m)
 	}
+	if len(seq) != n {
+		return nil, fmt.Errorf("order: %s produced %d positions for %d nodes", m, len(seq), n)
+	}
+	return FromSeq(m, seq)
+}
+
+// FromSeq reconstructs an Ordering from an explicit leaf sequence,
+// validating that it is a bijection over [0, len(seq)). Snapshot loading
+// uses it to restore the exact outsourcing-time layout without re-running
+// (or trusting the determinism of) the ordering computation; Compute
+// funnels through it too, so both paths share the validation. The seq
+// slice is retained, not copied.
+func FromSeq(m Method, seq []graph.NodeID) (*Ordering, error) {
+	n := len(seq)
+	if n == 0 {
+		return nil, fmt.Errorf("order: empty sequence")
+	}
 	o := &Ordering{Method: m, Seq: seq, Pos: make([]int, n)}
 	for i := range o.Pos {
 		o.Pos[i] = -1
 	}
 	for pos, v := range seq {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("order: %s node %d out of range [0, %d)", m, v, n)
+		}
 		if o.Pos[v] != -1 {
 			return nil, fmt.Errorf("order: %s produced duplicate node %d", m, v)
 		}

@@ -25,17 +25,24 @@ import (
 //	POST     /update   {"updates": [{"u","v","w"}...]} — owner-side edge
 //	                   re-weighting; 403 unless EnableUpdates wired a
 //	                   Deployment (the daemon must co-host the owner key)
+//	POST     /snapshot persist the deployment to the configured path;
+//	                   403 unless EnableSnapshot wired a save function
 //	GET      /healthz  liveness
 //
 // Proof bytes decode with spv.Decode<Method>Proof and verify against the
 // /verifier key — the server never holds the owner's private key (the
 // optional update path holds it by construction: re-signing roots is the
 // owner's half, so /update only exists on owner-co-hosted daemons).
+//
+// A Server is immutable after construction and wiring (EnableUpdates /
+// EnableSnapshot must run before it is shared); ServeHTTP is safe for any
+// number of concurrent callers.
 type Server struct {
 	engine      *Engine
 	verifierPEM []byte
 	mux         *http.ServeMux
-	deployment  *Deployment // nil: updates disabled
+	deployment  *Deployment  // nil: updates disabled
+	snapshotFn  SnapshotFunc // nil: snapshots disabled
 }
 
 // MaxBatch bounds one /batch request; larger batches are rejected with 400
@@ -66,6 +73,7 @@ func NewServer(e *Engine, v *sig.Verifier) (*Server, error) {
 	s.mux.HandleFunc("/verifier", s.handleVerifier)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/update", s.handleUpdate)
+	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})

@@ -168,11 +168,13 @@ type Snapshot struct {
 	CacheEvictions    int64 `json:"cache_evictions"`
 	CacheBytes        int64 `json:"cache_bytes"`
 	CacheBytesEvicted int64 `json:"cache_bytes_evicted"`
-	// Epoch counts provider hot-swap batches applied to this engine (the
-	// graph epoch operators watch for snapshot churn); LastUpdate is the
-	// latest batch's end-to-end latency and LeavesPatched the lifetime
-	// total of ADS leaves rewritten by updates. CacheInvalidated counts
-	// cached proofs dropped because an update dirtied leaves they cover.
+	// Epoch is the update epoch of the data being served: seeded from the
+	// owner's batch counter (or a loaded snapshot's) at construction and
+	// bumped once per hot-swap batch, so origins and replicas report
+	// comparable epochs. LastUpdate is the latest batch's end-to-end
+	// latency and LeavesPatched the lifetime total of ADS leaves rewritten
+	// by updates. CacheInvalidated counts cached proofs dropped because an
+	// update dirtied leaves they cover.
 	Epoch            int64         `json:"epoch"`
 	LastUpdate       time.Duration `json:"last_update_ns"`
 	LeavesPatched    int64         `json:"leaves_patched"`
@@ -363,6 +365,12 @@ func (e *Engine) NoteUpdate(d time.Duration, leavesPatched int) {
 	e.stats.lastUpdateNanos.Store(int64(d))
 	e.stats.leavesPatched.Add(int64(leavesPatched))
 }
+
+// seedEpoch initializes the epoch counter from a snapshot or a restored
+// owner, so replicas and restarted deployments report the data epoch they
+// actually serve. Construction-time only — after the engine is shared,
+// epoch moves solely through NoteUpdate.
+func (e *Engine) seedEpoch(epoch int64) { e.stats.epoch.Store(epoch) }
 
 // Methods lists the registered methods in the paper's order.
 func (e *Engine) Methods() []core.Method {

@@ -63,6 +63,13 @@ func (s *Signer) Sign(msg []byte) ([]byte, error) {
 // SignatureSize returns the signature length in bytes.
 func (v *Verifier) SignatureSize() int { return v.key.Size() }
 
+// Equal reports whether two verifiers hold the same public key — the check
+// that binds a persisted owner private key to the verifier embedded in a
+// snapshot before updates are allowed to re-sign its roots.
+func (v *Verifier) Equal(o *Verifier) bool {
+	return v != nil && o != nil && v.key.Equal(o.key)
+}
+
 // Verify checks a signature over msg. A nil error means the signature is
 // authentic.
 func (v *Verifier) Verify(msg, signature []byte) error {

@@ -1,0 +1,72 @@
+package snapshot
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes through the container reader: any input
+// must either parse fully or return an error — never panic, and never
+// allocate proportionally to a lying length field (the run completing
+// under the fuzzer's memory limits is the allocation assertion).
+func FuzzReader(f *testing.F) {
+	// Seed with a valid snapshot and a few structured mutants.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = w.Section(1, []byte("config-payload"))
+	_ = w.Section(2, bytes.Repeat([]byte{0x5A}, 600))
+	_ = w.Close()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add(valid[:headerSize+3])
+	f.Add([]byte("SPVSNAP1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		total := 0
+		for {
+			s, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			total += len(s.Payload)
+			if total > len(data) {
+				t.Fatalf("decoded %d payload bytes from a %d-byte input", total, len(data))
+			}
+		}
+	})
+}
+
+// FuzzScan mirrors FuzzReader through the inspection path.
+func FuzzScan(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = w.Section(4, []byte{1, 2, 3})
+	_ = w.Close()
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, err := Scan(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if info.Bytes != int64(len(data[:info.Bytes])) {
+			t.Fatal("inconsistent byte accounting")
+		}
+	})
+}

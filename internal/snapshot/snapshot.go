@@ -1,0 +1,328 @@
+// Package snapshot implements the container format for persistent ADS
+// snapshots: a versioned, length-prefixed, CRC-checked sequence of sections
+// that serializes a complete outsourced deployment to one file. The format
+// layer is deliberately dumb — it frames opaque section payloads and
+// guarantees their integrity; what the payloads mean (graph, Merkle levels,
+// hint rows, signatures) is the concern of internal/core, which owns the
+// section kinds and their sub-encodings.
+//
+// # File layout
+//
+// All integers are big-endian. A snapshot is
+//
+//	header | section* | end marker
+//
+//	header:   magic "SPVSNAP1" (8) | version u32 | flags u32 | epoch i64
+//	section:  kind u32 | length u64 | payload[length] | crc u32
+//	end:      kind 0   | count  u64 |                 | crc u32
+//
+// Each section's crc is CRC-32 (IEEE) over its 12-byte kind+length prefix
+// followed by its payload, so a flipped kind or length byte is caught as
+// surely as payload corruption. The end marker's crc covers its own
+// kind+count prefix, and its count must equal the number of sections
+// written, so silent truncation at a section boundary is detected as
+// reliably as mid-payload corruption. Kind 0 is reserved for the end
+// marker; payload semantics for kinds ≥ 1 belong to the producing layer.
+//
+// # Version and compatibility rules
+//
+// Version is bumped whenever any payload encoding changes shape — the
+// format carries precomputed Merkle digests, so there is no such thing as
+// a tolerant re-interpretation: a reader either understands a version
+// exactly or refuses it. Unknown section kinds within a known version are
+// skippable by Scan (inspection) but are an error for semantic loaders,
+// which must not silently drop state they do not understand.
+//
+// # Robustness
+//
+// Readers never trust a declared length: payloads are read in bounded
+// chunks that grow only as bytes actually arrive, so a lying length field
+// costs at most one chunk of allocation before the truncation error
+// surfaces. Corruption — flipped payload bytes, truncated files, wrong
+// section counts — is reported as an error wrapping ErrCorrupt, never a
+// panic.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Version is the current snapshot format version. Readers refuse any other
+// version: payloads carry precomputed digests whose layout must match the
+// writer exactly (see the package compatibility rules).
+const Version = 1
+
+// magic identifies snapshot files; the trailing "1" is a human-visible
+// format generation, distinct from the finer-grained version field.
+const magic = "SPVSNAP1"
+
+// EndKind is the reserved section kind of the end marker. Producing layers
+// must number their sections from 1.
+const EndKind = 0
+
+// ErrCorrupt tags every integrity failure a reader can detect: bad magic,
+// unsupported version, truncation, CRC mismatch, or a section count that
+// does not match the end marker. Callers test with errors.Is.
+var ErrCorrupt = errors.New("snapshot: corrupt")
+
+// headerSize is the fixed byte size of the file header.
+const headerSize = 8 + 4 + 4 + 8
+
+// sectionHeadSize is the fixed byte size of a section's kind+length prefix.
+const sectionHeadSize = 4 + 8
+
+// readChunk bounds how much a reader allocates ahead of verified bytes:
+// payloads grow in readChunk steps as data actually arrives, so a lying
+// length field cannot translate into a giant speculative allocation.
+const readChunk = 1 << 20
+
+// Writer streams one snapshot to an io.Writer: header first, then sections
+// in call order, then the end marker on Close. It buffers nothing beyond
+// the caller's payload slice, so writing a multi-gigabyte deployment costs
+// constant memory on top of the payloads themselves. Not safe for
+// concurrent use.
+type Writer struct {
+	w        io.Writer
+	sections uint64
+	written  int64
+	closed   bool
+	err      error
+}
+
+// NewWriter writes the header and returns a writer ready for Section
+// calls. epoch is the deployment's update-batch counter, surfaced in the
+// header so inspectors can report it without parsing any payload.
+func NewWriter(w io.Writer, epoch int64) (*Writer, error) {
+	sw := &Writer{w: w}
+	var buf [headerSize]byte
+	copy(buf[:8], magic)
+	binary.BigEndian.PutUint32(buf[8:], Version)
+	binary.BigEndian.PutUint32(buf[12:], 0) // flags, reserved
+	binary.BigEndian.PutUint64(buf[16:], uint64(epoch))
+	if err := sw.write(buf[:]); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (sw *Writer) write(p []byte) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	n, err := sw.w.Write(p)
+	sw.written += int64(n)
+	if err != nil {
+		sw.err = fmt.Errorf("snapshot: write: %w", err)
+	}
+	return sw.err
+}
+
+// Section appends one framed section: kind, length, payload, payload CRC.
+// kind must not be EndKind. The payload is not retained.
+func (sw *Writer) Section(kind uint32, payload []byte) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.closed {
+		return errors.New("snapshot: section after Close")
+	}
+	if kind == EndKind {
+		return fmt.Errorf("snapshot: section kind %d is reserved", EndKind)
+	}
+	var head [sectionHeadSize]byte
+	binary.BigEndian.PutUint32(head[:], kind)
+	binary.BigEndian.PutUint64(head[4:], uint64(len(payload)))
+	if err := sw.write(head[:]); err != nil {
+		return err
+	}
+	if err := sw.write(payload); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], sectionCRC(head, payload))
+	if err := sw.write(tail[:]); err != nil {
+		return err
+	}
+	sw.sections++
+	return nil
+}
+
+// Close writes the end marker (kind 0, section count, count CRC). The
+// underlying io.Writer is not closed — callers own its lifecycle.
+func (sw *Writer) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	var buf [sectionHeadSize + 4]byte
+	binary.BigEndian.PutUint32(buf[:], EndKind)
+	binary.BigEndian.PutUint64(buf[4:], sw.sections)
+	binary.BigEndian.PutUint32(buf[12:], crc32.ChecksumIEEE(buf[:12]))
+	return sw.write(buf[:])
+}
+
+// sectionCRC is CRC-32 (IEEE) over a section's kind+length prefix followed
+// by its payload.
+func sectionCRC(head [sectionHeadSize]byte, payload []byte) uint32 {
+	sum := crc32.ChecksumIEEE(head[:])
+	return crc32.Update(sum, crc32.IEEETable, payload)
+}
+
+// Bytes returns the total bytes written so far, including framing.
+func (sw *Writer) Bytes() int64 { return sw.written }
+
+// Section is one decoded section: its kind and its CRC-verified payload.
+// The payload is owned by the caller.
+type Section struct {
+	Kind    uint32
+	Payload []byte
+}
+
+// Reader streams sections back from an io.Reader, verifying every CRC and
+// the end marker's section count. Not safe for concurrent use.
+type Reader struct {
+	r        io.Reader
+	epoch    int64
+	sections uint64
+	done     bool
+}
+
+// NewReader parses and validates the header. The reader consumes r
+// strictly sequentially, so r need not be seekable.
+func NewReader(r io.Reader) (*Reader, error) {
+	var buf [headerSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return nil, fmt.Errorf("%w: header truncated: %v", ErrCorrupt, err)
+	}
+	if string(buf[:8]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, buf[:8])
+	}
+	if v := binary.BigEndian.Uint32(buf[8:]); v != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d (reader speaks %d)", ErrCorrupt, v, Version)
+	}
+	return &Reader{r: r, epoch: int64(binary.BigEndian.Uint64(buf[16:]))}, nil
+}
+
+// Epoch returns the deployment epoch recorded in the header.
+func (sr *Reader) Epoch() int64 { return sr.epoch }
+
+// Next returns the next section, or io.EOF after a valid end marker. Any
+// integrity failure returns an error wrapping ErrCorrupt; once an error or
+// EOF is returned the reader is exhausted.
+func (sr *Reader) Next() (*Section, error) {
+	if sr.done {
+		return nil, io.EOF
+	}
+	var head [sectionHeadSize]byte
+	if _, err := io.ReadFull(sr.r, head[:]); err != nil {
+		sr.done = true
+		return nil, fmt.Errorf("%w: section header truncated: %v", ErrCorrupt, err)
+	}
+	kind := binary.BigEndian.Uint32(head[:])
+	length := binary.BigEndian.Uint64(head[4:])
+	if kind == EndKind {
+		sr.done = true
+		var tail [4]byte
+		if _, err := io.ReadFull(sr.r, tail[:]); err != nil {
+			return nil, fmt.Errorf("%w: end marker truncated: %v", ErrCorrupt, err)
+		}
+		if got := binary.BigEndian.Uint32(tail[:]); got != crc32.ChecksumIEEE(head[:12]) {
+			return nil, fmt.Errorf("%w: end marker CRC mismatch", ErrCorrupt)
+		}
+		if length != sr.sections {
+			return nil, fmt.Errorf("%w: end marker counts %d sections, read %d", ErrCorrupt, length, sr.sections)
+		}
+		return nil, io.EOF
+	}
+	payload, err := readBounded(sr.r, length)
+	if err != nil {
+		sr.done = true
+		return nil, fmt.Errorf("%w: section kind %d payload: %v", ErrCorrupt, kind, err)
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(sr.r, tail[:]); err != nil {
+		sr.done = true
+		return nil, fmt.Errorf("%w: section kind %d CRC truncated: %v", ErrCorrupt, kind, err)
+	}
+	if got := binary.BigEndian.Uint32(tail[:]); got != sectionCRC(head, payload) {
+		sr.done = true
+		return nil, fmt.Errorf("%w: section kind %d CRC mismatch", ErrCorrupt, kind)
+	}
+	sr.sections++
+	return &Section{Kind: kind, Payload: payload}, nil
+}
+
+// readBounded reads exactly length bytes, growing the buffer chunk by
+// chunk so a lying length cannot force a giant allocation before the
+// truncation error surfaces.
+func readBounded(r io.Reader, length uint64) ([]byte, error) {
+	var out []byte
+	for remaining := length; remaining > 0; {
+		step := remaining
+		if step > readChunk {
+			step = readChunk
+		}
+		start := len(out)
+		out = append(out, make([]byte, step)...)
+		if _, err := io.ReadFull(r, out[start:]); err != nil {
+			return nil, fmt.Errorf("truncated (%d of %d bytes): %v", uint64(start), length, err)
+		}
+		remaining -= step
+	}
+	if out == nil {
+		out = []byte{}
+	}
+	return out, nil
+}
+
+// SectionInfo describes one section without retaining its payload.
+type SectionInfo struct {
+	Kind   uint32
+	Length uint64
+	CRC    uint32
+}
+
+// Info is the inspection summary Scan produces.
+type Info struct {
+	Epoch    int64
+	Sections []SectionInfo
+	// Bytes is the total file size consumed, framing included.
+	Bytes int64
+}
+
+// Scan reads a whole snapshot, verifying every CRC and the end marker, and
+// returns the per-section summary. It retains no payload beyond one
+// section at a time — the inspection path for cmd/spvsnap.
+func Scan(r io.Reader) (*Info, error) {
+	sr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	info := &Info{Epoch: sr.epoch, Bytes: headerSize}
+	for {
+		s, err := sr.Next()
+		if err == io.EOF {
+			info.Bytes += sectionHeadSize + 4 // end marker
+			return info, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		var head [sectionHeadSize]byte
+		binary.BigEndian.PutUint32(head[:], s.Kind)
+		binary.BigEndian.PutUint64(head[4:], uint64(len(s.Payload)))
+		info.Sections = append(info.Sections, SectionInfo{
+			Kind:   s.Kind,
+			Length: uint64(len(s.Payload)),
+			CRC:    sectionCRC(head, s.Payload),
+		})
+		info.Bytes += sectionHeadSize + int64(len(s.Payload)) + 4
+	}
+}

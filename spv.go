@@ -40,12 +40,26 @@
 //	proof, _ := provider.Query(vs, vt)
 //	err := spv.VerifyLDM(owner.Verifier(), vs, vt, proof) // nil ⇒ verified
 //
-// See examples/ for runnable programs and DESIGN.md for the system map.
+// # Snapshots and replication
+//
+// A deployment persists to one versioned, CRC-checked file and loads
+// back without recomputing a hash — outsource once, replicate many:
+//
+//	dep, _ := spv.NewDeployment(owner, spv.ServeOptions{}, spv.LDM)
+//	spv.SaveSnapshot("world.spv", dep)                    // owner side
+//	engine, set, _ := spv.LoadEngine("world.spv", spv.ServeOptions{})
+//	srv, _ := spv.NewServerFromEngine(engine, set.Verifier) // replica side
+//
+// See ExampleSaveSnapshot / ExampleLoadEngine for executable versions,
+// examples/ for runnable programs and DESIGN.md for the system map
+// (§9 covers the snapshot format).
 package spv
 
 import (
 	cryptorand "crypto/rand"
 	"fmt"
+	"os"
+	"strings"
 
 	"github.com/authhints/spv/internal/core"
 	"github.com/authhints/spv/internal/digest"
@@ -76,6 +90,9 @@ type Edge = graph.Edge
 func NewGraph(n int) *Graph { return graph.New(n) }
 
 // Owner is the data owner: network + private key + ADS construction.
+// Outsource* and WriteSnapshot may run concurrently with provider
+// queries, but not with ApplyUpdates, which mutates the owner's network
+// (Deployment serializes this for you).
 type Owner = core.Owner
 
 // Config carries the owner's ADS and hint parameters.
@@ -128,7 +145,11 @@ func ParseSignerPEM(data []byte) (*Signer, error) { return sig.ParseSignerPEM(da
 // Verifier.MarshalPEM.
 func ParseVerifierPEM(data []byte) (*Verifier, error) { return sig.ParseVerifierPEM(data) }
 
-// Provider/proof pairs, one per method.
+// Provider/proof pairs, one per method. Every provider is immutable once
+// outsourced (or loaded from a snapshot): Query is safe for unbounded
+// concurrent use with no locking, and a given (vs, vt) always yields one
+// byte-identical proof encoding. Proof values returned by Query are owned
+// by the caller.
 type (
 	// DIJProvider answers queries under Dijkstra subgraph verification.
 	DIJProvider = core.DIJProvider
@@ -254,6 +275,26 @@ func SynthesizeNetwork(nodes, edges int, seed int64) (*Graph, error) {
 	return netgen.Synthesize(nodes, edges, seed)
 }
 
+// BuildNetwork resolves the network flags shared by the CLI tools
+// (spvserve, spvsnap): a positive nodes count synthesizes (edges
+// defaulting to nodes + nodes/20), otherwise dataset names one of the
+// paper's four networks, generated at scale. One definition keeps every
+// tool's "-dataset DE -scale 0.05" the same world.
+func BuildNetwork(dataset string, scale float64, nodes, edges int, seed int64) (*Graph, error) {
+	if nodes > 0 {
+		if edges <= 0 {
+			edges = nodes + nodes/20
+		}
+		return SynthesizeNetwork(nodes, edges, seed)
+	}
+	for _, d := range Datasets() {
+		if strings.EqualFold(string(d), dataset) {
+			return GenerateNetwork(d, NetworkConfig{Scale: scale, Seed: seed})
+		}
+	}
+	return nil, fmt.Errorf("spv: unknown dataset %q (want one of %v)", dataset, Datasets())
+}
+
 // Query is one shortest path query with its ground-truth distance.
 type Query = workload.Query
 
@@ -290,7 +331,9 @@ type ServeStats = serve.Snapshot
 type QueryEngine = serve.Engine
 
 // Server exposes a QueryEngine over HTTP (/query, /batch, /verifier,
-// /stats).
+// /stats, and — when wired — /update, /snapshot). Immutable after
+// construction and Enable* wiring; safe for any number of concurrent
+// requests.
 type Server = serve.Server
 
 // ErrUnknownMethod reports a query for a method an engine does not serve.
@@ -359,8 +402,10 @@ type UpdateBatch = core.UpdateBatch
 // PatchStats reports what one provider patch rewrote.
 type PatchStats = core.PatchStats
 
-// Deployment couples an owner, its providers and a serving engine, keeping
-// them in sync under edge-weight updates via atomic hot-swaps.
+// Deployment couples an owner, its providers and a serving engine,
+// keeping them in sync under edge-weight updates via atomic hot-swaps.
+// Safe for concurrent use: ApplyUpdates and Save serialize against each
+// other, while queries through the engine never block on either.
 type Deployment = serve.Deployment
 
 // UpdateSummary reports one end-to-end Deployment update batch.
@@ -401,6 +446,85 @@ func NewServer(o *Owner, opts ServeOptions, methods ...Method) (*Server, error) 
 		return nil, err
 	}
 	return serve.NewServer(e, o.Verifier())
+}
+
+// Persistent snapshots: a deployment serializes to one versioned,
+// CRC-checked file (graph, config, every provider's Merkle trees with
+// precomputed digests, hint rows, signatures, update epoch), and loads
+// back without recomputing a single hash — the publish-once /
+// replicate-many shape: one owner writes a snapshot, N replicas cold-start
+// from it and serve identical proofs. See DESIGN.md §9 for the format.
+
+// ProviderSet is a complete deserialized deployment: providers (nil for
+// absent methods), the owner's public key, config, graph and update
+// epoch. Loaded providers are immutable and safe for unbounded concurrent
+// Query use, exactly like freshly outsourced ones.
+type ProviderSet = core.ProviderSet
+
+// SnapshotResult reports one completed snapshot save (path, bytes, epoch,
+// latency).
+type SnapshotResult = serve.SnapshotResult
+
+// SnapshotFunc performs one snapshot save; wire into a Server with
+// EnableSnapshot to open POST /snapshot. Implementations must be safe for
+// concurrent use.
+type SnapshotFunc = serve.SnapshotFunc
+
+// FileSnapshot returns a SnapshotFunc that saves d to path atomically
+// (temp file + rename); each call takes its own consistent cut against
+// concurrent updates.
+func FileSnapshot(d *Deployment, path string) SnapshotFunc {
+	return serve.FileSnapshot(d, path)
+}
+
+// SaveSnapshot writes a deployment's complete state to path atomically
+// (via a temp file + rename, so concurrent readers never see a torn
+// file), returning the bytes written. The save is a consistent cut: it
+// serializes against ApplyUpdates, while queries keep flowing.
+func SaveSnapshot(path string, d *Deployment) (int64, error) {
+	res, err := serve.FileSnapshot(d, path)()
+	return res.Bytes, err
+}
+
+// LoadProviderSet loads a snapshot file into ready-to-serve providers —
+// no hash recomputed, no search re-run; tuple encodings and derived hint
+// state are rebuilt in parallel from the stored truth. The caller owns
+// the set and may wrap it in any number of engines.
+func LoadProviderSet(path string) (*ProviderSet, error) { return core.OpenProviderSet(path) }
+
+// LoadEngine cold-starts a replica from a snapshot file: the loaded
+// providers are registered on a fresh engine whose epoch counter reports
+// the snapshot's data epoch. The returned set carries the verifier to
+// serve clients (NewServerFromEngine) and the graph/config an owner
+// process would need. The engine is ready to share across goroutines.
+func LoadEngine(path string, opts ServeOptions) (*QueryEngine, *ProviderSet, error) {
+	set, err := core.OpenProviderSet(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return serve.EngineFromSet(set, opts), set, nil
+}
+
+// NewEngineFromSet wraps an already-loaded provider set in a query
+// engine; use when one loaded set backs several engines (e.g. per-tenant
+// cache budgets over shared immutable providers).
+func NewEngineFromSet(set *ProviderSet, opts ServeOptions) *QueryEngine {
+	return serve.EngineFromSet(set, opts)
+}
+
+// LoadDeployment resumes an update-capable deployment from a snapshot
+// file plus the owner's persisted private key (which never enters a
+// snapshot): the owner continues at the stored epoch and subsequent
+// ApplyUpdates batches behave exactly as if the process had never
+// restarted. The key's public half must match the snapshot's embedded
+// verifier. Key-less replicas use LoadEngine instead.
+func LoadDeployment(path string, signer *Signer, opts ServeOptions) (*Deployment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return serve.LoadDeployment(f, signer, opts)
 }
 
 // Calibration holds measured network constants for proof-size estimation
