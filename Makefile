@@ -6,7 +6,10 @@ GO ?= go
 # Snapshot file produced by `make snap` and audited by `make snap-verify`.
 SNAP ?= snapshot.spv
 
-.PHONY: all build test short race bench bench-json snap snap-verify fmt fmt-check vet clean
+.PHONY: all build test short race bench bench-json snap snap-verify fmt fmt-check vet lint clean
+
+# staticcheck version the lint lane pins (CI installs exactly this).
+STATICCHECK_VERSION ?= 2025.1
 
 all: build vet fmt-check race
 
@@ -58,6 +61,17 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis gate: vet plus staticcheck. staticcheck is not vendored;
+# CI installs the pinned version, and local runs degrade to vet-only with a
+# notice when the binary is absent so offline checkouts still get a gate.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; ran go vet only" ; \
+		echo "  (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
 
 clean:
 	$(GO) clean ./...

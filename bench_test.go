@@ -196,10 +196,9 @@ func serveEngine(b *testing.B, opts spv.ServeOptions) *spv.QueryEngine {
 	b.Helper()
 	m := microSetup(b)
 	e := spv.NewRawEngine(opts)
-	e.RegisterDIJ(m.dij)
-	e.RegisterFULL(m.full)
-	e.RegisterLDM(m.ldm)
-	e.RegisterHYP(m.hyp)
+	for _, p := range []spv.Provider{m.dij, m.full, m.ldm, m.hyp} {
+		e.Register(p)
+	}
 	return e
 }
 

@@ -75,6 +75,11 @@ type Speedups struct {
 	Allocs float64 `json:"allocs"`
 }
 
+// servedMethods is spvserve's default served set — FULL is excluded from
+// the serving-shaped lanes because its quadratic pre-computation would
+// dominate them; it keeps dedicated update/rebuild lanes instead.
+var servedMethods = []spv.Method{spv.DIJ, spv.LDM, spv.HYP}
+
 func main() {
 	out := flag.String("out", "BENCH_PR3.json", "output file (- for stdout)")
 	baselineFile := flag.String("baseline", "", "previous benchjson output to embed for comparison")
@@ -103,21 +108,14 @@ func run(out, baselineFile string) error {
 	if err != nil {
 		return err
 	}
-	dij, err := owner.OutsourceDIJ()
-	if err != nil {
-		return err
-	}
-	full, err := owner.OutsourceFULL()
-	if err != nil {
-		return err
-	}
-	ldm, err := owner.OutsourceLDM()
-	if err != nil {
-		return err
-	}
-	hyp, err := owner.OutsourceHYP()
-	if err != nil {
-		return err
+	// Every lane below dispatches through the method registry: a fifth
+	// method would appear in this report by registering itself in core.
+	methods := spv.Methods()
+	provs := make(map[spv.Method]spv.Provider, len(methods))
+	for _, m := range methods {
+		if provs[m], err = owner.Outsource(m); err != nil {
+			return err
+		}
 	}
 	qs, err := spv.GenerateWorkload(g, 16, 4000, 9)
 	if err != nil {
@@ -138,20 +136,13 @@ func run(out, baselineFile string) error {
 	}
 
 	// Cold query: the provider proof-construction path, no caching.
-	type querier func(vs, vt spv.NodeID) error
-	cold := map[string]querier{
-		"DIJ":  func(vs, vt spv.NodeID) error { _, err := dij.Query(vs, vt); return err },
-		"FULL": func(vs, vt spv.NodeID) error { _, err := full.Query(vs, vt); return err },
-		"LDM":  func(vs, vt spv.NodeID) error { _, err := ldm.Query(vs, vt); return err },
-		"HYP":  func(vs, vt spv.NodeID) error { _, err := hyp.Query(vs, vt); return err },
-	}
-	for _, m := range []string{"DIJ", "FULL", "LDM", "HYP"} {
-		fn := cold[m]
-		measure("cold-query/"+m, func(b *testing.B) {
+	for _, m := range methods {
+		p := provs[m]
+		measure("cold-query/"+string(m), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				q := qs[i%len(qs)]
-				if err := fn(q.S, q.T); err != nil {
+				if _, err := p.QueryProof(q.S, q.T); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -160,7 +151,7 @@ func run(out, baselineFile string) error {
 
 	// Cached query: the serving-layer steady state (LRU hit + answer copy).
 	engine := spv.NewRawEngine(spv.ServeOptions{})
-	engine.RegisterLDM(ldm)
+	engine.Register(provs[spv.LDM])
 	cq := spv.ServeQuery{Method: spv.LDM, VS: qs[0].S, VT: qs[0].T}
 	if _, err := engine.Query(cq); err != nil {
 		return err
@@ -180,53 +171,30 @@ func run(out, baselineFile string) error {
 
 	// Client verification per method.
 	q := qs[0]
-	dp, err := dij.Query(q.S, q.T)
-	if err != nil {
-		return err
-	}
-	fp, err := full.Query(q.S, q.T)
-	if err != nil {
-		return err
-	}
-	lp, err := ldm.Query(q.S, q.T)
-	if err != nil {
-		return err
-	}
-	hp, err := hyp.Query(q.S, q.T)
-	if err != nil {
-		return err
-	}
-	verify := map[string]func() error{
-		"DIJ":  func() error { return spv.VerifyDIJ(verifier, q.S, q.T, dp) },
-		"FULL": func() error { return spv.VerifyFULL(verifier, q.S, q.T, fp) },
-		"LDM":  func() error { return spv.VerifyLDM(verifier, q.S, q.T, lp) },
-		"HYP":  func() error { return spv.VerifyHYP(verifier, q.S, q.T, hp) },
-	}
-	for _, m := range []string{"DIJ", "FULL", "LDM", "HYP"} {
-		fn := verify[m]
-		measure("verify/"+m, func(b *testing.B) {
+	for _, m := range methods {
+		pr, err := provs[m].QueryProof(q.S, q.T)
+		if err != nil {
+			return err
+		}
+		measure("verify/"+string(m), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if err := fn(); err != nil {
+				if err := spv.VerifyProof(verifier, m, q.S, q.T, pr); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
 
-	// Owner outsourcing (FULL is quadratic — measured on the same world so
-	// the blow-up stays visible in the trajectory).
-	outsource := map[string]func() error{
-		"DIJ": func() error { _, err := owner.OutsourceDIJ(); return err },
-		"LDM": func() error { _, err := owner.OutsourceLDM(); return err },
-		"HYP": func() error { _, err := owner.OutsourceHYP(); return err },
-	}
-	for _, m := range []string{"DIJ", "LDM", "HYP"} {
-		fn := outsource[m]
-		measure("outsource/"+m, func(b *testing.B) {
+	// Owner outsourcing. servedMethods is spvserve's default set: FULL's
+	// quadratic pre-computation is excluded here and measured in its own
+	// rebuild/FULL lane so the blow-up stays visible without dominating.
+	for _, m := range servedMethods {
+		m := m
+		measure("outsource/"+string(m), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if err := fn(); err != nil {
+				if _, err := owner.Outsource(m); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -253,13 +221,8 @@ func run(out, baselineFile string) error {
 		measure(fmt.Sprintf("outsource-all/workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				for _, fn := range []func() error{
-					func() error { _, err := owner.OutsourceDIJ(); return err },
-					func() error { _, err := owner.OutsourceFULL(); return err },
-					func() error { _, err := owner.OutsourceLDM(); return err },
-					func() error { _, err := owner.OutsourceHYP(); return err },
-				} {
-					if err := fn(); err != nil {
+				for _, m := range methods {
+					if _, err := owner.Outsource(m); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -274,6 +237,10 @@ func run(out, baselineFile string) error {
 	// see what skipping every hash and Dijkstra re-run buys.
 	snapPath := filepath.Join(os.TempDir(), fmt.Sprintf("benchjson-%d.spv", os.Getpid()))
 	defer os.Remove(snapPath)
+	served := make([]spv.Provider, 0, len(servedMethods))
+	for _, m := range servedMethods {
+		served = append(served, provs[m])
+	}
 	measure("snapshot/save", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -281,7 +248,7 @@ func run(out, baselineFile string) error {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := owner.WriteSnapshot(f, dij, nil, ldm, hyp); err != nil {
+			if _, err := owner.WriteSnapshot(f, served...); err != nil {
 				b.Fatal(err)
 			}
 			if err := f.Close(); err != nil {
@@ -366,7 +333,7 @@ func benchUpdates(g *spv.Graph, measure func(string, func(b *testing.B))) error 
 	if err != nil {
 		return err
 	}
-	dep, err := spv.NewDeployment(owner, spv.ServeOptions{}, spv.DIJ, spv.LDM, spv.HYP)
+	dep, err := spv.NewDeployment(owner, spv.ServeOptions{}, servedMethods...)
 	if err != nil {
 		return err
 	}
@@ -382,12 +349,8 @@ func benchUpdates(g *spv.Graph, measure func(string, func(b *testing.B))) error 
 	measure("rebuild/DIJ+LDM+HYP", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			for _, fn := range []func() error{
-				func() error { _, err := owner.OutsourceDIJ(); return err },
-				func() error { _, err := owner.OutsourceLDM(); return err },
-				func() error { _, err := owner.OutsourceHYP(); return err },
-			} {
-				if err := fn(); err != nil {
+			for _, m := range servedMethods {
+				if _, err := owner.Outsource(m); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -415,7 +378,7 @@ func benchUpdates(g *spv.Graph, measure func(string, func(b *testing.B))) error 
 	measure("rebuild/FULL", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := fowner.OutsourceFULL(); err != nil {
+			if _, err := fowner.Outsource(spv.FULL); err != nil {
 				b.Fatal(err)
 			}
 		}

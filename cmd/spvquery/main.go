@@ -133,53 +133,18 @@ func prove(args []string) error {
 		return err
 	}
 
+	// The provider side, dispatched through the method registry: any
+	// registered method proves the same way.
 	vs, vt := spv.NodeID(*from), spv.NodeID(*to)
-	var wire []byte
-	var stats spv.ProofStats
-	switch spv.Method(*method) {
-	case spv.DIJ:
-		p, err := owner.OutsourceDIJ()
-		if err != nil {
-			return err
-		}
-		proof, err := p.Query(vs, vt)
-		if err != nil {
-			return err
-		}
-		wire, stats = proof.AppendBinary(nil), proof.Stats()
-	case spv.FULL:
-		p, err := owner.OutsourceFULL()
-		if err != nil {
-			return err
-		}
-		proof, err := p.Query(vs, vt)
-		if err != nil {
-			return err
-		}
-		wire, stats = proof.AppendBinary(nil), proof.Stats()
-	case spv.LDM:
-		p, err := owner.OutsourceLDM()
-		if err != nil {
-			return err
-		}
-		proof, err := p.Query(vs, vt)
-		if err != nil {
-			return err
-		}
-		wire, stats = proof.AppendBinary(nil), proof.Stats()
-	case spv.HYP:
-		p, err := owner.OutsourceHYP()
-		if err != nil {
-			return err
-		}
-		proof, err := p.Query(vs, vt)
-		if err != nil {
-			return err
-		}
-		wire, stats = proof.AppendBinary(nil), proof.Stats()
-	default:
-		return fmt.Errorf("unknown method %q", *method)
+	p, err := owner.Outsource(spv.Method(*method))
+	if err != nil {
+		return err
 	}
+	proof, err := p.QueryProof(vs, vt)
+	if err != nil {
+		return err
+	}
+	wire, stats := proof.AppendBinary(nil), proof.Stats()
 	if err := os.WriteFile(*out, wire, 0o644); err != nil {
 		return err
 	}
@@ -213,49 +178,16 @@ func verify(args []string) error {
 		return err
 	}
 
+	// The client side, dispatched through the method registry.
 	vs, vt := spv.NodeID(*from), spv.NodeID(*to)
-	var dist float64
-	var hops int
-	switch spv.Method(*method) {
-	case spv.DIJ:
-		proof, _, err := spv.DecodeDIJProof(wire)
-		if err != nil {
-			return err
-		}
-		if err := spv.VerifyDIJ(verifier, vs, vt, proof); err != nil {
-			return err
-		}
-		dist, hops = proof.Dist, proof.Path.Hops()
-	case spv.FULL:
-		proof, _, err := spv.DecodeFULLProof(wire)
-		if err != nil {
-			return err
-		}
-		if err := spv.VerifyFULL(verifier, vs, vt, proof); err != nil {
-			return err
-		}
-		dist, hops = proof.Dist, proof.Path.Hops()
-	case spv.LDM:
-		proof, _, err := spv.DecodeLDMProof(wire)
-		if err != nil {
-			return err
-		}
-		if err := spv.VerifyLDM(verifier, vs, vt, proof); err != nil {
-			return err
-		}
-		dist, hops = proof.Dist, proof.Path.Hops()
-	case spv.HYP:
-		proof, _, err := spv.DecodeHYPProof(wire)
-		if err != nil {
-			return err
-		}
-		if err := spv.VerifyHYP(verifier, vs, vt, proof); err != nil {
-			return err
-		}
-		dist, hops = proof.Dist, proof.Path.Hops()
-	default:
-		return fmt.Errorf("unknown method %q", *method)
+	proof, _, err := spv.DecodeProof(spv.Method(*method), wire)
+	if err != nil {
+		return err
 	}
-	fmt.Printf("VERIFIED: %d→%d is shortest — distance %.2f, %d hops\n", vs, vt, dist, hops)
+	if err := spv.VerifyProof(verifier, spv.Method(*method), vs, vt, proof); err != nil {
+		return err
+	}
+	path, dist := proof.Result()
+	fmt.Printf("VERIFIED: %d→%d is shortest — distance %.2f, %d hops\n", vs, vt, dist, path.Hops())
 	return nil
 }

@@ -68,11 +68,13 @@ func main() {
 		saveFile = flag.String("save", "", "write a snapshot here after startup and enable POST /snapshot")
 	)
 	flag.Parse()
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	opts := serveFlags{
 		addr: *addr, dataset: *dataset, scale: *scale, nodes: *nodes, edges: *edges,
 		seed: *seed, methods: *methods, workers: *workers, cache: *cache,
 		keyFile: *keyFile, landmarks: *landmark, cells: *cells, updates: *updates,
-		snapFile: *snapFile, saveFile: *saveFile,
+		snapFile: *snapFile, saveFile: *saveFile, explicit: set,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "spvserve: %v\n", err)
@@ -80,16 +82,30 @@ func main() {
 	}
 }
 
-// serveFlags carries the parsed command line.
+// serveFlags carries the parsed command line. explicit records which
+// flags the operator actually typed, so mode-incompatible combinations
+// can be rejected instead of silently ignored.
 type serveFlags struct {
 	addr, dataset, methods, keyFile, snapFile, saveFile string
 	scale                                               float64
 	nodes, edges, workers, landmarks, cells             int
 	seed, cache                                         int64
 	updates                                             bool
+	explicit                                            map[string]bool
 }
 
 func run(fl serveFlags) error {
+	if fl.snapFile != "" {
+		// A snapshot fixes the world and the method set; a world-shaping
+		// flag alongside it would be silently ignored, letting the operator
+		// believe they selected a network or method set the file overrides —
+		// the same misbelief the -key/-save guards below exist to prevent.
+		for _, name := range []string{"dataset", "scale", "nodes", "edges", "seed", "methods", "landmarks", "cells"} {
+			if fl.explicit[name] {
+				return fmt.Errorf("-%s has no effect with -snapshot (the snapshot fixes the world and methods); drop it", name)
+			}
+		}
+	}
 	serveOpts := spv.ServeOptions{Workers: fl.workers, CacheBytes: fl.cache}
 	var (
 		engine   *spv.QueryEngine

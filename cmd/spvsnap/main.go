@@ -155,62 +155,32 @@ func runVerify(args []string) error {
 // queryAndVerify runs one query through the loaded provider, round-trips
 // the proof through its wire encoding, and client-verifies it against the
 // snapshot's embedded public key — the full trust chain a replica serves.
+// Dispatch is entirely through the method registry: any method the
+// snapshot carries is exercised without per-method wiring here.
 func queryAndVerify(set *core.ProviderSet, m core.Method, vs, vt spv.NodeID) error {
-	switch m {
-	case core.DIJ:
-		pr, err := set.DIJ.Query(vs, vt)
-		if err != nil {
-			return err
-		}
-		rt, _, err := core.DecodeDIJProof(pr.AppendBinary(nil))
-		if err != nil {
-			return err
-		}
-		return core.VerifyDIJ(set.Verifier, vs, vt, rt)
-	case core.FULL:
-		pr, err := set.FULL.Query(vs, vt)
-		if err != nil {
-			return err
-		}
-		rt, _, err := core.DecodeFULLProof(pr.AppendBinary(nil))
-		if err != nil {
-			return err
-		}
-		return core.VerifyFULL(set.Verifier, vs, vt, rt)
-	case core.LDM:
-		pr, err := set.LDM.Query(vs, vt)
-		if err != nil {
-			return err
-		}
-		rt, _, err := core.DecodeLDMProof(pr.AppendBinary(nil))
-		if err != nil {
-			return err
-		}
-		return core.VerifyLDM(set.Verifier, vs, vt, rt)
-	case core.HYP:
-		pr, err := set.HYP.Query(vs, vt)
-		if err != nil {
-			return err
-		}
-		rt, _, err := core.DecodeHYPProof(pr.AppendBinary(nil))
-		if err != nil {
-			return err
-		}
-		return core.VerifyHYP(set.Verifier, vs, vt, rt)
+	p := set.Provider(m)
+	if p == nil {
+		return fmt.Errorf("snapshot carries no %s provider", m)
 	}
-	return fmt.Errorf("unknown method %q", m)
+	pr, err := p.QueryProof(vs, vt)
+	if err != nil {
+		return err
+	}
+	rt, _, err := spv.DecodeProof(m, pr.AppendBinary(nil))
+	if err != nil {
+		return err
+	}
+	return spv.VerifyProof(set.Verifier, m, vs, vt, rt)
 }
 
 func parseMethods(list string) ([]spv.Method, error) {
 	var ms []spv.Method
 	for _, name := range strings.Split(list, ",") {
 		m := spv.Method(strings.ToUpper(strings.TrimSpace(name)))
-		switch m {
-		case spv.DIJ, spv.FULL, spv.LDM, spv.HYP:
-			ms = append(ms, m)
-		default:
-			return nil, fmt.Errorf("unknown method %q", name)
+		if _, ok := core.LookupMethod(m); !ok {
+			return nil, fmt.Errorf("unknown method %q (want one of %v)", name, spv.Methods())
 		}
+		ms = append(ms, m)
 	}
 	return ms, nil
 }

@@ -75,87 +75,32 @@ func main() {
 	fmt.Println("LDM and HYP sit between — the paper's Fig 8 trade-off.")
 }
 
-// deploy outsources one method and returns closures that exercise it
-// through the real wire format: proofs are serialized by the provider and
-// decoded by the client, exactly as they would cross a network.
+// deploy outsources one method through the method registry and returns
+// closures that exercise it through the real wire format: proofs are
+// serialized by the provider and decoded by the client, exactly as they
+// would cross a network. No per-method wiring — any registered method
+// deploys the same way.
 func deploy(owner *spv.Owner, m spv.Method) (
 	func(s, t spv.NodeID) ([]byte, spv.ProofStats, error),
 	func(s, t spv.NodeID, wire []byte) error,
 	error,
 ) {
 	v := owner.Verifier()
-	switch m {
-	case spv.DIJ:
-		p, err := owner.OutsourceDIJ()
-		if err != nil {
-			return nil, nil, err
-		}
-		return func(s, t spv.NodeID) ([]byte, spv.ProofStats, error) {
-				proof, err := p.Query(s, t)
-				if err != nil {
-					return nil, spv.ProofStats{}, err
-				}
-				return proof.AppendBinary(nil), proof.Stats(), nil
-			}, func(s, t spv.NodeID, wire []byte) error {
-				proof, _, err := spv.DecodeDIJProof(wire)
-				if err != nil {
-					return err
-				}
-				return spv.VerifyDIJ(v, s, t, proof)
-			}, nil
-	case spv.FULL:
-		p, err := owner.OutsourceFULL()
-		if err != nil {
-			return nil, nil, err
-		}
-		return func(s, t spv.NodeID) ([]byte, spv.ProofStats, error) {
-				proof, err := p.Query(s, t)
-				if err != nil {
-					return nil, spv.ProofStats{}, err
-				}
-				return proof.AppendBinary(nil), proof.Stats(), nil
-			}, func(s, t spv.NodeID, wire []byte) error {
-				proof, _, err := spv.DecodeFULLProof(wire)
-				if err != nil {
-					return err
-				}
-				return spv.VerifyFULL(v, s, t, proof)
-			}, nil
-	case spv.LDM:
-		p, err := owner.OutsourceLDM()
-		if err != nil {
-			return nil, nil, err
-		}
-		return func(s, t spv.NodeID) ([]byte, spv.ProofStats, error) {
-				proof, err := p.Query(s, t)
-				if err != nil {
-					return nil, spv.ProofStats{}, err
-				}
-				return proof.AppendBinary(nil), proof.Stats(), nil
-			}, func(s, t spv.NodeID, wire []byte) error {
-				proof, _, err := spv.DecodeLDMProof(wire)
-				if err != nil {
-					return err
-				}
-				return spv.VerifyLDM(v, s, t, proof)
-			}, nil
-	default:
-		p, err := owner.OutsourceHYP()
-		if err != nil {
-			return nil, nil, err
-		}
-		return func(s, t spv.NodeID) ([]byte, spv.ProofStats, error) {
-				proof, err := p.Query(s, t)
-				if err != nil {
-					return nil, spv.ProofStats{}, err
-				}
-				return proof.AppendBinary(nil), proof.Stats(), nil
-			}, func(s, t spv.NodeID, wire []byte) error {
-				proof, _, err := spv.DecodeHYPProof(wire)
-				if err != nil {
-					return err
-				}
-				return spv.VerifyHYP(v, s, t, proof)
-			}, nil
+	p, err := owner.Outsource(m)
+	if err != nil {
+		return nil, nil, err
 	}
+	return func(s, t spv.NodeID) ([]byte, spv.ProofStats, error) {
+			proof, err := p.QueryProof(s, t)
+			if err != nil {
+				return nil, spv.ProofStats{}, err
+			}
+			return proof.AppendBinary(nil), proof.Stats(), nil
+		}, func(s, t spv.NodeID, wire []byte) error {
+			proof, _, err := spv.DecodeProof(m, wire)
+			if err != nil {
+				return err
+			}
+			return spv.VerifyProof(v, m, s, t, proof)
+		}, nil
 }

@@ -82,22 +82,23 @@ func (t Table) Format() string {
 	return out
 }
 
-// world is a built three-party deployment plus workload.
+// world is a built three-party deployment plus workload. Providers are
+// held behind the method registry's erased interface, so every figure
+// runs any method the registry knows.
 type world struct {
 	g       *graph.Graph
 	owner   *core.Owner
 	queries []workload.Query
 
-	dij  *core.DIJProvider
-	full *core.FULLProvider
-	ldm  *core.LDMProvider
-	hyp  *core.HYPProvider
-
-	buildDIJ  time.Duration
-	buildFULL time.Duration
-	buildLDM  time.Duration
-	buildHYP  time.Duration
+	provs  map[core.Method]core.Provider
+	builds map[core.Method]time.Duration
 }
+
+// provider returns the world's provider for m, or nil if not built.
+func (w *world) provider(m core.Method) core.Provider { return w.provs[m] }
+
+// buildTime reports how long m's outsourcing took.
+func (w *world) buildTime(m core.Method) time.Duration { return w.builds[m] }
 
 // buildWorld constructs the network, owner, selected providers and
 // workload. methods selects which providers to build (empty = all four).
@@ -121,33 +122,17 @@ func buildWorld(s Setup, methods ...core.Method) (*world, error) {
 	for _, m := range methods {
 		want[m] = true
 	}
-	if want[core.DIJ] {
+	w.provs = make(map[core.Method]core.Provider, len(want))
+	w.builds = make(map[core.Method]time.Duration, len(want))
+	for _, m := range core.RegisteredMethods() {
+		if !want[m] {
+			continue
+		}
 		start := time.Now()
-		if w.dij, err = owner.OutsourceDIJ(); err != nil {
+		if w.provs[m], err = owner.Outsource(m); err != nil {
 			return nil, err
 		}
-		w.buildDIJ = time.Since(start)
-	}
-	if want[core.FULL] {
-		start := time.Now()
-		if w.full, err = owner.OutsourceFULL(); err != nil {
-			return nil, err
-		}
-		w.buildFULL = time.Since(start)
-	}
-	if want[core.LDM] {
-		start := time.Now()
-		if w.ldm, err = owner.OutsourceLDM(); err != nil {
-			return nil, err
-		}
-		w.buildLDM = time.Since(start)
-	}
-	if want[core.HYP] {
-		start := time.Now()
-		if w.hyp, err = owner.OutsourceHYP(); err != nil {
-			return nil, err
-		}
-		w.buildHYP = time.Since(start)
+		w.builds[m] = time.Since(start)
 	}
 	return w, nil
 }
@@ -161,64 +146,26 @@ type methodStats struct {
 }
 
 func (w *world) run(m core.Method) (methodStats, error) {
+	p := w.provider(m)
+	if p == nil {
+		return methodStats{}, fmt.Errorf("world has no %s provider", m)
+	}
 	var agg core.ProofStats
 	var qt, vt time.Duration
 	verifier := w.owner.Verifier()
 	for _, q := range w.queries {
-		switch m {
-		case core.DIJ:
-			start := time.Now()
-			p, err := w.dij.Query(q.S, q.T)
-			if err != nil {
-				return methodStats{}, fmt.Errorf("DIJ query %d→%d: %w", q.S, q.T, err)
-			}
-			qt += time.Since(start)
-			start = time.Now()
-			if err := core.VerifyDIJ(verifier, q.S, q.T, p); err != nil {
-				return methodStats{}, fmt.Errorf("DIJ verify %d→%d: %w", q.S, q.T, err)
-			}
-			vt += time.Since(start)
-			agg = addStats(agg, p.Stats())
-		case core.FULL:
-			start := time.Now()
-			p, err := w.full.Query(q.S, q.T)
-			if err != nil {
-				return methodStats{}, fmt.Errorf("FULL query %d→%d: %w", q.S, q.T, err)
-			}
-			qt += time.Since(start)
-			start = time.Now()
-			if err := core.VerifyFULL(verifier, q.S, q.T, p); err != nil {
-				return methodStats{}, fmt.Errorf("FULL verify %d→%d: %w", q.S, q.T, err)
-			}
-			vt += time.Since(start)
-			agg = addStats(agg, p.Stats())
-		case core.LDM:
-			start := time.Now()
-			p, err := w.ldm.Query(q.S, q.T)
-			if err != nil {
-				return methodStats{}, fmt.Errorf("LDM query %d→%d: %w", q.S, q.T, err)
-			}
-			qt += time.Since(start)
-			start = time.Now()
-			if err := core.VerifyLDM(verifier, q.S, q.T, p); err != nil {
-				return methodStats{}, fmt.Errorf("LDM verify %d→%d: %w", q.S, q.T, err)
-			}
-			vt += time.Since(start)
-			agg = addStats(agg, p.Stats())
-		case core.HYP:
-			start := time.Now()
-			p, err := w.hyp.Query(q.S, q.T)
-			if err != nil {
-				return methodStats{}, fmt.Errorf("HYP query %d→%d: %w", q.S, q.T, err)
-			}
-			qt += time.Since(start)
-			start = time.Now()
-			if err := core.VerifyHYP(verifier, q.S, q.T, p); err != nil {
-				return methodStats{}, fmt.Errorf("HYP verify %d→%d: %w", q.S, q.T, err)
-			}
-			vt += time.Since(start)
-			agg = addStats(agg, p.Stats())
+		start := time.Now()
+		pr, err := p.QueryProof(q.S, q.T)
+		if err != nil {
+			return methodStats{}, fmt.Errorf("%s query %d\u2192%d: %w", m, q.S, q.T, err)
 		}
+		qt += time.Since(start)
+		start = time.Now()
+		if err := core.VerifyProof(verifier, m, q.S, q.T, pr); err != nil {
+			return methodStats{}, fmt.Errorf("%s verify %d\u2192%d: %w", m, q.S, q.T, err)
+		}
+		vt += time.Since(start)
+		agg = addStats(agg, pr.Stats())
 	}
 	n := len(w.queries)
 	avg := core.ProofStats{
@@ -252,8 +199,9 @@ func regenerateWorkload(w *world, s Setup) ([]workload.Query, error) {
 
 // numBorders reports the HYP provider's border-node count (Fig 13b).
 func numBorders(w *world) int {
-	if w.hyp == nil {
+	hyp, ok := w.provider(core.HYP).(*core.HYPProvider)
+	if !ok {
 		return 0
 	}
-	return w.hyp.NumBorders()
+	return hyp.NumBorders()
 }

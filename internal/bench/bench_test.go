@@ -91,7 +91,7 @@ func TestWorldRunRejectsMissingProvider(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w.full != nil || w.ldm != nil || w.hyp != nil {
+	if w.provider(core.FULL) != nil || w.provider(core.LDM) != nil || w.provider(core.HYP) != nil {
 		t.Error("unrequested providers were built")
 	}
 	if _, err := w.run(core.DIJ); err != nil {

@@ -137,9 +137,9 @@ func Fig8c(s Setup) (Table, error) {
 		Title:   "offline construction time, default setting [sec]",
 		Columns: []string{"seconds"},
 		Rows: []Row{
-			{Label: "FULL", Values: []float64{w.buildFULL.Seconds()}},
-			{Label: "LDM", Values: []float64{w.buildLDM.Seconds()}},
-			{Label: "HYP", Values: []float64{w.buildHYP.Seconds()}},
+			{Label: "FULL", Values: []float64{w.buildTime(core.FULL).Seconds()}},
+			{Label: "LDM", Values: []float64{w.buildTime(core.LDM).Seconds()}},
+			{Label: "HYP", Values: []float64{w.buildTime(core.HYP).Seconds()}},
 		},
 	}, nil
 }
@@ -199,7 +199,7 @@ func Fig9b(s Setup) (Table, error) {
 		t.Rows = append(t.Rows, Row{
 			Label: string(d),
 			Values: []float64{
-				w.buildFULL.Seconds(), w.buildLDM.Seconds(), w.buildHYP.Seconds(),
+				w.buildTime(core.FULL).Seconds(), w.buildTime(core.LDM).Seconds(), w.buildTime(core.HYP).Seconds(),
 			},
 		})
 	}
@@ -335,7 +335,7 @@ func Fig12b(s Setup) (Table, error) {
 		}
 		t.Rows = append(t.Rows, Row{
 			Label:  fmt.Sprintf("c=%d", c),
-			Values: []float64{w.buildLDM.Seconds()},
+			Values: []float64{w.buildTime(core.LDM).Seconds()},
 		})
 	}
 	return t, nil
@@ -383,7 +383,7 @@ func Fig13b(s Setup) (Table, error) {
 		}
 		t.Rows = append(t.Rows, Row{
 			Label:  fmt.Sprintf("p=%d", p),
-			Values: []float64{w.buildHYP.Seconds(), float64(numBorders(w))},
+			Values: []float64{w.buildTime(core.HYP).Seconds(), float64(numBorders(w))},
 		})
 	}
 	return t, nil

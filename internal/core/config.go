@@ -53,8 +53,9 @@ const (
 	HYP Method = "HYP"
 )
 
-// Methods lists all four methods in the paper's presentation order.
-func Methods() []Method { return []Method{DIJ, FULL, LDM, HYP} }
+// Methods lists the registered methods in the registry's canonical order
+// (the paper's presentation order for the four built-ins).
+func Methods() []Method { return RegisteredMethods() }
 
 // Config carries the owner-chosen parameters of the authenticated
 // structures. The zero value is not valid; use DefaultConfig.

@@ -2,10 +2,13 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"github.com/authhints/spv/internal/digest"
 	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/hiti"
+	"github.com/authhints/spv/internal/mbt"
 	"github.com/authhints/spv/internal/mht"
 )
 
@@ -79,6 +82,162 @@ func FuzzDecodeLDMProof(f *testing.F) {
 		re := pr.AppendBinary(nil)
 		if !bytes.Equal(re, data[:n]) {
 			t.Fatalf("decode/encode not identity: %d in, %d out", n, len(re))
+		}
+	})
+}
+
+// seedHYPWire builds structurally valid HYP proof encodings (with and
+// without the hyper-edge block) for the fuzz corpus.
+func seedHYPWire() [][]byte {
+	digest20 := bytes.Repeat([]byte{9}, 20)
+	tuple := func(id graph.NodeID) []byte {
+		t := graph.Tuple{ID: id, X: 1, Y: 2, Extra: hyperExtra(3, id == 1)}
+		return t.AppendBinary(nil)
+	}
+	withHyper := &HYPProof{
+		Path:   graph.Path{0, 1, 2},
+		Dist:   4.25,
+		Tuples: []tupleRecord{{Pos: 0, Bytes: tuple(0)}, {Pos: 2, Bytes: tuple(1)}},
+		MHT: &mht.Proof{Alg: digest.SHA1, Fanout: 2, NumLeaves: 4,
+			Entries: []mht.Entry{{Level: 0, Index: 1, Digest: digest20}}},
+		Hyper: &mbt.Proof{
+			Entries: []mbt.ProvenEntry{{Entry: mbt.Entry{Key: 7, Value: 1.5}, Index: 0}},
+			MHT:     &mht.Proof{Alg: digest.SHA1, Fanout: 2, NumLeaves: 1},
+		},
+		NetSig:  []byte("net-signature"),
+		DistSig: []byte("dist-signature"),
+	}
+	without := &HYPProof{
+		Path:    graph.Path{5, 6},
+		Dist:    1,
+		Tuples:  []tupleRecord{{Pos: 1, Bytes: tuple(5)}},
+		MHT:     &mht.Proof{Alg: digest.SHA256, Fanout: 4, NumLeaves: 2},
+		NetSig:  []byte("n"),
+		DistSig: nil,
+	}
+	var wires [][]byte
+	for _, pr := range []*HYPProof{withHyper, without} {
+		wires = append(wires, pr.AppendBinary(nil))
+	}
+	return wires
+}
+
+// hyperExtra fabricates the fixed-size HYP tuple annotation (cell id +
+// border flag) without building a grid.
+func hyperExtra(cell uint32, border bool) []byte {
+	buf := make([]byte, 0, hiti.ExtraSize)
+	buf = binary.BigEndian.AppendUint32(buf, cell)
+	if border {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// FuzzDecodeHYPProof drives the HYP wire decoder (the only one with an
+// optional sub-proof block) with mutated inputs: it must never panic,
+// allocations must stay bounded by the bytes actually present even when
+// tuple/entry counts lie, and any accepted input must re-encode
+// byte-identically.
+func FuzzDecodeHYPProof(f *testing.F) {
+	for _, w := range seedHYPWire() {
+		f.Add(w)
+	}
+	f.Add([]byte{})
+	// A lying tuple count over a near-empty body: the decoder must reject
+	// without allocating for the claimed 2^31 records.
+	lying := binary.BigEndian.AppendUint32(nil, 2) // path len 2
+	lying = append(lying, make([]byte, 8+8)...)    // path + dist
+	lying = binary.BigEndian.AppendUint32(lying, 1<<31-1)
+	f.Add(lying)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr, n, err := DecodeHYPProof(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("decoder claims %d bytes consumed of %d", n, len(data))
+		}
+		re := pr.AppendBinary(nil)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("decode/encode not identity: %d in, %d out", n, len(re))
+		}
+	})
+}
+
+// seedFULLWire builds structurally valid FULL proof encodings (forest VO +
+// path tuples) for the fuzz corpus.
+func seedFULLWire() [][]byte {
+	digest20 := bytes.Repeat([]byte{5}, 20)
+	tuple := func(id graph.NodeID, adj ...graph.Edge) []byte {
+		return graph.Tuple{ID: id, X: 3, Y: 4, Adj: adj}.AppendBinary(nil)
+	}
+	pr := &FULLProof{
+		Path: graph.Path{0, 1},
+		Dist: 2.5,
+		DistVO: &mbt.ForestProof{
+			Entry: mbt.Entry{Key: mbt.MakeKey(0, 1), Value: 2.5},
+			Row:   &mht.Proof{Alg: digest.SHA1, Fanout: 2, NumLeaves: 2, Entries: []mht.Entry{{Level: 0, Index: 0, Digest: digest20}}},
+			Top:   &mht.Proof{Alg: digest.SHA1, Fanout: 2, NumLeaves: 2, Entries: []mht.Entry{{Level: 0, Index: 1, Digest: digest20}}},
+		},
+		Tuples:  []tupleRecord{{Pos: 0, Bytes: tuple(0, graph.Edge{To: 1, W: 2.5})}, {Pos: 1, Bytes: tuple(1)}},
+		MHT:     &mht.Proof{Alg: digest.SHA1, Fanout: 2, NumLeaves: 2},
+		NetSig:  []byte("net-signature"),
+		DistSig: []byte("dist-signature"),
+	}
+	return [][]byte{pr.AppendBinary(nil)}
+}
+
+// FuzzDecodeFULLProof covers the forest-VO-carrying wire layout with the
+// same no-panic / bounded-allocation / canonical re-encode guarantees.
+func FuzzDecodeFULLProof(f *testing.F) {
+	for _, w := range seedFULLWire() {
+		f.Add(w)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 48))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr, n, err := DecodeFULLProof(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("decoder claims %d bytes consumed of %d", n, len(data))
+		}
+		re := pr.AppendBinary(nil)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("decode/encode not identity: %d in, %d out", n, len(re))
+		}
+	})
+}
+
+// FuzzRegistryDecodeProof drives every registered method's decoder through
+// the registry face with one corpus — the path serve answers and spvquery
+// verify travel. Accepted inputs must re-encode byte-identically through
+// the erased Proof interface.
+func FuzzRegistryDecodeProof(f *testing.F) {
+	for _, w := range seedDIJWire() {
+		f.Add(0, w)
+	}
+	for _, w := range seedFULLWire() {
+		f.Add(1, w)
+	}
+	for _, w := range seedHYPWire() {
+		f.Add(3, w)
+	}
+	f.Fuzz(func(t *testing.T, mi int, data []byte) {
+		ms := RegisteredMethods()
+		idx := mi % len(ms)
+		if idx < 0 {
+			idx += len(ms) // Go's % keeps the dividend's sign; -mi overflows at MinInt
+		}
+		m := ms[idx]
+		pr, n, err := DecodeProof(m, data)
+		if err != nil {
+			return
+		}
+		re := pr.AppendBinary(nil)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("%s: decode/encode not identity: %d in, %d out", m, n, len(re))
 		}
 	})
 }

@@ -100,54 +100,40 @@ func TestGoldenByteCompat(t *testing.T) {
 	owner, qs, ups := goldenWorld(t)
 	got := map[string]string{}
 
-	dij, err := owner.OutsourceDIJ()
-	if err != nil {
-		t.Fatal(err)
-	}
-	full, err := owner.OutsourceFULL()
-	if err != nil {
-		t.Fatal(err)
-	}
-	ldm, err := owner.OutsourceLDM()
-	if err != nil {
-		t.Fatal(err)
-	}
-	hyp, err := owner.OutsourceHYP()
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	record := func(phase string) {
-		for i, q := range qs {
-			dp, err := dij.Query(q.S, q.T)
-			if err != nil {
-				t.Fatalf("DIJ query %d: %v", i, err)
-			}
-			got[fmt.Sprintf("%s/proof/DIJ/%d", phase, i)] = sha(dp.AppendBinary(nil))
-			fp, err := full.Query(q.S, q.T)
-			if err != nil {
-				t.Fatalf("FULL query %d: %v", i, err)
-			}
-			got[fmt.Sprintf("%s/proof/FULL/%d", phase, i)] = sha(fp.AppendBinary(nil))
-			lp, err := ldm.Query(q.S, q.T)
-			if err != nil {
-				t.Fatalf("LDM query %d: %v", i, err)
-			}
-			got[fmt.Sprintf("%s/proof/LDM/%d", phase, i)] = sha(lp.AppendBinary(nil))
-			hp, err := hyp.Query(q.S, q.T)
-			if err != nil {
-				t.Fatalf("HYP query %d: %v", i, err)
-			}
-			got[fmt.Sprintf("%s/proof/HYP/%d", phase, i)] = sha(hp.AppendBinary(nil))
+	// Everything below goes through the method registry — the same
+	// dispatch spine the serving layer, deployments and snapshots use —
+	// so a registry-path byte regression cannot hide behind the typed
+	// constructors. (Fixtures were generated through the pre-registry
+	// typed API; identical digests ARE the refactor's acceptance proof.)
+	provs := map[Method]Provider{}
+	for _, m := range RegisteredMethods() {
+		p, err := owner.Outsource(m)
+		if err != nil {
+			t.Fatalf("outsource %s: %v", m, err)
 		}
-		got[phase+"/sig/DIJ/root"] = sha(dij.rootSig)
-		got[phase+"/sig/FULL/net"] = sha(full.netSig)
-		got[phase+"/sig/FULL/dist"] = sha(full.distSig)
-		got[phase+"/sig/LDM/root"] = sha(ldm.rootSig)
-		got[phase+"/sig/HYP/net"] = sha(hyp.netSig)
-		got[phase+"/sig/HYP/dist"] = sha(hyp.distSig)
+		provs[m] = p
+	}
+	record := func(phase string) {
+		var all []Provider
+		for _, m := range RegisteredMethods() {
+			p := provs[m]
+			all = append(all, p)
+			for i, q := range qs {
+				pr, err := p.QueryProof(q.S, q.T)
+				if err != nil {
+					t.Fatalf("%s query %d: %v", m, i, err)
+				}
+				got[fmt.Sprintf("%s/proof/%s/%d", phase, m, i)] = sha(pr.AppendBinary(nil))
+			}
+		}
+		got[phase+"/sig/DIJ/root"] = sha(provs[DIJ].(*DIJProvider).rootSig)
+		got[phase+"/sig/FULL/net"] = sha(provs[FULL].(*FULLProvider).netSig)
+		got[phase+"/sig/FULL/dist"] = sha(provs[FULL].(*FULLProvider).distSig)
+		got[phase+"/sig/LDM/root"] = sha(provs[LDM].(*LDMProvider).rootSig)
+		got[phase+"/sig/HYP/net"] = sha(provs[HYP].(*HYPProvider).netSig)
+		got[phase+"/sig/HYP/dist"] = sha(provs[HYP].(*HYPProvider).distSig)
 		var buf bytes.Buffer
-		if _, err := owner.WriteSnapshot(&buf, dij, full, ldm, hyp); err != nil {
+		if _, err := owner.WriteSnapshot(&buf, all...); err != nil {
 			t.Fatalf("%s snapshot: %v", phase, err)
 		}
 		got[phase+"/snapshot"] = sha(buf.Bytes())
@@ -159,17 +145,12 @@ func TestGoldenByteCompat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dij, _, err = batch.PatchDIJ(dij); err != nil {
-		t.Fatal(err)
-	}
-	if full, _, err = batch.PatchFULL(full); err != nil {
-		t.Fatal(err)
-	}
-	if ldm, _, err = batch.PatchLDM(ldm); err != nil {
-		t.Fatal(err)
-	}
-	if hyp, _, err = batch.PatchHYP(hyp); err != nil {
-		t.Fatal(err)
+	for _, m := range RegisteredMethods() {
+		p, _, err := batch.Patch(provs[m])
+		if err != nil {
+			t.Fatalf("patch %s: %v", m, err)
+		}
+		provs[m] = p
 	}
 	record("post-update")
 

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/hiti"
+	"github.com/authhints/spv/internal/mbt"
+	"github.com/authhints/spv/internal/mht"
+)
+
+// This file wires HYP (hyp.go) into the method registry: the erased
+// Provider/Proof faces plus the snapshot section codec. The scheme logic
+// itself stays in hyp.go.
+
+// Method names the provider's verification method.
+func (p *HYPProvider) Method() Method { return HYP }
+
+// QueryProof answers one query behind the erased Provider face.
+func (p *HYPProvider) QueryProof(vs, vt graph.NodeID) (Proof, error) {
+	pr, err := p.Query(vs, vt)
+	if err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+func (p *HYPProvider) graphRef() *graph.Graph {
+	if p == nil {
+		return nil
+	}
+	return p.g
+}
+
+func (p *HYPProvider) adsRef() *networkADS {
+	if p == nil {
+		return nil
+	}
+	return p.ads
+}
+
+func (p *HYPProvider) viewRef() *graph.CSR {
+	if p == nil {
+		return nil
+	}
+	return p.view
+}
+
+// Result returns the reported path and its claimed distance.
+func (pr *HYPProof) Result() (graph.Path, float64) { return pr.Path, pr.Dist }
+
+// hypImpl is HYP's registry entry.
+type hypImpl struct{}
+
+func (hypImpl) Method() Method { return HYP }
+
+func (hypImpl) Outsource(o *Owner) (Provider, error) {
+	p, err := o.OutsourceHYP()
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (hypImpl) DecodeProof(buf []byte) (Proof, int, error) {
+	pr, n, err := DecodeHYPProof(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pr, n, nil
+}
+
+func (hypImpl) VerifyProof(v SigVerifier, vs, vt graph.NodeID, pr Proof) error {
+	p, err := proofAs[*HYPProof](HYP, pr)
+	if err != nil {
+		return err
+	}
+	return VerifyHYP(v, vs, vt, p)
+}
+
+func (hypImpl) Patch(b *UpdateBatch, p Provider) (Provider, *PatchStats, error) {
+	hp, err := providerAs[*HYPProvider](HYP, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	np, st, err := b.PatchHYP(hp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return np, st, nil
+}
+
+func (hypImpl) SnapshotKind() uint32 { return snapKindHYP }
+
+// AppendSnapshot encodes: netSig | distSig | fullRows u8 | rows u32 |
+// rowLen u32 | rows × rowLen × f64 | hasDist u8 [| dist tree] | network
+// tree. The partition (grid, cells, borders) is re-derived at load; the
+// materialized W* rows are the stored truth and the hyper-edge entry set
+// is re-derived from them.
+func (hypImpl) AppendSnapshot(buf []byte, p Provider) ([]byte, error) {
+	hp, err := providerAs[*HYPProvider](HYP, p)
+	if err != nil {
+		return nil, err
+	}
+	buf = appendBytes(buf, hp.netSig)
+	buf = appendBytes(buf, hp.distSig)
+	full, rows := hp.hyper.Rows()
+	if full {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	rowLen := 0
+	if len(rows) > 0 {
+		rowLen = len(rows[0])
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(rows)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(rowLen))
+	for _, row := range rows {
+		for _, d := range row {
+			buf = appendFloat(buf, d)
+		}
+	}
+	if hp.distMBT != nil {
+		buf = append(buf, 1)
+		buf = appendSnapTree(buf, hp.distMBT.MHT())
+	} else {
+		buf = append(buf, 0)
+	}
+	return appendSnapTree(buf, hp.ads.tree), nil
+}
+
+func (hypImpl) DecodeSnapshot(payload []byte, env *SnapshotEnv) (Provider, error) {
+	c := &snapCursor{buf: payload}
+	netSig := c.bytes()
+	distSig := c.bytes()
+	fullFlag := c.u8()
+	numRows := int(c.u32())
+	rowLen := int(c.u32())
+	if c.err == nil && fullFlag > 1 {
+		c.fail("bad full-rows flag %d", fullFlag)
+	}
+	if c.err == nil && rowLen == 0 && numRows > 0 {
+		// Zero-length rows never occur (wb rows are B-long with B > 0, full
+		// rows |V|-long with |V| ≥ 2); a lying count must not allocate.
+		c.fail("%d hyper rows of length 0", numRows)
+	}
+	if c.err == nil && (rowLen < 0 || numRows < 0 || (rowLen > 0 && numRows > len(c.buf[c.off:])/(8*rowLen))) {
+		c.fail("hyper rows exceed payload")
+	}
+	rows := make([][]float64, 0, numRows)
+	for i := 0; i < numRows && c.err == nil; i++ {
+		row := make([]float64, rowLen)
+		for j := 0; j < rowLen && c.err == nil; j++ {
+			row[j] = c.f64()
+		}
+		rows = append(rows, row)
+	}
+	hasDist := c.u8()
+	var distTree *mht.Tree
+	if c.err == nil && hasDist > 1 {
+		c.fail("bad dist-tree flag %d", hasDist)
+	}
+	if c.err == nil && hasDist == 1 {
+		distTree = c.tree()
+	}
+	netTree := c.tree()
+	if err := c.finish("HYP"); err != nil {
+		return nil, err
+	}
+	hyper, err := hiti.Rehydrate(env.Graph, env.Cfg.Cells, fullFlag == 1, rows)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	p2 := &HYPProvider{g: env.Graph, view: env.View, hyper: hyper, netSig: netSig, distSig: distSig}
+	if distTree != nil {
+		entries := hyper.Entries()
+		p2.distMBT, err = mbt.RehydrateTree(entries, distTree)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+	} else if hyper.NumBorders() > 0 {
+		return nil, fmt.Errorf("%w: HYP section has %d borders but no distance tree", ErrBadSnapshot, hyper.NumBorders())
+	}
+	p2.ads, err = rehydrateADS(env.Graph, env.Ord, netTree, hyper.Extra)
+	if err != nil {
+		return nil, err
+	}
+	return p2, nil
+}

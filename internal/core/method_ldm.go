@@ -1,0 +1,177 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/hints/landmark"
+)
+
+// This file wires LDM (ldm.go) into the method registry: the erased
+// Provider/Proof faces plus the snapshot section codec. The scheme logic
+// itself stays in ldm.go.
+
+// Method names the provider's verification method.
+func (p *LDMProvider) Method() Method { return LDM }
+
+// QueryProof answers one query behind the erased Provider face.
+func (p *LDMProvider) QueryProof(vs, vt graph.NodeID) (Proof, error) {
+	pr, err := p.Query(vs, vt)
+	if err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+func (p *LDMProvider) graphRef() *graph.Graph {
+	if p == nil {
+		return nil
+	}
+	return p.g
+}
+
+func (p *LDMProvider) adsRef() *networkADS {
+	if p == nil {
+		return nil
+	}
+	return p.ads
+}
+
+func (p *LDMProvider) viewRef() *graph.CSR {
+	if p == nil {
+		return nil
+	}
+	return p.view
+}
+
+// Result returns the reported path and its claimed distance.
+func (pr *LDMProof) Result() (graph.Path, float64) { return pr.Path, pr.Dist }
+
+// ldmImpl is LDM's registry entry.
+type ldmImpl struct{}
+
+func (ldmImpl) Method() Method { return LDM }
+
+func (ldmImpl) Outsource(o *Owner) (Provider, error) {
+	p, err := o.OutsourceLDM()
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (ldmImpl) DecodeProof(buf []byte) (Proof, int, error) {
+	pr, n, err := DecodeLDMProof(buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pr, n, nil
+}
+
+func (ldmImpl) VerifyProof(v SigVerifier, vs, vt graph.NodeID, pr Proof) error {
+	p, err := proofAs[*LDMProof](LDM, pr)
+	if err != nil {
+		return err
+	}
+	return VerifyLDM(v, vs, vt, p)
+}
+
+func (ldmImpl) Patch(b *UpdateBatch, p Provider) (Provider, *PatchStats, error) {
+	lp, err := providerAs[*LDMProvider](LDM, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	np, st, err := b.PatchLDM(lp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return np, st, nil
+}
+
+func (ldmImpl) SnapshotKind() uint32 { return snapKindLDM }
+
+// AppendSnapshot encodes: rootSig | bits u32 | lambda f64 | c u32 |
+// c × landmark u32 | c × n × dist f64 | network tree. The exact distance
+// rows are the stored truth; quantization, compression and payloads are
+// re-derived at load (deterministically, λ pinned), exactly as the
+// incremental update pipeline derives them.
+func (ldmImpl) AppendSnapshot(buf []byte, p Provider) ([]byte, error) {
+	lp, err := providerAs[*LDMProvider](LDM, p)
+	if err != nil {
+		return nil, err
+	}
+	h := lp.hints
+	if h.Dists == nil {
+		return nil, errors.New("core: LDM provider retains no distance rows; cannot snapshot")
+	}
+	buf = appendBytes(buf, lp.rootSig)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(h.Bits))
+	buf = appendFloat(buf, h.Lambda)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(h.Landmarks)))
+	for _, l := range h.Landmarks {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(l))
+	}
+	for _, row := range h.Dists {
+		for _, d := range row {
+			buf = appendFloat(buf, d)
+		}
+	}
+	return appendSnapTree(buf, lp.ads.tree), nil
+}
+
+func (ldmImpl) DecodeSnapshot(payload []byte, env *SnapshotEnv) (Provider, error) {
+	c := &snapCursor{buf: payload}
+	rootSig := c.bytes()
+	bits := int(c.u32())
+	lambda := c.f64()
+	nl := int(c.u32())
+	if c.err == nil && (bits < 1 || bits > 30) {
+		c.fail("quantization bits %d out of range", bits)
+	}
+	if c.err == nil && (lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0)) {
+		c.fail("bad lambda %v", lambda)
+	}
+	n := env.Graph.NumNodes()
+	if c.err == nil && (nl < 1 || nl > len(c.buf[c.off:])/4) {
+		c.fail("landmark count %d exceeds payload", nl)
+	}
+	var landmarks []graph.NodeID
+	for i := 0; i < nl && c.err == nil; i++ {
+		l := graph.NodeID(c.u32())
+		if int(l) >= n || l < 0 {
+			c.fail("landmark %d out of range [0, %d)", l, n)
+			break
+		}
+		landmarks = append(landmarks, l)
+	}
+	if c.err == nil && nl > len(c.buf[c.off:])/(8*n) {
+		c.fail("distance rows exceed payload")
+	}
+	dists := make([][]float64, 0, nl)
+	for i := 0; i < nl && c.err == nil; i++ {
+		row := make([]float64, n)
+		for j := 0; j < n && c.err == nil; j++ {
+			row[j] = c.f64()
+		}
+		dists = append(dists, row)
+	}
+	tree := c.tree()
+	if err := c.finish("LDM"); err != nil {
+		return nil, err
+	}
+	h, _ := landmark.FromRows(landmarks, dists, landmark.Options{
+		C:           len(landmarks),
+		Bits:        bits,
+		Xi:          env.Cfg.Xi,
+		FixedLambda: lambda,
+	})
+	ads, err := rehydrateADS(env.Graph, env.Ord, tree, func(v graph.NodeID) []byte {
+		return h.PayloadOf(v).AppendBinary(h.Bits, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LDMProvider{g: env.Graph, view: env.View, hints: h, ads: ads, rootSig: rootSig}, nil
+}

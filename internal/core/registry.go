@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/order"
+)
+
+// This file is the method dispatch spine: one MethodImpl per verification
+// method, collected in a Registry with a fixed canonical iteration order.
+// Every layer above core — the serving engine, deployments, snapshots and
+// the CLIs — dispatches through the registry instead of enumerating
+// methods, so integrating a fifth hint scheme means implementing
+// MethodImpl and registering it here, not editing every layer.
+//
+// Determinism contract: the registry's canonical order (the order impls
+// were registered in, the paper's presentation order for the built-ins)
+// governs snapshot section order, Engine.Methods listings and deployment
+// patch order. It must never depend on map iteration.
+
+// ErrUnknownMethod reports a Method the registry has no implementation
+// for.
+var ErrUnknownMethod = fmt.Errorf("core: unknown method")
+
+// Proof is the method-erased face of a query proof. Every concrete proof
+// (DIJProof &c.) implements it; the serving layer and the CLIs handle
+// proofs through this interface only.
+type Proof interface {
+	// AppendBinary serializes the proof's exact wire encoding — the bytes
+	// clients decode, caches key on, and the paper's size figures count.
+	AppendBinary(buf []byte) []byte
+	// Stats is the proof's communication breakdown (ΓS / ΓT split).
+	Stats() ProofStats
+	// LeafSpan is the inclusive range of network-ADS leaf positions the
+	// proof's tuples cover (ok=false when empty); the proof cache uses it
+	// for precise invalidation under updates.
+	LeafSpan() (lo, hi uint32, ok bool)
+	// Result returns the reported path and its claimed distance.
+	Result() (graph.Path, float64)
+}
+
+// Provider is the method-erased face of a service provider: immutable
+// once outsourced (or loaded from a snapshot), safe for unbounded
+// concurrent QueryProof use, and byte-deterministic — a fixed provider
+// instance answers a given (vs, vt) with one exact wire encoding.
+//
+// The unexported hooks keep the implementation set closed to this
+// package: a new method lives in core (see MethodImpl) and is wired up
+// through the registry, never implemented ad hoc elsewhere.
+type Provider interface {
+	// Method names the verification method this provider serves.
+	Method() Method
+	// QueryProof answers one shortest path query with a verifiable proof.
+	QueryProof(vs, vt graph.NodeID) (Proof, error)
+
+	graphRef() *graph.Graph
+	adsRef() *networkADS
+	viewRef() *graph.CSR
+}
+
+// SigVerifier is the slice of sig.Verifier client-side verification
+// needs (an interface keeps tests free to stub it).
+type SigVerifier interface {
+	Verify(msg, signature []byte) error
+}
+
+// MethodImpl is the integration contract of one verification method:
+// everything the outsource → sign → serve → patch → snapshot lifecycle
+// needs, behind one value the registry hands to every layer. See
+// DESIGN.md §10 for the full contract a new method must satisfy
+// (determinism obligations, snapshot stored-vs-derived rule).
+type MethodImpl interface {
+	// Method names the implementation; registry keys and wire "method"
+	// fields use it.
+	Method() Method
+	// Outsource builds the provider bundle (ADS construction, hint rows,
+	// signed roots) from the owner's current graph. Row builds must be
+	// byte-deterministic under parallel execution.
+	Outsource(o *Owner) (Provider, error)
+	// DecodeProof parses a proof wire encoding, returning the proof and
+	// the bytes consumed. Decoders must bound allocations by the bytes
+	// actually present, never by counts the (untrusted) encoding claims.
+	DecodeProof(buf []byte) (Proof, int, error)
+	// VerifyProof is the client side: a nil error means the reported
+	// path is authentic AND optimal under v's key.
+	VerifyProof(v SigVerifier, vs, vt graph.NodeID, pr Proof) error
+	// Patch derives an updated provider from an applied update batch,
+	// copy-on-write: the old provider keeps serving until swapped, and
+	// the result is byte-identical to a from-scratch re-outsource.
+	Patch(b *UpdateBatch, p Provider) (Provider, *PatchStats, error)
+	// SnapshotKind is the method's snapshot container section kind
+	// (unique across the registry, append-only across versions).
+	SnapshotKind() uint32
+	// AppendSnapshot serializes the provider's snapshot section payload:
+	// stored truth only (Merkle levels, hint rows, signatures); cheap
+	// deterministic derivations are re-derived at load.
+	AppendSnapshot(buf []byte, p Provider) ([]byte, error)
+	// DecodeSnapshot rehydrates a provider from a section payload and
+	// the shared core state, without recomputing a hash or running a
+	// search.
+	DecodeSnapshot(payload []byte, env *SnapshotEnv) (Provider, error)
+}
+
+// SnapshotEnv is the shared core state every method section decoder
+// needs: the loaded graph, the frozen view all providers search, the
+// single leaf ordering, and the owner configuration.
+type SnapshotEnv struct {
+	Graph *graph.Graph
+	View  *graph.CSR
+	Ord   *order.Ordering
+	Cfg   Config
+}
+
+// Registry maps methods to implementations with a fixed canonical
+// iteration order (registration order). Immutable after construction;
+// safe for unbounded concurrent lookup.
+type Registry struct {
+	order  []Method
+	impls  map[Method]MethodImpl
+	byKind map[uint32]MethodImpl
+}
+
+// NewRegistry builds a registry from impls, in order. Duplicate methods
+// or snapshot kinds are rejected — either would make dispatch ambiguous.
+func NewRegistry(impls ...MethodImpl) (*Registry, error) {
+	r := &Registry{
+		impls:  make(map[Method]MethodImpl, len(impls)),
+		byKind: make(map[uint32]MethodImpl, len(impls)),
+	}
+	for _, impl := range impls {
+		m := impl.Method()
+		if _, dup := r.impls[m]; dup {
+			return nil, fmt.Errorf("core: duplicate method %q in registry", m)
+		}
+		k := impl.SnapshotKind()
+		if k <= snapKindOrdering {
+			// Kinds 1..4 are the core sections (config, graph, verifier,
+			// ordering); the section loop dispatches method kinds first, so
+			// a collision would shadow a core section on every load.
+			return nil, fmt.Errorf("core: method %q snapshot kind %d collides with the reserved core sections", m, k)
+		}
+		if _, dup := r.byKind[k]; dup {
+			return nil, fmt.Errorf("core: duplicate snapshot kind %d in registry", k)
+		}
+		r.order = append(r.order, m)
+		r.impls[m] = impl
+		r.byKind[k] = impl
+	}
+	return r, nil
+}
+
+// Lookup returns the implementation of m.
+func (r *Registry) Lookup(m Method) (MethodImpl, bool) {
+	impl, ok := r.impls[m]
+	return impl, ok
+}
+
+// lookupKind resolves a snapshot section kind to its method.
+func (r *Registry) lookupKind(kind uint32) (MethodImpl, bool) {
+	impl, ok := r.byKind[kind]
+	return impl, ok
+}
+
+// Methods lists the registry's methods in canonical order (a copy).
+func (r *Registry) Methods() []Method {
+	return append([]Method(nil), r.order...)
+}
+
+// Impls lists the implementations in canonical order (a copy).
+func (r *Registry) Impls() []MethodImpl {
+	out := make([]MethodImpl, len(r.order))
+	for i, m := range r.order {
+		out[i] = r.impls[m]
+	}
+	return out
+}
+
+// defaultRegistry holds the four paper methods in presentation order —
+// the canonical order every listing, snapshot and patch loop follows.
+var defaultRegistry = func() *Registry {
+	r, err := NewRegistry(dijImpl{}, fullImpl{}, ldmImpl{}, hypImpl{})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}()
+
+// DefaultRegistry returns the process-wide registry of built-in methods.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// LookupMethod resolves m against the default registry.
+func LookupMethod(m Method) (MethodImpl, bool) { return defaultRegistry.Lookup(m) }
+
+// RegisteredMethods lists the default registry's methods in canonical
+// order. Methods() is its public alias.
+func RegisteredMethods() []Method { return defaultRegistry.Methods() }
+
+// Outsource builds the provider bundle for method m via the registry —
+// the generic face of the Outsource* constructors.
+func (o *Owner) Outsource(m Method) (Provider, error) {
+	impl, ok := LookupMethod(m)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownMethod, m)
+	}
+	return impl.Outsource(o)
+}
+
+// Patch derives an updated provider for p's method from this batch via
+// the registry — the generic face of the Patch* methods.
+func (b *UpdateBatch) Patch(p Provider) (Provider, *PatchStats, error) {
+	impl, ok := LookupMethod(p.Method())
+	if !ok {
+		return nil, nil, fmt.Errorf("%w %q", ErrUnknownMethod, p.Method())
+	}
+	return impl.Patch(b, p)
+}
+
+// proofAs narrows an erased proof to method m's concrete type; a
+// mismatch is a malformed-proof class error (the caller paired bytes
+// with the wrong method).
+func proofAs[T Proof](m Method, pr Proof) (T, error) {
+	p, ok := pr.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("%w: %s verification got proof type %T", ErrMalformedProof, m, pr)
+	}
+	return p, nil
+}
+
+// providerAs narrows an erased provider to method m's concrete type.
+func providerAs[T Provider](m Method, p Provider) (T, error) {
+	cp, ok := p.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("core: %s impl got provider type %T", m, p)
+	}
+	return cp, nil
+}
+
+// DecodeProof parses a proof of method m via the registry.
+func DecodeProof(m Method, buf []byte) (Proof, int, error) {
+	impl, ok := LookupMethod(m)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w %q", ErrUnknownMethod, m)
+	}
+	return impl.DecodeProof(buf)
+}
+
+// VerifyProof client-verifies a proof of method m via the registry; a
+// nil error means the reported path is authentic and optimal.
+func VerifyProof(v SigVerifier, m Method, vs, vt graph.NodeID, pr Proof) error {
+	impl, ok := LookupMethod(m)
+	if !ok {
+		return fmt.Errorf("%w %q", ErrUnknownMethod, m)
+	}
+	return impl.VerifyProof(v, vs, vt, pr)
+}

@@ -12,8 +12,6 @@ import (
 	"github.com/authhints/spv/internal/digest"
 	"github.com/authhints/spv/internal/graph"
 	"github.com/authhints/spv/internal/hints/landmark"
-	"github.com/authhints/spv/internal/hiti"
-	"github.com/authhints/spv/internal/mbt"
 	"github.com/authhints/spv/internal/mht"
 	"github.com/authhints/spv/internal/order"
 	"github.com/authhints/spv/internal/par"
@@ -25,9 +23,11 @@ import (
 // per-method Merkle trees with every precomputed interior digest, hint
 // rows, signatures and the update epoch — into the internal/snapshot
 // container, and loads it back without recomputing a single hash or
-// running a single search. The split of labor with the container layer:
-// snapshot frames and CRC-checks opaque sections; this file owns the
-// section kinds and their payload encodings.
+// running a single search. The split of labor: the container layer
+// frames and CRC-checks opaque sections; this file owns the core
+// section kinds and the section loop; each method's payload codec lives
+// with its MethodImpl (method_dij.go &c.), dispatched through the
+// registry by section kind.
 //
 // What is stored vs re-derived is chosen by cost: Merkle levels (the
 // hashing bill), hint distance rows (the Dijkstra bill) and signatures
@@ -44,8 +44,9 @@ import (
 // (dimensions, ranges, bijections) strictly but trust digest values.
 
 // Snapshot section kinds. The core sections (config, graph, verifier,
-// ordering) must precede method sections; see DESIGN.md §9 for the byte
-// layout of each payload.
+// ordering) must precede method sections; method kinds are declared here
+// so uniqueness is auditable in one place, and each MethodImpl returns
+// its own via SnapshotKind. See DESIGN.md §9 for payload byte layouts.
 const (
 	snapKindConfig   = 1
 	snapKindGraph    = 2
@@ -59,8 +60,12 @@ const (
 
 // SnapshotSectionName returns the display name of a snapshot section
 // kind, or "unknown" — the single source inspection tools (cmd/spvsnap)
-// use, so new kinds never drift out of their listings.
+// use. Method kinds resolve through the registry, so a new method's
+// sections name themselves.
 func SnapshotSectionName(kind uint32) string {
+	if impl, ok := defaultRegistry.lookupKind(kind); ok {
+		return string(impl.Method())
+	}
 	switch kind {
 	case snapKindConfig:
 		return "config"
@@ -70,14 +75,6 @@ func SnapshotSectionName(kind uint32) string {
 		return "verifier"
 	case snapKindOrdering:
 		return "ordering"
-	case snapKindDIJ:
-		return "DIJ"
-	case snapKindFULL:
-		return "FULL"
-	case snapKindLDM:
-		return "LDM"
-	case snapKindHYP:
-		return "HYP"
 	}
 	return "unknown"
 }
@@ -91,11 +88,10 @@ var ErrBadSnapshot = errors.New("core: bad snapshot")
 // ProviderSet is a complete deserialized deployment: everything a replica
 // needs to serve authenticated proofs (providers, public key, epoch), and
 // everything an owner process needs to resume updates (graph, config —
-// plus its private key, which never enters a snapshot). Provider fields
-// are nil for methods the snapshot does not carry.
+// plus its private key, which never enters a snapshot).
 //
 // A loaded ProviderSet obeys the same concurrency contract as freshly
-// outsourced providers: every non-nil provider is immutable and safe for
+// outsourced providers: every present provider is immutable and safe for
 // unbounded concurrent Query use.
 type ProviderSet struct {
 	Cfg      Config
@@ -105,88 +101,92 @@ type ProviderSet struct {
 	// continues the sequence from here.
 	Epoch int64
 
-	DIJ  *DIJProvider
-	FULL *FULLProvider
-	LDM  *LDMProvider
-	HYP  *HYPProvider
+	provs map[Method]Provider
+	// view is the frozen CSR every loaded provider searches (set by
+	// ReadProviderSet); RestoreOwner adopts it so the staleness guard's
+	// pointer-identity test holds across a restore.
+	view *graph.CSR
 }
 
-// Methods lists the methods present in the set, in the paper's order.
+// Provider returns the set's provider for m, or nil when the set does
+// not carry that method.
+func (s *ProviderSet) Provider(m Method) Provider {
+	p, ok := s.provs[m]
+	if !ok {
+		return nil
+	}
+	return p
+}
+
+// SetProvider attaches p to the set, replacing any previous provider of
+// its method; nil-graph (absent) providers are ignored.
+func (s *ProviderSet) SetProvider(p Provider) {
+	if p == nil || p.graphRef() == nil {
+		return
+	}
+	if s.provs == nil {
+		s.provs = make(map[Method]Provider, 4)
+	}
+	s.provs[p.Method()] = p
+}
+
+// Methods lists the methods present in the set, in the registry's
+// canonical order.
 func (s *ProviderSet) Methods() []Method {
 	var out []Method
-	if s.DIJ != nil {
-		out = append(out, DIJ)
-	}
-	if s.FULL != nil {
-		out = append(out, FULL)
-	}
-	if s.LDM != nil {
-		out = append(out, LDM)
-	}
-	if s.HYP != nil {
-		out = append(out, HYP)
+	for _, m := range RegisteredMethods() {
+		if s.provs[m] != nil {
+			out = append(out, m)
+		}
 	}
 	return out
 }
 
 // WriteSnapshot serializes the owner's deployment state plus the given
-// outsourced providers (any may be nil, at least one must not be) into w.
-// Every provider must have been outsourced by — or patched through — this
-// owner against its current graph; a provider from another owner or a
-// stale update generation is rejected. Returns the bytes written.
+// outsourced providers (nils are skipped, at least one must remain) into
+// w. Every provider must have been outsourced by — or patched through —
+// this owner against its current graph: a provider from another owner is
+// rejected, and so is one from a stale update generation (it still
+// searches a frozen view an ApplyUpdates batch has since replaced —
+// snapshotting it would pair the post-update graph with pre-update trees
+// and signatures, and every replica booted from the file would serve
+// proofs that fail client verification). Returns the bytes written.
 //
 // WriteSnapshot reads the owner's graph and the providers' structures but
 // mutates nothing; it must not run concurrently with ApplyUpdates (the
 // serving layer's Deployment.Save serializes against updates for you).
-func (o *Owner) WriteSnapshot(w io.Writer, dij *DIJProvider, full *FULLProvider, ldm *LDMProvider, hyp *HYPProvider) (int64, error) {
-	for name, g := range map[string]*graph.Graph{"DIJ": providerGraph(dij), "FULL": providerGraph(full), "LDM": providerGraph(ldm), "HYP": providerGraph(hyp)} {
-		if g != nil && g != o.g {
-			return 0, fmt.Errorf("core: %s provider was not outsourced from this owner", name)
-		}
-	}
+func (o *Owner) WriteSnapshot(w io.Writer, provs ...Provider) (int64, error) {
 	set := &ProviderSet{
 		Cfg: o.cfg, Graph: o.g, Verifier: o.Verifier(), Epoch: o.Epoch(),
-		DIJ: dij, FULL: full, LDM: ldm, HYP: hyp,
+	}
+	// The current frozen view, if one exists: every provider outsourced
+	// from or patched through this owner shares it, so pointer identity is
+	// an exact staleness test. nil (never frozen, e.g. a freshly restored
+	// owner) disables the test — no update can have run yet.
+	o.mu.Lock()
+	frozen := o.frozen
+	o.mu.Unlock()
+	for _, p := range provs {
+		if p == nil || p.graphRef() == nil {
+			continue
+		}
+		if p.graphRef() != o.g {
+			return 0, fmt.Errorf("core: %s provider was not outsourced from this owner", p.Method())
+		}
+		if frozen != nil && p.viewRef() != frozen {
+			return 0, fmt.Errorf("core: %s provider is stale — patch it through the latest update batch before snapshotting", p.Method())
+		}
+		set.SetProvider(p)
 	}
 	return set.WriteTo(w)
 }
 
-// providerGraph extracts the graph of a possibly nil provider, tolerating
-// typed nils from each provider type.
-func providerGraph[P interface{ graphRef() *graph.Graph }](p P) *graph.Graph {
-	return p.graphRef()
-}
-
-func (p *DIJProvider) graphRef() *graph.Graph {
-	if p == nil {
-		return nil
-	}
-	return p.g
-}
-func (p *FULLProvider) graphRef() *graph.Graph {
-	if p == nil {
-		return nil
-	}
-	return p.g
-}
-func (p *LDMProvider) graphRef() *graph.Graph {
-	if p == nil {
-		return nil
-	}
-	return p.g
-}
-func (p *HYPProvider) graphRef() *graph.Graph {
-	if p == nil {
-		return nil
-	}
-	return p.g
-}
-
 // WriteTo serializes the set into w in snapshot container format: the core
 // sections (config, graph, verifier, ordering) followed by one section per
-// present method. It returns the total bytes written. Safe to call on a
-// loaded set (replicas can re-publish the snapshot they booted from); not
-// safe concurrently with owner mutation of the underlying graph.
+// present method, in the registry's canonical order. It returns the total
+// bytes written. Safe to call on a loaded set (replicas can re-publish the
+// snapshot they booted from); not safe concurrently with owner mutation of
+// the underlying graph.
 func (s *ProviderSet) WriteTo(w io.Writer) (int64, error) {
 	if s.Graph == nil || s.Verifier == nil {
 		return 0, errors.New("core: snapshot needs a graph and a verifier")
@@ -219,32 +219,16 @@ func (s *ProviderSet) WriteTo(w io.Writer) (int64, error) {
 	if err := sw.Section(snapKindOrdering, appendSnapOrdering(nil, ord)); err != nil {
 		return sw.Bytes(), err
 	}
-	if s.DIJ != nil {
-		payload := appendSnapTree(appendBytes(nil, s.DIJ.rootSig), s.DIJ.ads.tree)
-		if err := sw.Section(snapKindDIJ, payload); err != nil {
-			return sw.Bytes(), err
+	for _, impl := range defaultRegistry.Impls() {
+		p := s.Provider(impl.Method())
+		if p == nil {
+			continue
 		}
-	}
-	if s.FULL != nil {
-		payload := appendBytes(nil, s.FULL.netSig)
-		payload = appendBytes(payload, s.FULL.distSig)
-		payload = appendSnapTree(payload, s.FULL.ads.tree)
-		payload = appendSnapTree(payload, s.FULL.forest.Top())
-		if err := sw.Section(snapKindFULL, payload); err != nil {
-			return sw.Bytes(), err
-		}
-	}
-	if s.LDM != nil {
-		payload, err := appendSnapLDM(nil, s.LDM)
+		payload, err := impl.AppendSnapshot(nil, p)
 		if err != nil {
 			return sw.Bytes(), err
 		}
-		if err := sw.Section(snapKindLDM, payload); err != nil {
-			return sw.Bytes(), err
-		}
-	}
-	if s.HYP != nil {
-		if err := sw.Section(snapKindHYP, appendSnapHYP(nil, s.HYP)); err != nil {
+		if err := sw.Section(impl.SnapshotKind(), payload); err != nil {
 			return sw.Bytes(), err
 		}
 	}
@@ -259,7 +243,8 @@ func (s *ProviderSet) WriteTo(w io.Writer) (int64, error) {
 // snapshot whose method sections silently disagree about leaf positions.
 func (s *ProviderSet) sharedOrdering() (*order.Ordering, error) {
 	var ord *order.Ordering
-	for _, a := range []*networkADS{adsOf(s.DIJ), adsOf(s.FULL), adsOf(s.LDM), adsOf(s.HYP)} {
+	for _, m := range s.Methods() {
+		a := s.provs[m].adsRef()
 		if a == nil {
 			continue
 		}
@@ -282,33 +267,6 @@ func (s *ProviderSet) sharedOrdering() (*order.Ordering, error) {
 	return ord, nil
 }
 
-func adsOf[P interface{ adsRef() *networkADS }](p P) *networkADS { return p.adsRef() }
-
-func (p *DIJProvider) adsRef() *networkADS {
-	if p == nil {
-		return nil
-	}
-	return p.ads
-}
-func (p *FULLProvider) adsRef() *networkADS {
-	if p == nil {
-		return nil
-	}
-	return p.ads
-}
-func (p *LDMProvider) adsRef() *networkADS {
-	if p == nil {
-		return nil
-	}
-	return p.ads
-}
-func (p *HYPProvider) adsRef() *networkADS {
-	if p == nil {
-		return nil
-	}
-	return p.ads
-}
-
 // OpenProviderSet loads a snapshot file — the provider cold-start path.
 func OpenProviderSet(path string) (*ProviderSet, error) {
 	f, err := os.Open(path)
@@ -323,7 +281,8 @@ func OpenProviderSet(path string) (*ProviderSet, error) {
 // WriteTo. No hash is recomputed and no search is run: Merkle levels,
 // hint rows and signatures come from the file; tuple encodings,
 // quantization, compression and partitions are re-derived in parallel
-// from the loaded graph. All providers share one frozen CSR view.
+// from the loaded graph. All providers share one frozen CSR view. Method
+// sections dispatch to their MethodImpl by section kind.
 //
 // Round-trip contract (pinned by TestSnapshotRoundTrip): every loaded
 // provider emits proof wire encodings byte-identical to the provider it
@@ -334,13 +293,14 @@ func ReadProviderSet(r io.Reader) (*ProviderSet, error) {
 		return nil, err
 	}
 	set := &ProviderSet{Epoch: sr.Epoch()}
+	env := &SnapshotEnv{}
 	var (
-		ord     *order.Ordering
-		view    *graph.CSR
 		haveCfg bool
 		seen    = map[uint32]bool{}
 	)
-	coreReady := func() bool { return haveCfg && set.Graph != nil && set.Verifier != nil && ord != nil }
+	coreReady := func() bool {
+		return haveCfg && set.Graph != nil && set.Verifier != nil && env.Ord != nil
+	}
 	for {
 		sec, err := sr.Next()
 		if err == io.EOF {
@@ -353,8 +313,21 @@ func ReadProviderSet(r io.Reader) (*ProviderSet, error) {
 			return nil, fmt.Errorf("%w: duplicate section kind %d", ErrBadSnapshot, sec.Kind)
 		}
 		seen[sec.Kind] = true
-		if sec.Kind >= snapKindDIJ && !coreReady() {
-			return nil, fmt.Errorf("%w: method section %d before core sections", ErrBadSnapshot, sec.Kind)
+		if impl, ok := defaultRegistry.lookupKind(sec.Kind); ok {
+			if !coreReady() {
+				return nil, fmt.Errorf("%w: method section %d before core sections", ErrBadSnapshot, sec.Kind)
+			}
+			if env.View == nil {
+				env.View = set.Graph.Freeze()
+				set.view = env.View
+			}
+			env.Graph, env.Cfg = set.Graph, set.Cfg
+			p, err := impl.DecodeSnapshot(sec.Payload, env)
+			if err != nil {
+				return nil, err
+			}
+			set.SetProvider(p)
+			continue
 		}
 		switch sec.Kind {
 		case snapKindConfig:
@@ -378,35 +351,7 @@ func ReadProviderSet(r io.Reader) (*ProviderSet, error) {
 			if set.Graph == nil {
 				return nil, fmt.Errorf("%w: ordering section before graph", ErrBadSnapshot)
 			}
-			if ord, err = decodeSnapOrdering(sec.Payload, set.Graph.NumNodes()); err != nil {
-				return nil, err
-			}
-		case snapKindDIJ:
-			if view == nil {
-				view = set.Graph.Freeze()
-			}
-			if set.DIJ, err = decodeSnapDIJ(sec.Payload, set.Graph, view, ord); err != nil {
-				return nil, err
-			}
-		case snapKindFULL:
-			if view == nil {
-				view = set.Graph.Freeze()
-			}
-			if set.FULL, err = decodeSnapFULL(sec.Payload, set.Graph, view, ord); err != nil {
-				return nil, err
-			}
-		case snapKindLDM:
-			if view == nil {
-				view = set.Graph.Freeze()
-			}
-			if set.LDM, err = decodeSnapLDM(sec.Payload, set.Graph, view, ord, set.Cfg); err != nil {
-				return nil, err
-			}
-		case snapKindHYP:
-			if view == nil {
-				view = set.Graph.Freeze()
-			}
-			if set.HYP, err = decodeSnapHYP(sec.Payload, set.Graph, view, ord, set.Cfg); err != nil {
+			if env.Ord, err = decodeSnapOrdering(sec.Payload, set.Graph.NumNodes()); err != nil {
 				return nil, err
 			}
 		default:
@@ -419,7 +364,7 @@ func ReadProviderSet(r io.Reader) (*ProviderSet, error) {
 	if !coreReady() {
 		return nil, fmt.Errorf("%w: missing core sections", ErrBadSnapshot)
 	}
-	if set.DIJ == nil && set.FULL == nil && set.LDM == nil && set.HYP == nil {
+	if len(set.provs) == 0 {
 		return nil, fmt.Errorf("%w: no method sections", ErrBadSnapshot)
 	}
 	if set.Epoch < 0 {
@@ -434,6 +379,11 @@ func ReadProviderSet(r io.Reader) (*ProviderSet, error) {
 // must have checked that signer's public half matches the snapshot's
 // verifier (sig.Verifier.Equal) — an owner with a different key would
 // re-sign patched roots that no distributed verifier accepts.
+//
+// Prefer ProviderSet.RestoreOwner when the owner will hold the set's
+// loaded providers: it additionally adopts the load-time frozen view, so
+// the owner and the providers agree on the view the WriteSnapshot
+// staleness guard compares.
 func RestoreOwner(g *graph.Graph, cfg Config, signer *sig.Signer, epoch int64) (*Owner, error) {
 	if epoch < 0 {
 		return nil, fmt.Errorf("core: negative epoch %d", epoch)
@@ -446,7 +396,21 @@ func RestoreOwner(g *graph.Graph, cfg Config, signer *sig.Signer, epoch int64) (
 	return o, nil
 }
 
-// --- payload encodings ---
+// RestoreOwner rebuilds an update-capable owner for this loaded set: the
+// snapshot's graph, config and epoch, plus the load-time frozen view the
+// set's providers search — a lazily rebuilt view would be a different
+// pointer and the staleness guard would falsely reject the loaded
+// providers on the next save.
+func (s *ProviderSet) RestoreOwner(signer *sig.Signer) (*Owner, error) {
+	o, err := RestoreOwner(s.Graph, s.Cfg, signer, s.Epoch)
+	if err != nil {
+		return nil, err
+	}
+	o.frozen = s.view
+	return o, nil
+}
+
+// --- core section payload encodings ---
 
 // appendSnapConfig encodes a Config:
 //
@@ -615,215 +579,6 @@ func rehydrateADS(g *graph.Graph, ord *order.Ordering, tree *mht.Tree, extraFn f
 		}
 	})
 	return &networkADS{ord: ord, tree: tree, msgs: msgs}, nil
-}
-
-// decodeSnapDIJ parses: rootSig bytes | network tree.
-func decodeSnapDIJ(buf []byte, g *graph.Graph, view *graph.CSR, ord *order.Ordering) (*DIJProvider, error) {
-	c := &snapCursor{buf: buf}
-	rootSig := c.bytes()
-	tree := c.tree()
-	if err := c.finish("DIJ"); err != nil {
-		return nil, err
-	}
-	ads, err := rehydrateADS(g, ord, tree, nil)
-	if err != nil {
-		return nil, err
-	}
-	return &DIJProvider{g: g, view: view, ads: ads, rootSig: rootSig}, nil
-}
-
-// decodeSnapFULL parses: netSig | distSig | network tree | top tree.
-func decodeSnapFULL(buf []byte, g *graph.Graph, view *graph.CSR, ord *order.Ordering) (*FULLProvider, error) {
-	c := &snapCursor{buf: buf}
-	netSig := c.bytes()
-	distSig := c.bytes()
-	netTree := c.tree()
-	topTree := c.tree()
-	if err := c.finish("FULL"); err != nil {
-		return nil, err
-	}
-	ads, err := rehydrateADS(g, ord, netTree, nil)
-	if err != nil {
-		return nil, err
-	}
-	forest, err := mbt.RehydrateForest(g.NumNodes(), topTree, fullRowFn(view))
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
-	}
-	return &FULLProvider{g: g, view: view, ads: ads, forest: forest, netSig: netSig, distSig: distSig}, nil
-}
-
-// appendSnapLDM encodes: rootSig | bits u32 | lambda f64 | c u32 |
-// c × landmark u32 | c × n × dist f64 | network tree. The exact distance
-// rows are the stored truth; quantization, compression and payloads are
-// re-derived at load (deterministically, λ pinned), exactly as the
-// incremental update pipeline derives them.
-func appendSnapLDM(buf []byte, p *LDMProvider) ([]byte, error) {
-	h := p.hints
-	if h.Dists == nil {
-		return nil, errors.New("core: LDM provider retains no distance rows; cannot snapshot")
-	}
-	buf = appendBytes(buf, p.rootSig)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(h.Bits))
-	buf = appendFloat(buf, h.Lambda)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(h.Landmarks)))
-	for _, l := range h.Landmarks {
-		buf = binary.BigEndian.AppendUint32(buf, uint32(l))
-	}
-	for _, row := range h.Dists {
-		for _, d := range row {
-			buf = appendFloat(buf, d)
-		}
-	}
-	return appendSnapTree(buf, p.ads.tree), nil
-}
-
-func decodeSnapLDM(buf []byte, g *graph.Graph, view *graph.CSR, ord *order.Ordering, cfg Config) (*LDMProvider, error) {
-	c := &snapCursor{buf: buf}
-	rootSig := c.bytes()
-	bits := int(c.u32())
-	lambda := c.f64()
-	nl := int(c.u32())
-	if c.err == nil && (bits < 1 || bits > 30) {
-		c.fail("quantization bits %d out of range", bits)
-	}
-	if c.err == nil && (lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0)) {
-		c.fail("bad lambda %v", lambda)
-	}
-	n := g.NumNodes()
-	if c.err == nil && (nl < 1 || nl > len(c.buf[c.off:])/4) {
-		c.fail("landmark count %d exceeds payload", nl)
-	}
-	var landmarks []graph.NodeID
-	for i := 0; i < nl && c.err == nil; i++ {
-		l := graph.NodeID(c.u32())
-		if int(l) >= n || l < 0 {
-			c.fail("landmark %d out of range [0, %d)", l, n)
-			break
-		}
-		landmarks = append(landmarks, l)
-	}
-	if c.err == nil && nl > len(c.buf[c.off:])/(8*n) {
-		c.fail("distance rows exceed payload")
-	}
-	dists := make([][]float64, 0, nl)
-	for i := 0; i < nl && c.err == nil; i++ {
-		row := make([]float64, n)
-		for j := 0; j < n && c.err == nil; j++ {
-			row[j] = c.f64()
-		}
-		dists = append(dists, row)
-	}
-	tree := c.tree()
-	if err := c.finish("LDM"); err != nil {
-		return nil, err
-	}
-	h, _ := landmark.FromRows(landmarks, dists, landmark.Options{
-		C:           len(landmarks),
-		Bits:        bits,
-		Xi:          cfg.Xi,
-		FixedLambda: lambda,
-	})
-	ads, err := rehydrateADS(g, ord, tree, func(v graph.NodeID) []byte {
-		return h.PayloadOf(v).AppendBinary(h.Bits, nil)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &LDMProvider{g: g, view: view, hints: h, ads: ads, rootSig: rootSig}, nil
-}
-
-// appendSnapHYP encodes: netSig | distSig | fullRows u8 | rows u32 |
-// rowLen u32 | rows × rowLen × f64 | hasDist u8 [| dist tree] | network
-// tree. The partition (grid, cells, borders) is re-derived at load; the
-// materialized W* rows are the stored truth and the hyper-edge entry set
-// is re-derived from them.
-func appendSnapHYP(buf []byte, p *HYPProvider) []byte {
-	buf = appendBytes(buf, p.netSig)
-	buf = appendBytes(buf, p.distSig)
-	full, rows := p.hyper.Rows()
-	if full {
-		buf = append(buf, 1)
-	} else {
-		buf = append(buf, 0)
-	}
-	rowLen := 0
-	if len(rows) > 0 {
-		rowLen = len(rows[0])
-	}
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(rows)))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(rowLen))
-	for _, row := range rows {
-		for _, d := range row {
-			buf = appendFloat(buf, d)
-		}
-	}
-	if p.distMBT != nil {
-		buf = append(buf, 1)
-		buf = appendSnapTree(buf, p.distMBT.MHT())
-	} else {
-		buf = append(buf, 0)
-	}
-	return appendSnapTree(buf, p.ads.tree)
-}
-
-func decodeSnapHYP(buf []byte, g *graph.Graph, view *graph.CSR, ord *order.Ordering, cfg Config) (*HYPProvider, error) {
-	c := &snapCursor{buf: buf}
-	netSig := c.bytes()
-	distSig := c.bytes()
-	fullFlag := c.u8()
-	numRows := int(c.u32())
-	rowLen := int(c.u32())
-	if c.err == nil && fullFlag > 1 {
-		c.fail("bad full-rows flag %d", fullFlag)
-	}
-	if c.err == nil && rowLen == 0 && numRows > 0 {
-		// Zero-length rows never occur (wb rows are B-long with B > 0, full
-		// rows |V|-long with |V| ≥ 2); a lying count must not allocate.
-		c.fail("%d hyper rows of length 0", numRows)
-	}
-	if c.err == nil && (rowLen < 0 || numRows < 0 || (rowLen > 0 && numRows > len(c.buf[c.off:])/(8*rowLen))) {
-		c.fail("hyper rows exceed payload")
-	}
-	rows := make([][]float64, 0, numRows)
-	for i := 0; i < numRows && c.err == nil; i++ {
-		row := make([]float64, rowLen)
-		for j := 0; j < rowLen && c.err == nil; j++ {
-			row[j] = c.f64()
-		}
-		rows = append(rows, row)
-	}
-	hasDist := c.u8()
-	var distTree *mht.Tree
-	if c.err == nil && hasDist > 1 {
-		c.fail("bad dist-tree flag %d", hasDist)
-	}
-	if c.err == nil && hasDist == 1 {
-		distTree = c.tree()
-	}
-	netTree := c.tree()
-	if err := c.finish("HYP"); err != nil {
-		return nil, err
-	}
-	hyper, err := hiti.Rehydrate(g, cfg.Cells, fullFlag == 1, rows)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
-	}
-	p := &HYPProvider{g: g, view: view, hyper: hyper, netSig: netSig, distSig: distSig}
-	if distTree != nil {
-		entries := hyper.Entries()
-		p.distMBT, err = mbt.RehydrateTree(entries, distTree)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
-		}
-	} else if hyper.NumBorders() > 0 {
-		return nil, fmt.Errorf("%w: HYP section has %d borders but no distance tree", ErrBadSnapshot, hyper.NumBorders())
-	}
-	p.ads, err = rehydrateADS(g, ord, netTree, hyper.Extra)
-	if err != nil {
-		return nil, err
-	}
-	return p, nil
 }
 
 // --- decode cursor ---

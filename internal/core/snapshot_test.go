@@ -48,34 +48,15 @@ func snapshotWorld(t testing.TB, nodes, edges int) (*Owner, *DIJProvider, *FULLP
 // setProofBytes builds the wire encoding of one query against one provider.
 func setProofBytes(t *testing.T, m Method, set *ProviderSet, vs, vt graph.NodeID) []byte {
 	t.Helper()
-	switch m {
-	case DIJ:
-		pr, err := set.DIJ.Query(vs, vt)
-		if err != nil {
-			t.Fatalf("DIJ query (%d,%d): %v", vs, vt, err)
-		}
-		return pr.AppendBinary(nil)
-	case FULL:
-		pr, err := set.FULL.Query(vs, vt)
-		if err != nil {
-			t.Fatalf("FULL query (%d,%d): %v", vs, vt, err)
-		}
-		return pr.AppendBinary(nil)
-	case LDM:
-		pr, err := set.LDM.Query(vs, vt)
-		if err != nil {
-			t.Fatalf("LDM query (%d,%d): %v", vs, vt, err)
-		}
-		return pr.AppendBinary(nil)
-	case HYP:
-		pr, err := set.HYP.Query(vs, vt)
-		if err != nil {
-			t.Fatalf("HYP query (%d,%d): %v", vs, vt, err)
-		}
-		return pr.AppendBinary(nil)
+	p := set.Provider(m)
+	if p == nil {
+		t.Fatalf("set has no %s provider", m)
 	}
-	t.Fatalf("unknown method %q", m)
-	return nil
+	pr, err := p.QueryProof(vs, vt)
+	if err != nil {
+		t.Fatalf("%s query (%d,%d): %v", m, vs, vt, err)
+	}
+	return pr.AppendBinary(nil)
 }
 
 // TestSnapshotRoundTrip is the acceptance pin for the persistence layer: a
@@ -109,7 +90,10 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatal("loaded verifier differs from the owner's")
 	}
 
-	orig := &ProviderSet{DIJ: dij, FULL: full, LDM: ldm, HYP: hyp}
+	orig := &ProviderSet{}
+	for _, p := range []Provider{dij, full, ldm, hyp} {
+		orig.SetProvider(p)
+	}
 	qs, err := workload.Generate(owner.Graph(), 16, 2000, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -128,17 +112,11 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	// The loaded proofs must verify against the loaded verifier — the
 	// replica serves clients that bootstrapped from the original owner.
 	q := qs[0]
-	if pr, err := set.DIJ.Query(q.S, q.T); err != nil || VerifyDIJ(set.Verifier, q.S, q.T, pr) != nil {
-		t.Fatalf("loaded DIJ proof does not verify: %v", err)
-	}
-	if pr, err := set.FULL.Query(q.S, q.T); err != nil || VerifyFULL(set.Verifier, q.S, q.T, pr) != nil {
-		t.Fatalf("loaded FULL proof does not verify: %v", err)
-	}
-	if pr, err := set.LDM.Query(q.S, q.T); err != nil || VerifyLDM(set.Verifier, q.S, q.T, pr) != nil {
-		t.Fatalf("loaded LDM proof does not verify: %v", err)
-	}
-	if pr, err := set.HYP.Query(q.S, q.T); err != nil || VerifyHYP(set.Verifier, q.S, q.T, pr) != nil {
-		t.Fatalf("loaded HYP proof does not verify: %v", err)
+	for _, m := range set.Methods() {
+		pr, err := set.Provider(m).QueryProof(q.S, q.T)
+		if err != nil || VerifyProof(set.Verifier, m, q.S, q.T, pr) != nil {
+			t.Fatalf("loaded %s proof does not verify: %v", m, err)
+		}
 	}
 }
 
@@ -153,7 +131,6 @@ func TestSnapshotRoundTripAfterUpdates(t *testing.T) {
 	for v := 0; v < owner.Graph().NumNodes() && target < 0; v++ {
 		for _, e := range owner.Graph().Neighbors(graph.NodeID(v)) {
 			target, weight = graph.NodeID(v), e.W*1.25
-			_ = e
 			break
 		}
 	}
@@ -188,7 +165,10 @@ func TestSnapshotRoundTripAfterUpdates(t *testing.T) {
 		t.Fatalf("epoch = %d, want 1", set.Epoch)
 	}
 
-	orig := &ProviderSet{DIJ: dij, FULL: full, LDM: ldm, HYP: hyp}
+	orig := &ProviderSet{}
+	for _, p := range []Provider{dij, full, ldm, hyp} {
+		orig.SetProvider(p)
+	}
 	qs, err := workload.Generate(owner.Graph(), 8, 2000, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -208,14 +188,15 @@ func TestSnapshotRoundTripAfterUpdates(t *testing.T) {
 func TestSnapshotSubset(t *testing.T) {
 	owner, dij, _, _, hyp := snapshotWorld(t, 120, 160)
 	var buf bytes.Buffer
-	if _, err := owner.WriteSnapshot(&buf, dij, nil, nil, hyp); err != nil {
+	if _, err := owner.WriteSnapshot(&buf, dij, hyp); err != nil {
 		t.Fatal(err)
 	}
 	set, err := ReadProviderSet(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if set.DIJ == nil || set.HYP == nil || set.FULL != nil || set.LDM != nil {
+	if set.Provider(DIJ) == nil || set.Provider(HYP) == nil ||
+		set.Provider(FULL) != nil || set.Provider(LDM) != nil {
 		t.Fatalf("loaded methods %v, want [DIJ HYP]", set.Methods())
 	}
 }
@@ -225,11 +206,38 @@ func TestSnapshotRejectsForeignProvider(t *testing.T) {
 	owner, dij, _, _, _ := snapshotWorld(t, 120, 160)
 	other, _, _, _, _ := snapshotWorld(t, 120, 160)
 	var buf bytes.Buffer
-	if _, err := other.WriteSnapshot(&buf, dij, nil, nil, nil); err == nil {
+	if _, err := other.WriteSnapshot(&buf, dij); err == nil {
 		t.Fatal("foreign provider accepted")
 	}
-	if _, err := owner.WriteSnapshot(&buf, nil, nil, nil, nil); err == nil {
+	if _, err := owner.WriteSnapshot(&buf); err == nil {
 		t.Fatal("empty provider set accepted")
+	}
+}
+
+// TestSnapshotRejectsStaleProvider pins the update-generation check: a
+// provider left un-patched across an ApplyUpdates batch still searches
+// the pre-update frozen view, and snapshotting it would pair the new
+// graph with old trees and signatures. WriteSnapshot must refuse.
+func TestSnapshotRejectsStaleProvider(t *testing.T) {
+	owner, dij, _, ldm, _ := snapshotWorld(t, 120, 160)
+	u := graph.NodeID(3)
+	e := owner.Graph().Neighbors(u)[0]
+	batch, err := owner.UpdateEdgeWeight(u, e.To, e.W*1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched, _, err := batch.Patch(dij)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	// Patched provider alone: fine.
+	if _, err := owner.WriteSnapshot(&buf, patched); err != nil {
+		t.Fatalf("patched provider rejected: %v", err)
+	}
+	// The un-patched LDM provider predates the batch: must be refused.
+	if _, err := owner.WriteSnapshot(&buf, patched, ldm); err == nil {
+		t.Fatal("stale provider accepted into a snapshot")
 	}
 }
 
@@ -239,7 +247,7 @@ func TestSnapshotRejectsForeignProvider(t *testing.T) {
 func TestSnapshotCorruption(t *testing.T) {
 	owner, dij, _, ldm, _ := snapshotWorld(t, 100, 140)
 	var buf bytes.Buffer
-	if _, err := owner.WriteSnapshot(&buf, dij, nil, ldm, nil); err != nil {
+	if _, err := owner.WriteSnapshot(&buf, dij, ldm); err != nil {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
@@ -262,7 +270,7 @@ func TestSnapshotCorruption(t *testing.T) {
 func TestRestoreOwner(t *testing.T) {
 	owner, dij, _, _, _ := snapshotWorld(t, 100, 140)
 	var buf bytes.Buffer
-	if _, err := owner.WriteSnapshot(&buf, dij, nil, nil, nil); err != nil {
+	if _, err := owner.WriteSnapshot(&buf, dij); err != nil {
 		t.Fatal(err)
 	}
 	set, err := ReadProviderSet(bytes.NewReader(buf.Bytes()))

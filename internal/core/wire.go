@@ -180,11 +180,9 @@ func verifyTupleRoot(p *parsedTuples, proof *mht.Proof, sigCtx []byte, signature
 	return nil
 }
 
-// sigVerifier is the slice of sig.Verifier the client needs (an interface
-// keeps tests free to stub it).
-type sigVerifier interface {
-	Verify(msg, signature []byte) error
-}
+// sigVerifier is the historical package-local name for SigVerifier (the
+// registry exports it; the Verify* signatures predate it).
+type sigVerifier = SigVerifier
 
 // appendBytes writes a length-prefixed byte string.
 func appendBytes(buf, b []byte) []byte {

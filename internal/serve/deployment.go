@@ -14,52 +14,36 @@ import (
 // incrementally (dirty rows re-run, dirty Merkle paths rehashed, roots
 // re-signed), and the engine hot-swaps to the patched providers while
 // queries keep flowing. One Deployment serializes its updates; queries
-// never block on them.
+// never block on them. All method dispatch goes through the core method
+// registry — the deployment itself never enumerates methods.
 type Deployment struct {
 	mu     sync.Mutex // serializes ApplyUpdates (owner mutation + swaps)
 	owner  *core.Owner
 	engine *Engine
 
-	dij  *core.DIJProvider
-	full *core.FULLProvider
-	ldm  *core.LDMProvider
-	hyp  *core.HYPProvider
+	provs map[core.Method]core.Provider
 }
 
 // NewDeployment outsources each requested method from the owner, registers
 // the providers on a fresh engine, and returns the update-capable bundle.
-// With no methods given it serves all four (note FULL's quadratic
-// pre-computation).
+// With no methods given it serves every registered method (note FULL's
+// quadratic pre-computation).
 func NewDeployment(o *core.Owner, opts Options, methods ...core.Method) (*Deployment, error) {
 	if len(methods) == 0 {
-		methods = core.Methods()
+		methods = core.RegisteredMethods()
 	}
-	d := &Deployment{owner: o, engine: NewEngine(opts)}
+	d := &Deployment{
+		owner:  o,
+		engine: NewEngine(opts),
+		provs:  make(map[core.Method]core.Provider, len(methods)),
+	}
 	for _, m := range methods {
-		var err error
-		switch m {
-		case core.DIJ:
-			if d.dij, err = o.OutsourceDIJ(); err == nil {
-				d.engine.RegisterDIJ(d.dij)
-			}
-		case core.FULL:
-			if d.full, err = o.OutsourceFULL(); err == nil {
-				d.engine.RegisterFULL(d.full)
-			}
-		case core.LDM:
-			if d.ldm, err = o.OutsourceLDM(); err == nil {
-				d.engine.RegisterLDM(d.ldm)
-			}
-		case core.HYP:
-			if d.hyp, err = o.OutsourceHYP(); err == nil {
-				d.engine.RegisterHYP(d.hyp)
-			}
-		default:
-			err = fmt.Errorf("serve: unknown method %q", m)
-		}
+		p, err := o.Outsource(m)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("serve: outsource %s: %w", m, err)
 		}
+		d.provs[m] = p
+		d.engine.Register(p)
 	}
 	return d, nil
 }
@@ -69,6 +53,24 @@ func (d *Deployment) Engine() *Engine { return d.engine }
 
 // Owner returns the data owner behind this deployment.
 func (d *Deployment) Owner() *core.Owner { return d.owner }
+
+// Methods lists the deployment's served methods in the registry's
+// canonical order.
+func (d *Deployment) Methods() []core.Method {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.methodsLocked()
+}
+
+func (d *Deployment) methodsLocked() []core.Method {
+	var out []core.Method
+	for _, m := range core.RegisteredMethods() {
+		if d.provs[m] != nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}
 
 // UpdateSummary reports what one ApplyUpdates batch did across the owner
 // and every registered provider.
@@ -89,12 +91,12 @@ type UpdateSummary struct {
 }
 
 // ApplyUpdates applies a batch of edge re-weightings end to end: mutate
-// the owner's network, patch every registered provider incrementally, and
-// hot-swap the engine. On success every served proof reflects the updated
-// network. On failure the engine keeps serving whatever mix of old and
-// already-swapped providers it holds — each proof remains self-consistent
-// (it verifies under the root it carries) — and the caller should fall
-// back to a full re-outsource.
+// the owner's network, patch every registered provider incrementally (in
+// the registry's canonical order), and hot-swap the engine. On success
+// every served proof reflects the updated network. On failure the engine
+// keeps serving whatever mix of old and already-swapped providers it
+// holds — each proof remains self-consistent (it verifies under the root
+// it carries) — and the caller should fall back to a full re-outsource.
 func (d *Deployment) ApplyUpdates(ups []core.EdgeUpdate) (UpdateSummary, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -110,54 +112,18 @@ func (d *Deployment) ApplyUpdates(ups []core.EdgeUpdate) (UpdateSummary, error) 
 		sum.Duration = time.Since(start)
 		return sum, nil
 	}
-	absorb := func(st *core.PatchStats) {
+	for _, m := range d.methodsLocked() {
+		p, st, err := batch.Patch(d.provs[m])
+		if err != nil {
+			return sum, fmt.Errorf("serve: patch %s: %w", m, err)
+		}
+		d.provs[m] = p
+		if err := d.engine.Swap(p, st); err != nil {
+			return sum, err
+		}
 		sum.RowsRecomputed += st.RowsRecomputed
 		sum.LeavesPatched += st.LeavesPatched
 		sum.DistLeavesPatched += st.DistLeavesPatched
-	}
-	if d.dij != nil {
-		p, st, err := batch.PatchDIJ(d.dij)
-		if err != nil {
-			return sum, fmt.Errorf("serve: patch DIJ: %w", err)
-		}
-		d.dij = p
-		if err := d.engine.SwapDIJ(p, st); err != nil {
-			return sum, err
-		}
-		absorb(st)
-	}
-	if d.full != nil {
-		p, st, err := batch.PatchFULL(d.full)
-		if err != nil {
-			return sum, fmt.Errorf("serve: patch FULL: %w", err)
-		}
-		d.full = p
-		if err := d.engine.SwapFULL(p, st); err != nil {
-			return sum, err
-		}
-		absorb(st)
-	}
-	if d.ldm != nil {
-		p, st, err := batch.PatchLDM(d.ldm)
-		if err != nil {
-			return sum, fmt.Errorf("serve: patch LDM: %w", err)
-		}
-		d.ldm = p
-		if err := d.engine.SwapLDM(p, st); err != nil {
-			return sum, err
-		}
-		absorb(st)
-	}
-	if d.hyp != nil {
-		p, st, err := batch.PatchHYP(d.hyp)
-		if err != nil {
-			return sum, fmt.Errorf("serve: patch HYP: %w", err)
-		}
-		d.hyp = p
-		if err := d.engine.SwapHYP(p, st); err != nil {
-			return sum, err
-		}
-		absorb(st)
 	}
 	sum.Duration = time.Since(start)
 	d.engine.NoteUpdate(sum.Duration, sum.LeavesPatched)

@@ -116,9 +116,11 @@ type methodSlot struct {
 }
 
 // Engine is a thread-safe, batched front-end over one or more outsourced
-// providers. Construct with NewEngine, attach providers with Register*
-// (before sharing), then share freely across goroutines; Swap* hot-swaps a
-// registered method's provider at any time.
+// providers. Construct with NewEngine, attach providers with Register
+// (before sharing), then share freely across goroutines; Swap hot-swaps a
+// registered method's provider at any time. Any core.Provider serves —
+// the engine dispatches through the method-erased interface, never by
+// method identity.
 type Engine struct {
 	workers int
 	run     map[core.Method]*methodSlot
@@ -184,7 +186,7 @@ type Snapshot struct {
 }
 
 // NewEngine returns an engine with no providers; attach at least one with
-// the Register* methods before querying.
+// Register before querying.
 func NewEngine(opts Options) *Engine {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -226,66 +228,29 @@ func encodeWire(appendFn func([]byte) []byte) []byte {
 	return wire
 }
 
-// dijFn wraps a DIJ provider as a queryFn.
-func dijFn(p *core.DIJProvider) queryFn {
+// providerFn wraps any method's provider as a queryFn — the single
+// method-erased hot path (core.Provider guarantees immutability and
+// byte-determinism for every registered method).
+func providerFn(p core.Provider) queryFn {
 	return func(vs, vt graph.NodeID) (float64, int, []byte, cover, error) {
-		pr, err := p.Query(vs, vt)
+		pr, err := p.QueryProof(vs, vt)
 		if err != nil {
 			return 0, 0, nil, cover{}, err
 		}
 		lo, hi, ok := pr.LeafSpan()
-		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), cover{lo, hi, ok}, nil
+		path, dist := pr.Result()
+		return dist, len(path) - 1, encodeWire(pr.AppendBinary), cover{lo, hi, ok}, nil
 	}
 }
 
-func fullFn(p *core.FULLProvider) queryFn {
-	return func(vs, vt graph.NodeID) (float64, int, []byte, cover, error) {
-		pr, err := p.Query(vs, vt)
-		if err != nil {
-			return 0, 0, nil, cover{}, err
-		}
-		lo, hi, ok := pr.LeafSpan()
-		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), cover{lo, hi, ok}, nil
-	}
-}
+// Register serves p.Method() queries from p. Registering a method twice
+// replaces the provider. Must run before the engine is shared: the run
+// map itself is read without locking on the hot path (only the slot
+// pointers swap).
+func (e *Engine) Register(p core.Provider) { e.register(p.Method(), providerFn(p)) }
 
-func ldmFn(p *core.LDMProvider) queryFn {
-	return func(vs, vt graph.NodeID) (float64, int, []byte, cover, error) {
-		pr, err := p.Query(vs, vt)
-		if err != nil {
-			return 0, 0, nil, cover{}, err
-		}
-		lo, hi, ok := pr.LeafSpan()
-		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), cover{lo, hi, ok}, nil
-	}
-}
-
-func hypFn(p *core.HYPProvider) queryFn {
-	return func(vs, vt graph.NodeID) (float64, int, []byte, cover, error) {
-		pr, err := p.Query(vs, vt)
-		if err != nil {
-			return 0, 0, nil, cover{}, err
-		}
-		lo, hi, ok := pr.LeafSpan()
-		return pr.Dist, len(pr.Path) - 1, encodeWire(pr.AppendBinary), cover{lo, hi, ok}, nil
-	}
-}
-
-// RegisterDIJ serves DIJ queries from p. Registering a method twice
-// replaces the provider.
-func (e *Engine) RegisterDIJ(p *core.DIJProvider) { e.register(core.DIJ, dijFn(p)) }
-
-// RegisterFULL serves FULL queries from p.
-func (e *Engine) RegisterFULL(p *core.FULLProvider) { e.register(core.FULL, fullFn(p)) }
-
-// RegisterLDM serves LDM queries from p.
-func (e *Engine) RegisterLDM(p *core.LDMProvider) { e.register(core.LDM, ldmFn(p)) }
-
-// RegisterHYP serves HYP queries from p.
-func (e *Engine) RegisterHYP(p *core.HYPProvider) { e.register(core.HYP, hypFn(p)) }
-
-// register must run before the engine is shared: the run map itself is
-// read without locking on the hot path (only the slot pointers swap).
+// register attaches a raw queryFn under m (tests inject failing methods
+// through it).
 func (e *Engine) register(m core.Method, fn queryFn) {
 	sl, ok := e.run[m]
 	if !ok {
@@ -295,24 +260,9 @@ func (e *Engine) register(m core.Method, fn queryFn) {
 	sl.fn.Store(&fn)
 }
 
-// SwapDIJ hot-swaps the DIJ provider for a patched one; see swap.
-func (e *Engine) SwapDIJ(p *core.DIJProvider, st *core.PatchStats) error {
-	return e.swap(core.DIJ, dijFn(p), st)
-}
-
-// SwapFULL hot-swaps the FULL provider for a patched one; see swap.
-func (e *Engine) SwapFULL(p *core.FULLProvider, st *core.PatchStats) error {
-	return e.swap(core.FULL, fullFn(p), st)
-}
-
-// SwapLDM hot-swaps the LDM provider for a patched one; see swap.
-func (e *Engine) SwapLDM(p *core.LDMProvider, st *core.PatchStats) error {
-	return e.swap(core.LDM, ldmFn(p), st)
-}
-
-// SwapHYP hot-swaps the HYP provider for a patched one; see swap.
-func (e *Engine) SwapHYP(p *core.HYPProvider, st *core.PatchStats) error {
-	return e.swap(core.HYP, hypFn(p), st)
+// Swap hot-swaps p.Method()'s provider for a patched one; see swap.
+func (e *Engine) Swap(p core.Provider, st *core.PatchStats) error {
+	return e.swap(p.Method(), providerFn(p), st)
 }
 
 // swap atomically replaces a registered method's provider closure, then
@@ -372,10 +322,13 @@ func (e *Engine) NoteUpdate(d time.Duration, leavesPatched int) {
 // epoch moves solely through NoteUpdate.
 func (e *Engine) seedEpoch(epoch int64) { e.stats.epoch.Store(epoch) }
 
-// Methods lists the registered methods in the paper's order.
+// Methods lists the registered methods in the method registry's
+// canonical order (the paper's presentation order for the built-ins) —
+// never in map or registration order, so /stats and /verifier listings
+// are stable across runs and replicas. Pinned by TestMethodsCanonicalOrder.
 func (e *Engine) Methods() []core.Method {
 	out := make([]core.Method, 0, len(e.run))
-	for _, m := range core.Methods() {
+	for _, m := range core.RegisteredMethods() {
 		if _, ok := e.run[m]; ok {
 			out = append(out, m)
 		}

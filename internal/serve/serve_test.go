@@ -81,10 +81,9 @@ func testWorld(t testing.TB) *world {
 
 func (w *world) engine(opts Options) *Engine {
 	e := NewEngine(opts)
-	e.RegisterDIJ(w.dij)
-	e.RegisterFULL(w.full)
-	e.RegisterLDM(w.ldm)
-	e.RegisterHYP(w.hyp)
+	for _, p := range []core.Provider{w.dij, w.full, w.ldm, w.hyp} {
+		e.Register(p)
+	}
 	return e
 }
 
@@ -96,31 +95,9 @@ func verifyAnswer(t *testing.T, v *sig.Verifier, a Answer) {
 		t.Fatalf("%v: %v", a.Query, a.Err)
 	}
 	q := a.Query
-	var err error
-	var n int
-	switch q.Method {
-	case core.DIJ:
-		var pr *core.DIJProof
-		if pr, n, err = core.DecodeDIJProof(a.Proof); err == nil {
-			err = core.VerifyDIJ(v, q.VS, q.VT, pr)
-		}
-	case core.FULL:
-		var pr *core.FULLProof
-		if pr, n, err = core.DecodeFULLProof(a.Proof); err == nil {
-			err = core.VerifyFULL(v, q.VS, q.VT, pr)
-		}
-	case core.LDM:
-		var pr *core.LDMProof
-		if pr, n, err = core.DecodeLDMProof(a.Proof); err == nil {
-			err = core.VerifyLDM(v, q.VS, q.VT, pr)
-		}
-	case core.HYP:
-		var pr *core.HYPProof
-		if pr, n, err = core.DecodeHYPProof(a.Proof); err == nil {
-			err = core.VerifyHYP(v, q.VS, q.VT, pr)
-		}
-	default:
-		t.Fatalf("unknown method %q", q.Method)
+	pr, n, err := core.DecodeProof(q.Method, a.Proof)
+	if err == nil {
+		err = core.VerifyProof(v, q.Method, q.VS, q.VT, pr)
 	}
 	if err != nil {
 		t.Fatalf("%s (%d→%d): %v", q.Method, q.VS, q.VT, err)
@@ -322,7 +299,7 @@ func TestEngineBatchPreservesOrderAndErrors(t *testing.T) {
 func TestEngineUnknownMethod(t *testing.T) {
 	w := testWorld(t)
 	e := NewEngine(Options{})
-	e.RegisterLDM(w.ldm)
+	e.Register(w.ldm)
 	if _, err := e.Query(Query{Method: core.HYP, VS: 0, VT: 1}); !errors.Is(err, ErrUnknownMethod) {
 		t.Errorf("got %v, want ErrUnknownMethod", err)
 	}

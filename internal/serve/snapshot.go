@@ -28,17 +28,8 @@ import (
 // replicas may be built from one loaded set.
 func EngineFromSet(set *core.ProviderSet, opts Options) *Engine {
 	e := NewEngine(opts)
-	if set.DIJ != nil {
-		e.RegisterDIJ(set.DIJ)
-	}
-	if set.FULL != nil {
-		e.RegisterFULL(set.FULL)
-	}
-	if set.LDM != nil {
-		e.RegisterLDM(set.LDM)
-	}
-	if set.HYP != nil {
-		e.RegisterHYP(set.HYP)
+	for _, m := range set.Methods() {
+		e.Register(set.Provider(m))
 	}
 	e.seedEpoch(set.Epoch)
 	return e
@@ -60,7 +51,11 @@ func (d *Deployment) Save(w io.Writer) (int64, error) {
 func (d *Deployment) save(w io.Writer) (bytes, epoch int64, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	bytes, err = d.owner.WriteSnapshot(w, d.dij, d.full, d.ldm, d.hyp)
+	provs := make([]core.Provider, 0, len(d.provs))
+	for _, m := range d.methodsLocked() {
+		provs = append(provs, d.provs[m])
+	}
+	bytes, err = d.owner.WriteSnapshot(w, provs...)
 	return bytes, d.owner.Epoch(), err
 }
 
@@ -84,17 +79,18 @@ func LoadDeployment(r io.Reader, signer *sig.Signer, opts Options) (*Deployment,
 	if !signer.Verifier().Equal(set.Verifier) {
 		return nil, errors.New("serve: owner key does not match the snapshot's verifier")
 	}
-	owner, err := core.RestoreOwner(set.Graph, set.Cfg, signer, set.Epoch)
+	owner, err := set.RestoreOwner(signer)
 	if err != nil {
 		return nil, err
+	}
+	provs := make(map[core.Method]core.Provider, 4)
+	for _, m := range set.Methods() {
+		provs[m] = set.Provider(m)
 	}
 	return &Deployment{
 		owner:  owner,
 		engine: EngineFromSet(set, opts),
-		dij:    set.DIJ,
-		full:   set.FULL,
-		ldm:    set.LDM,
-		hyp:    set.HYP,
+		provs:  provs,
 	}, nil
 }
 

@@ -104,35 +104,11 @@ func TestQueriesRaceUpdates(t *testing.T) {
 }
 
 // verifyWire runs full client-side verification of an answer's wire proof.
-func verifyWire(v interface {
-	Verify(msg, sig []byte) error
-}, a Answer) error {
+func verifyWire(v core.SigVerifier, a Answer) error {
 	q := a.Query
-	switch q.Method {
-	case core.DIJ:
-		pr, _, err := core.DecodeDIJProof(a.Proof)
-		if err != nil {
-			return err
-		}
-		return core.VerifyDIJ(v, q.VS, q.VT, pr)
-	case core.LDM:
-		pr, _, err := core.DecodeLDMProof(a.Proof)
-		if err != nil {
-			return err
-		}
-		return core.VerifyLDM(v, q.VS, q.VT, pr)
-	case core.HYP:
-		pr, _, err := core.DecodeHYPProof(a.Proof)
-		if err != nil {
-			return err
-		}
-		return core.VerifyHYP(v, q.VS, q.VT, pr)
-	case core.FULL:
-		pr, _, err := core.DecodeFULLProof(a.Proof)
-		if err != nil {
-			return err
-		}
-		return core.VerifyFULL(v, q.VS, q.VT, pr)
+	pr, _, err := core.DecodeProof(q.Method, a.Proof)
+	if err != nil {
+		return err
 	}
-	return nil
+	return core.VerifyProof(v, q.Method, q.VS, q.VT, pr)
 }

@@ -109,8 +109,36 @@ const (
 	HYP  = core.HYP
 )
 
-// Methods lists all four methods in the paper's order.
+// Methods lists the registered methods in the method registry's
+// canonical order (the paper's presentation order for the built-ins).
 func Methods() []Method { return core.Methods() }
+
+// Provider is the method-erased face of a service provider: immutable,
+// safe for unbounded concurrent QueryProof use, byte-deterministic per
+// (vs, vt). Owner.Outsource returns one; every serving surface (engines,
+// deployments, snapshots) dispatches through it.
+type Provider = core.Provider
+
+// Proof is the method-erased face of a query proof: exact wire encoding
+// (AppendBinary), communication breakdown (Stats) and the reported
+// path/distance (Result). Decode with DecodeProof, check with
+// VerifyProof.
+type Proof = core.Proof
+
+// DecodeProof parses a proof wire encoding of method m via the method
+// registry, returning the proof and the bytes consumed. The typed
+// Decode<Method>Proof functions remain for callers that need concrete
+// proof structs.
+func DecodeProof(m Method, buf []byte) (Proof, int, error) {
+	return core.DecodeProof(m, buf)
+}
+
+// VerifyProof client-verifies a proof of method m against the owner's
+// public key via the method registry; a nil error means the reported
+// path is authentic and optimal.
+func VerifyProof(v *Verifier, m Method, vs, vt NodeID, p Proof) error {
+	return core.VerifyProof(v, m, vs, vt, p)
+}
 
 // DefaultConfig mirrors the paper's default setting (Table II), with the
 // landmark count scaled for the 1/10-scale synthetic datasets.
@@ -339,49 +367,27 @@ type Server = serve.Server
 // ErrUnknownMethod reports a query for a method an engine does not serve.
 var ErrUnknownMethod = serve.ErrUnknownMethod
 
-// NewEngine outsources each requested method from the owner and wraps the
-// resulting providers in a concurrent query engine. With no methods given
-// it serves all four (note FULL's quadratic pre-computation).
+// NewEngine outsources each requested method from the owner via the
+// method registry and wraps the resulting providers in a concurrent
+// query engine. With no methods given it serves every registered method
+// (note FULL's quadratic pre-computation).
 func NewEngine(o *Owner, opts ServeOptions, methods ...Method) (*QueryEngine, error) {
 	if len(methods) == 0 {
 		methods = Methods()
 	}
 	e := serve.NewEngine(opts)
 	for _, m := range methods {
-		switch m {
-		case DIJ:
-			p, err := o.OutsourceDIJ()
-			if err != nil {
-				return nil, err
-			}
-			e.RegisterDIJ(p)
-		case FULL:
-			p, err := o.OutsourceFULL()
-			if err != nil {
-				return nil, err
-			}
-			e.RegisterFULL(p)
-		case LDM:
-			p, err := o.OutsourceLDM()
-			if err != nil {
-				return nil, err
-			}
-			e.RegisterLDM(p)
-		case HYP:
-			p, err := o.OutsourceHYP()
-			if err != nil {
-				return nil, err
-			}
-			e.RegisterHYP(p)
-		default:
-			return nil, fmt.Errorf("spv: unknown method %q", m)
+		p, err := o.Outsource(m)
+		if err != nil {
+			return nil, err
 		}
+		e.Register(p)
 	}
 	return e, nil
 }
 
 // NewRawEngine returns an engine with no providers attached; wire up
-// already-outsourced providers with its Register* methods. Most callers
+// already-outsourced providers with its Register method. Most callers
 // want NewEngine, which outsources for you.
 func NewRawEngine(opts ServeOptions) *QueryEngine { return serve.NewEngine(opts) }
 
