@@ -6,7 +6,7 @@ GO ?= go
 # Snapshot file produced by `make snap` and audited by `make snap-verify`.
 SNAP ?= snapshot.spv
 
-.PHONY: all build test short race bench bench-json snap snap-verify fmt fmt-check vet lint clean
+.PHONY: all build test short race bench bench-json bench-gate load snap snap-verify fmt fmt-check vet lint clean
 
 # staticcheck version the lint lane pins (CI installs exactly this).
 STATICCHECK_VERSION ?= 2025.1
@@ -34,11 +34,47 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./...
 
 # Machine-readable hot-path numbers (ns/op, B/op, allocs/op) for the
-# standard world → BENCH_PR4.json, with the committed PR3 snapshot embedded
-# as the baseline. CI uploads this as an artifact so perf regressions are
-# visible in PR checks.
+# standard world → BENCH_PR6.json, with the committed PR4 snapshot embedded
+# as the baseline, plus the open-loop load lanes. CI uploads this as an
+# artifact so perf regressions are visible in PR checks.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR4.json -baseline BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR6.json -baseline BENCH_PR4.json -load-duration 4s
+
+# Regression gate: measure now, then compare against the committed
+# per-CPU-count baseline. benchjson compare exits non-zero when a lane
+# regresses past the threshold; a missing baseline for this host's CPU
+# count (or a CPU-count mismatch inside compare) skips the gate with a
+# visible warning instead of false-failing — commit the emitted candidate
+# as BENCH_BASELINE_<n>cpu.json to arm it.
+BENCH_THRESHOLD ?= 0.50
+bench-gate:
+	$(GO) run ./cmd/benchjson -out BENCH_CURRENT.json -load-duration 4s
+	@cpus=$$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN); \
+	base=BENCH_BASELINE_$${cpus}cpu.json; \
+	if [ -f $$base ]; then \
+		$(GO) run ./cmd/benchjson compare -threshold $(BENCH_THRESHOLD) $$base BENCH_CURRENT.json; \
+	else \
+		echo "GATE SKIPPED: no $$base committed for this $${cpus}-CPU host."; \
+		echo "Review BENCH_CURRENT.json and commit it as $$base to arm the gate."; \
+	fi
+
+# Open-loop load run against a locally started spvserve (DE @ 0.05, the
+# standard world): mixed method traffic with concurrent updates and one
+# snapshot save, report to load.json. The server is torn down via
+# SIGTERM, exercising the graceful drain path.
+load:
+	$(GO) build -o /tmp/spv-load-serve ./cmd/spvserve
+	$(GO) build -o /tmp/spv-load-drive ./cmd/spvload
+	@set -e; \
+	/tmp/spv-load-serve -dataset DE -scale 0.05 -methods DIJ,LDM,HYP \
+		-updates -save /tmp/spv-load-world.spv -addr 127.0.0.1:8099 & \
+	pid=$$!; trap "kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null" EXIT; \
+	for i in $$(seq 1 120); do \
+		curl -sf http://127.0.0.1:8099/healthz >/dev/null 2>&1 && break; sleep 0.5; done; \
+	/tmp/spv-load-drive -url http://127.0.0.1:8099 -dataset DE -scale 0.05 \
+		-rate 200 -duration 10s -warmup 2s -mix DIJ=1,LDM=2,HYP=1 \
+		-batch-frac 0.1 -batch-size 8 -update-every 500ms -snapshot-at 5s \
+		-out load.json
 
 # Persistent ADS snapshot of the standard world (spvserve's default served
 # set), written via the public save path.

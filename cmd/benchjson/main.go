@@ -16,20 +16,39 @@
 // measurement; the report's cpus field records the physical budget — on a
 // single-core host the sweep shows fan-out overhead, not speedup, so read
 // it together with cpus.
+//
+// With -load-duration > 0 the report also gains a "load" section: two
+// short open-loop load runs (cache-friendly and cache-hostile pair
+// distributions) through a real HTTP server on a loopback listener, with
+// concurrent update batches and one snapshot save — per-phase latency
+// histograms, achieved-vs-offered QPS and server /stats deltas, the
+// serving numbers microbenchmarks cannot produce.
+//
+// The compare subcommand diffs two reports and exits non-zero when a lane
+// regresses past a threshold — the primitive the CI bench gate is built
+// on:
+//
+//	benchjson compare BENCH_BASELINE_4cpu.json current.json -threshold 0.30
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	spv "github.com/authhints/spv"
+	"github.com/authhints/spv/internal/loadgen"
+	"github.com/authhints/spv/internal/workload"
 )
 
 // Metrics is one benchmark's headline numbers.
@@ -58,6 +77,10 @@ type Report struct {
 	// scheduler overhead as a "speedup" or "regression" of parallelism
 	// that never ran.
 	SpeedupNote string `json:"speedup_note,omitempty"`
+	// Load holds short open-loop load runs against an in-process HTTP
+	// server, keyed by pair locality ("friendly", "hostile"). Present
+	// when -load-duration > 0.
+	Load map[string]*loadgen.Report `json:"load,omitempty"`
 }
 
 // World identifies the benchmark world.
@@ -81,16 +104,25 @@ type Speedups struct {
 var servedMethods = []spv.Method{spv.DIJ, spv.LDM, spv.HYP}
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output file (- for stdout)")
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		if err := runCompare(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson compare: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	out := flag.String("out", "-", "output file (- for stdout)")
 	baselineFile := flag.String("baseline", "", "previous benchjson output to embed for comparison")
+	loadDur := flag.Duration("load-duration", 0, "run the open-loop load lanes for this long each (0 = skip)")
+	loadRate := flag.Float64("load-rate", 150, "offered arrival rate for the load lanes, requests/sec")
 	flag.Parse()
-	if err := run(*out, *baselineFile); err != nil {
+	if err := run(*out, *baselineFile, *loadDur, *loadRate); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, baselineFile string) error {
+func run(out, baselineFile string, loadDur time.Duration, loadRate float64) error {
 	r := Report{
 		Schema:  "spv-bench/v1",
 		Go:      runtime.Version(),
@@ -274,7 +306,89 @@ func run(out, baselineFile string) error {
 		return err
 	}
 
+	if loadDur > 0 {
+		if err := benchLoad(&r, g, loadRate, loadDur); err != nil {
+			return err
+		}
+	}
+
 	return finish(r, out, baselineFile)
+}
+
+// benchLoad runs the open-loop harness against a real HTTP server on a
+// loopback listener — one run per pair locality, each with concurrent
+// update batches and a mid-run snapshot save. The deployment gets its own
+// owner on a cloned graph so update traffic cannot perturb the worlds the
+// microbenchmark lanes measured.
+func benchLoad(r *Report, g *spv.Graph, rate float64, dur time.Duration) error {
+	owner, err := spv.NewOwner(g.Clone(), spv.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	dep, err := spv.NewDeployment(owner, spv.ServeOptions{}, servedMethods...)
+	if err != nil {
+		return err
+	}
+	srv, err := spv.NewUpdatableServer(dep)
+	if err != nil {
+		return err
+	}
+	snapPath := filepath.Join(os.TempDir(), fmt.Sprintf("benchjson-load-%d.spv", os.Getpid()))
+	defer os.Remove(snapPath)
+	srv.EnableSnapshot(spv.FileSnapshot(dep, snapPath))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	qs, err := spv.GenerateWorkload(owner.Graph(), 64, 4000, 9)
+	if err != nil {
+		return err
+	}
+	ups, err := loadgen.PerturbBatches(owner.Graph(), 4, 2, 9)
+	if err != nil {
+		return err
+	}
+	mix, err := loadgen.ParseMix("DIJ=1,LDM=2,HYP=1")
+	if err != nil {
+		return err
+	}
+	r.Load = map[string]*loadgen.Report{}
+	for _, loc := range []workload.Locality{workload.Friendly, workload.Hostile} {
+		pool, err := workload.NewPool(qs, loc, 9)
+		if err != nil {
+			return err
+		}
+		rep, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:       "http://" + ln.Addr().String(),
+			Rate:          rate,
+			Duration:      dur,
+			Warmup:        dur / 4,
+			Mix:           mix,
+			Pool:          pool,
+			Locality:      loc,
+			BatchFraction: 0.1,
+			BatchSize:     8,
+			UpdateEvery:   dur / 8,
+			UpdateBatches: ups,
+			SnapshotAt:    []time.Duration{dur / 2},
+			Seed:          9,
+		})
+		if err != nil {
+			return fmt.Errorf("load lane %s: %w", loc, err)
+		}
+		r.Load[string(loc)] = rep
+		for _, ph := range []loadgen.Phase{loadgen.PhaseQuery, loadgen.PhaseUpdate} {
+			if ps := rep.Phases[ph]; ps != nil {
+				fmt.Fprintf(os.Stderr, "%-22s %12.0f qps %10s p50 %8s p99\n",
+					fmt.Sprintf("load/%s/%s", loc, ph), ps.AchievedQPS, ps.P50, ps.P99)
+			}
+		}
+	}
+	return nil
 }
 
 // benchUpdates measures the incremental update pipeline against full

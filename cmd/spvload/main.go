@@ -1,0 +1,193 @@
+// Command spvload is the open-loop load harness for a live spvserve: it
+// offers traffic at a fixed arrival rate (never throttling itself to the
+// server's pace — the coordinated-omission trap), mixes single /query and
+// /batch calls across methods, optionally injects concurrent POST /update
+// batches and POST /snapshot saves, and writes a JSON report with
+// per-phase latency histograms (p50/p90/p99/p999), achieved-vs-offered
+// QPS, error counts, and server /stats deltas.
+//
+// The query pool is regenerated locally from the same world flags the
+// server was started with (network synthesis is deterministic per seed),
+// so the driver needs no endpoint discovery:
+//
+//	spvserve -dataset DE -scale 0.05 -methods DIJ,LDM,HYP -updates -save world.spv &
+//	spvload -url http://localhost:8080 -dataset DE -scale 0.05 \
+//	        -rate 400 -duration 10s -mix DIJ=1,LDM=2,HYP=1 \
+//	        -update-every 500ms -snapshot-at 5s -out load.json
+//
+// Pair locality decides cache pressure: -locality friendly draws
+// Zipf-hot pairs (steady-state serving), -locality hostile spreads
+// uniformly over the pool (every query a cold proof build).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	spv "github.com/authhints/spv"
+	"github.com/authhints/spv/internal/loadgen"
+	"github.com/authhints/spv/internal/workload"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8080", "base URL of the spvserve under test")
+		dataset  = flag.String("dataset", "DE", "dataset name the server was started with")
+		scale    = flag.Float64("scale", 0.05, "dataset scale factor the server was started with")
+		nodes    = flag.Int("nodes", 0, "synthesized node count (mirrors spvserve -nodes)")
+		edges    = flag.Int("edges", 0, "synthesized edge count (mirrors spvserve -edges)")
+		seed     = flag.Int64("seed", 1, "world synthesis seed (mirrors spvserve -seed)")
+		queries  = flag.Int("queries", 64, "distinct query pairs in the pool")
+		qrange   = flag.Float64("range", 4000, "target query range for pair generation")
+		poolSeed = flag.Int64("pool-seed", 9, "seed for pair generation and sampling")
+
+		rate     = flag.Float64("rate", 200, "offered arrival rate, requests/sec")
+		duration = flag.Duration("duration", 10*time.Second, "measured window")
+		warmup   = flag.Duration("warmup", 1*time.Second, "unmeasured warmup before the window")
+		mixFlag  = flag.String("mix", "DIJ=1,LDM=1,HYP=1", "weighted method mix, e.g. DIJ=1,LDM=2")
+		locality = flag.String("locality", "friendly", "pair distribution: friendly (zipf) or hostile (uniform)")
+
+		batchFrac = flag.Float64("batch-frac", 0, "fraction of arrivals sent as POST /batch")
+		batchSize = flag.Int("batch-size", 16, "queries per /batch call")
+
+		updEvery   = flag.Duration("update-every", 0, "POST /update cadence (0 = no updates; server needs -updates)")
+		updEdges   = flag.Int("update-edges", 2, "edges per update batch")
+		updBatches = flag.Int("update-batches", 8, "distinct update batches to cycle (doubled by restores)")
+		snapAt     = flag.String("snapshot-at", "", "comma-separated offsets into the window to POST /snapshot (server needs -save)")
+
+		timeout  = flag.Duration("timeout", 15*time.Second, "per-request timeout")
+		inflight = flag.Int("inflight", 1024, "max concurrent requests before arrivals drop")
+		out      = flag.String("out", "-", "JSON report path (- for stdout)")
+	)
+	flag.Parse()
+	if err := run(loadFlags{
+		url: *url, dataset: *dataset, scale: *scale, nodes: *nodes, edges: *edges,
+		seed: *seed, queries: *queries, qrange: *qrange, poolSeed: *poolSeed,
+		rate: *rate, duration: *duration, warmup: *warmup, mix: *mixFlag,
+		locality: *locality, batchFrac: *batchFrac, batchSize: *batchSize,
+		updEvery: *updEvery, updEdges: *updEdges, updBatches: *updBatches,
+		snapAt: *snapAt, timeout: *timeout, inflight: *inflight, out: *out,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "spvload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type loadFlags struct {
+	url, dataset, mix, locality, snapAt, out string
+	scale, qrange, rate, batchFrac           float64
+	nodes, edges, queries, batchSize         int
+	updEdges, updBatches, inflight           int
+	seed, poolSeed                           int64
+	duration, warmup, updEvery, timeout      time.Duration
+}
+
+func run(fl loadFlags) error {
+	mix, err := loadgen.ParseMix(fl.mix)
+	if err != nil {
+		return err
+	}
+	var snapshotAt []time.Duration
+	if fl.snapAt != "" {
+		for _, s := range strings.Split(fl.snapAt, ",") {
+			d, err := time.ParseDuration(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad -snapshot-at entry %q: %w", s, err)
+			}
+			snapshotAt = append(snapshotAt, d)
+		}
+	}
+
+	// Rebuild the server's world locally: synthesis is deterministic per
+	// (dataset, scale, nodes, edges, seed), so the sampled pairs are valid
+	// node IDs on the server and the pool is reproducible across runs.
+	g, err := spv.BuildNetwork(fl.dataset, fl.scale, fl.nodes, fl.edges, fl.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "world: %d nodes, %d edges; generating %d query pairs at range %g\n",
+		g.NumNodes(), g.NumEdges(), fl.queries, fl.qrange)
+	qs, err := spv.GenerateWorkload(g, fl.queries, fl.qrange, fl.poolSeed)
+	if err != nil {
+		return err
+	}
+	pool, err := workload.NewPool(qs, workload.Locality(fl.locality), fl.poolSeed)
+	if err != nil {
+		return err
+	}
+	cfg := loadgen.Config{
+		BaseURL:       strings.TrimRight(fl.url, "/"),
+		Rate:          fl.rate,
+		Duration:      fl.duration,
+		Warmup:        fl.warmup,
+		Mix:           mix,
+		Pool:          pool,
+		Locality:      workload.Locality(fl.locality),
+		BatchFraction: fl.batchFrac,
+		BatchSize:     fl.batchSize,
+		UpdateEvery:   fl.updEvery,
+		SnapshotAt:    snapshotAt,
+		Timeout:       fl.timeout,
+		MaxInFlight:   fl.inflight,
+		Seed:          fl.poolSeed,
+	}
+	if fl.updEvery > 0 {
+		if cfg.UpdateBatches, err = loadgen.PerturbBatches(g, fl.updBatches, fl.updEdges, fl.poolSeed); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "offering %.0f req/s for %v (+%v warmup) against %s\n",
+		fl.rate, fl.duration, fl.warmup, cfg.BaseURL)
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	printSummary(rep)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if fl.out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(fl.out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "report written: %s\n", fl.out)
+	return nil
+}
+
+func printSummary(rep *loadgen.Report) {
+	phases := make([]string, 0, len(rep.Phases))
+	for ph := range rep.Phases {
+		phases = append(phases, string(ph))
+	}
+	sort.Strings(phases)
+	fmt.Fprintf(os.Stderr, "%-9s %9s %9s %9s %7s %9s %9s %9s %9s\n",
+		"phase", "offered", "done", "qps", "err", "p50", "p90", "p99", "p999")
+	for _, name := range phases {
+		ps := rep.Phases[loadgen.Phase(name)]
+		fmt.Fprintf(os.Stderr, "%-9s %9d %9d %9.1f %7d %9s %9s %9s %9s\n",
+			name, ps.Offered, ps.Completed, ps.AchievedQPS, ps.Errors+ps.Dropped,
+			rnd(ps.P50), rnd(ps.P90), rnd(ps.P99), rnd(ps.P999))
+	}
+	d := rep.Stats
+	fmt.Fprintf(os.Stderr, "server: %d queries, hit rate %.1f%%, %d deduped, epoch +%d, %d leaves patched, %d errors\n",
+		d.Queries, 100*d.HitRate, d.Deduped, d.EpochDelta, d.LeavesPatched, d.Errors)
+}
+
+func rnd(d time.Duration) string { return d.Round(10 * time.Microsecond).String() }

@@ -38,12 +38,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	spv "github.com/authhints/spv"
@@ -66,6 +69,7 @@ func main() {
 		updates  = flag.Bool("updates", false, "enable owner-side POST /update (incremental edge re-weighting + hot-swap)")
 		snapFile = flag.String("snapshot", "", "cold-start from this snapshot file instead of outsourcing")
 		saveFile = flag.String("save", "", "write a snapshot here after startup and enable POST /snapshot")
+		drain    = flag.Duration("drain", 10*time.Second, "in-flight drain timeout on SIGINT/SIGTERM before forced exit")
 	)
 	flag.Parse()
 	set := map[string]bool{}
@@ -74,7 +78,7 @@ func main() {
 		addr: *addr, dataset: *dataset, scale: *scale, nodes: *nodes, edges: *edges,
 		seed: *seed, methods: *methods, workers: *workers, cache: *cache,
 		keyFile: *keyFile, landmarks: *landmark, cells: *cells, updates: *updates,
-		snapFile: *snapFile, saveFile: *saveFile, explicit: set,
+		snapFile: *snapFile, saveFile: *saveFile, drain: *drain, explicit: set,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "spvserve: %v\n", err)
@@ -91,6 +95,7 @@ type serveFlags struct {
 	nodes, edges, workers, landmarks, cells             int
 	seed, cache                                         int64
 	updates                                             bool
+	drain                                               time.Duration
 	explicit                                            map[string]bool
 }
 
@@ -191,7 +196,38 @@ func run(fl serveFlags) error {
 		WriteTimeout:      2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return hs.ListenAndServe()
+	return serveUntilSignal(hs, fl.drain)
+}
+
+// serveUntilSignal runs the HTTP server until SIGINT/SIGTERM, then drains:
+// the listener closes immediately (load drivers and balancers see clean
+// connection refusals, never mid-response resets), in-flight requests get
+// up to drainTimeout to finish, and only then does the process exit. A
+// second signal aborts the drain.
+func serveUntilSignal(hs *http.Server, drainTimeout time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err // bind failure or other startup error
+	case <-ctx.Done():
+	}
+	stop() // restore default handling: a second signal kills the drain
+	log.Printf("signal received; draining in-flight requests (up to %v)", drainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		// Deadline hit with requests still in flight: close them hard
+		// rather than leaking the process.
+		hs.Close()
+		return fmt.Errorf("drain timed out after %v: %w", drainTimeout, err)
+	}
+	<-errc // ListenAndServe has returned http.ErrServerClosed
+	log.Printf("shutdown complete")
+	return nil
 }
 
 // buildDeployment is the classic startup path: synthesize/load a network

@@ -1,0 +1,229 @@
+// Package hist is a fixed-bucket, lock-free latency histogram in the HDR
+// style: bucket boundaries are log-linear (32 linear sub-buckets per
+// power-of-two octave), so relative quantile error is bounded by 1/32
+// (~3%) across the whole range while Record stays one shift, one
+// subtraction and one atomic add — cheap enough for a serving hot path and
+// safe for any number of concurrent writers with no locking.
+//
+// Values are int64 (nanoseconds by convention, but the math is unitless).
+// Negative values clamp to 0; values at or above Max land in the final
+// overflow bucket and are additionally tracked by an exact atomic maximum,
+// so Quantile never under-reports the tail by more than one bucket width.
+package hist
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	// subBits fixes the linear resolution: 1<<subBits sub-buckets per
+	// octave, i.e. a worst-case relative bucket width of 1/(1<<subBits).
+	subBits  = 5
+	subCount = 1 << subBits // 32
+
+	// maxExp bounds the tracked range: values below 1<<maxExp get a real
+	// bucket, everything else overflows into the last one. 2^40 ns is
+	// ~18 minutes — far beyond any latency this system should survive.
+	maxExp = 40
+
+	// numBuckets covers octave 0 (the [0,32) linear range) plus one
+	// subCount block per octave up to maxExp.
+	numBuckets = (maxExp - subBits + 1) * subCount
+
+	// Max is the first value that overflows into the final bucket.
+	Max = int64(1) << maxExp
+)
+
+// Histogram is a fixed-size concurrent histogram. The zero value is ready
+// to use; do not copy a Histogram after first Record.
+type Histogram struct {
+	counts [numBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// bucketIndex maps a non-negative value to its bucket. Values < subCount
+// map to themselves (exact); octave k ≥ 1 covers [subCount<<(k-1),
+// subCount<<k) with stride 1<<(k-1).
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < subCount {
+		return int(u)
+	}
+	if v >= Max {
+		return numBuckets - 1
+	}
+	k := bits.Len64(u) - subBits // ≥ 1
+	return k*subCount + int(u>>(k-1)) - subCount
+}
+
+// bucketLow returns the smallest value mapping to bucket i — the inverse
+// of bucketIndex, used when reconstructing quantiles.
+func bucketLow(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	k := i / subCount
+	sub := i % subCount
+	return int64(subCount+sub) << (k - 1)
+}
+
+// bucketHigh returns the largest value mapping to bucket i (the value
+// Quantile reports, so quantiles never understate a bucket's contents).
+func bucketHigh(i int) int64 {
+	if i >= numBuckets-1 {
+		return Max
+	}
+	return bucketLow(i+1) - 1
+}
+
+// Record adds one observation. Safe for concurrent use; never allocates.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all recorded values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the exact mean of recorded values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// MaxValue returns the exact maximum recorded value (0 when empty).
+func (h *Histogram) MaxValue() int64 { return h.max.Load() }
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the
+// high edge of the bucket holding the ⌈q·n⌉-th observation, clamped to the
+// exact maximum so the tail never overshoots reality. Returns 0 when
+// empty. Concurrent Records may or may not be visible; for a consistent
+// cut take a Snapshot first.
+func (h *Histogram) Quantile(q float64) int64 {
+	return quantile(q, h.count.Load(), h.max.Load(), func(i int) int64 { return h.counts[i].Load() })
+}
+
+func quantile(q float64, total, max int64, count func(int) int64) int64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank = ⌈q·n⌉, clamped to [1, n]: the observation index to find.
+	rank := int64(q*float64(total) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := 0; i < numBuckets; i++ {
+		seen += count(i)
+		if seen >= rank {
+			if i == numBuckets-1 {
+				// Overflow bucket: its high edge is meaningless, the exact
+				// tracked maximum is the only honest bound.
+				return max
+			}
+			hi := bucketHigh(i)
+			if hi > max {
+				hi = max
+			}
+			return hi
+		}
+	}
+	return max
+}
+
+// Snapshot is an immutable point-in-time copy of a histogram, safe to
+// read while the source keeps recording.
+type Snapshot struct {
+	counts [numBuckets]int64
+	count  int64
+	sum    int64
+	max    int64
+}
+
+// Snapshot copies the histogram's current state. Concurrent writers make
+// the copy approximate (buckets are read one by one), but every read
+// value is a real count — good enough for stats endpoints and reports.
+func (h *Histogram) Snapshot() *Snapshot {
+	s := &Snapshot{
+		count: h.count.Load(),
+		sum:   h.sum.Load(),
+		max:   h.max.Load(),
+	}
+	var total int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.counts[i] = c
+		total += c
+	}
+	// A racing Record may have bumped count before its bucket landed (or
+	// vice versa); trust the bucket total so Quantile's rank math and the
+	// bucket walk agree with each other.
+	s.count = total
+	return s
+}
+
+// Count, Sum, Mean, MaxValue and Quantile mirror the live histogram's
+// accessors on the frozen copy.
+func (s *Snapshot) Count() int64    { return s.count }
+func (s *Snapshot) Sum() int64      { return s.sum }
+func (s *Snapshot) MaxValue() int64 { return s.max }
+
+func (s *Snapshot) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return float64(s.sum) / float64(s.count)
+}
+
+func (s *Snapshot) Quantile(q float64) int64 {
+	return quantile(q, s.count, s.max, func(i int) int64 { return s.counts[i] })
+}
+
+// Bucket is one non-empty bucket in an exported snapshot: Low..High is
+// the value range (inclusive), Count the observations that landed in it.
+type Bucket struct {
+	Low   int64 `json:"low"`
+	High  int64 `json:"high"`
+	Count int64 `json:"count"`
+}
+
+// Buckets returns the snapshot's non-empty buckets in ascending value
+// order — the compact artifact form (full HDR dumps are almost all
+// zeros).
+func (s *Snapshot) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range s.counts {
+		if c != 0 {
+			out = append(out, Bucket{Low: bucketLow(i), High: bucketHigh(i), Count: c})
+		}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package hist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestBucketIndexRoundTrip pins the log-linear bucket math: every bucket's
+// low and high edge must map back to that bucket, buckets must tile the
+// range with no gaps, and widths must stay within the 1/32 relative-error
+// contract.
+func TestBucketIndexRoundTrip(t *testing.T) {
+	for i := 0; i < numBuckets; i++ {
+		lo, hi := bucketLow(i), bucketHigh(i)
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(low=%d) = %d, want %d", lo, got, i)
+		}
+		if got := bucketIndex(hi); got != i {
+			t.Fatalf("bucketIndex(high=%d) = %d, want %d", hi, got, i)
+		}
+		if i > 0 {
+			if prev := bucketHigh(i - 1); prev != lo-1 {
+				t.Fatalf("gap between bucket %d (high %d) and %d (low %d)", i-1, prev, i, lo)
+			}
+		}
+		if i >= subCount && i < numBuckets-1 {
+			width := float64(hi-lo+1) / float64(lo)
+			if width > 1.0/subCount+1e-9 {
+				t.Fatalf("bucket %d [%d,%d] relative width %v exceeds 1/%d", i, lo, hi, width, subCount)
+			}
+		}
+	}
+}
+
+// TestBoundaryValues pins the edge cases the serving layer actually
+// produces: zero, negatives (clock weirdness), single samples, and
+// overflow past the tracked range.
+func TestBoundaryValues(t *testing.T) {
+	t.Run("zero", func(t *testing.T) {
+		var h Histogram
+		h.Record(0)
+		if got := h.Quantile(1); got != 0 {
+			t.Fatalf("p100 of {0} = %d, want 0", got)
+		}
+		if h.Count() != 1 || h.Sum() != 0 || h.MaxValue() != 0 {
+			t.Fatalf("count/sum/max = %d/%d/%d, want 1/0/0", h.Count(), h.Sum(), h.MaxValue())
+		}
+	})
+	t.Run("negative-clamps-to-zero", func(t *testing.T) {
+		var h Histogram
+		h.Record(-5)
+		if got := h.Quantile(0.5); got != 0 {
+			t.Fatalf("p50 of {-5} = %d, want 0", got)
+		}
+		if h.Sum() != 0 {
+			t.Fatalf("sum = %d, want 0 (negative clamps)", h.Sum())
+		}
+	})
+	t.Run("single-sample", func(t *testing.T) {
+		var h Histogram
+		h.Record(123456)
+		for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+			got := h.Quantile(q)
+			if got != 123456 {
+				t.Fatalf("q%v of single sample = %d, want the exact max 123456", q, got)
+			}
+		}
+		if h.Mean() != 123456 {
+			t.Fatalf("mean = %v, want 123456", h.Mean())
+		}
+	})
+	t.Run("overflow", func(t *testing.T) {
+		var h Histogram
+		h.Record(Max)     // first overflowing value
+		h.Record(3 * Max) // deep overflow
+		h.Record(1 << 62) // near int64 max
+		if got := h.Count(); got != 3 {
+			t.Fatalf("count = %d, want 3", got)
+		}
+		// All three share the overflow bucket; the quantile must clamp to
+		// the exact tracked max, not the bucket edge.
+		if got := h.Quantile(1); got != 1<<62 {
+			t.Fatalf("p100 = %d, want exact max %d", got, int64(1)<<62)
+		}
+		if got := bucketIndex(1 << 62); got != numBuckets-1 {
+			t.Fatalf("bucketIndex(1<<62) = %d, want overflow bucket %d", got, numBuckets-1)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		var h Histogram
+		if got := h.Quantile(0.5); got != 0 {
+			t.Fatalf("quantile of empty = %d, want 0", got)
+		}
+		if h.Mean() != 0 {
+			t.Fatalf("mean of empty = %v, want 0", h.Mean())
+		}
+	})
+}
+
+// TestQuantileAccuracy checks the 1/32 relative-error contract against
+// exact order statistics on a random sample.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	n := 10000
+	vals := make([]int64, n)
+	for i := range vals {
+		// Log-uniform over ~6 decades, the shape of real latency data.
+		v := int64(1) << uint(rng.Intn(30))
+		v += rng.Int63n(v)
+		vals[i] = v
+		h.Record(v)
+	}
+	exact := append([]int64(nil), vals...)
+	sortInt64(exact)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(q*float64(n)+0.9999999) - 1
+		want := exact[rank]
+		got := h.Quantile(q)
+		if got < want {
+			t.Fatalf("q%v = %d under-reports exact %d", q, got, want)
+		}
+		if rel := float64(got-want) / float64(want); rel > 1.0/subCount+1e-9 {
+			t.Fatalf("q%v = %d vs exact %d: relative error %v exceeds 1/%d", q, got, want, rel, subCount)
+		}
+	}
+}
+
+func sortInt64(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestSnapshotMatchesLive pins that a snapshot's quantiles agree with the
+// live histogram when no writers race, and that Buckets round-trips the
+// recorded counts.
+func TestSnapshotMatchesLive(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if live, snap := h.Quantile(q), s.Quantile(q); live != snap {
+			t.Fatalf("q%v: live %d != snapshot %d", q, live, snap)
+		}
+	}
+	var total int64
+	for _, b := range s.Buckets() {
+		if b.Count <= 0 || b.Low > b.High {
+			t.Fatalf("malformed bucket %+v", b)
+		}
+		total += b.Count
+	}
+	if total != 1000 {
+		t.Fatalf("bucket counts sum to %d, want 1000", total)
+	}
+}
+
+// TestConcurrentRecord exercises the lock-free path under the race
+// detector: N writers, one concurrent snapshot reader, exact totals after
+// the dust settles.
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader: must never see torn state or panic
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = h.Snapshot().Quantile(0.99)
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(seed int64) {
+			defer ww.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Record(rng.Int63n(1 << 20))
+			}
+		}(int64(w))
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("count = %d, want %d", got, writers*perWriter)
+	}
+	if got := h.Snapshot().Count(); got != writers*perWriter {
+		t.Fatalf("snapshot count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) & 0xfffff)
+	}
+}

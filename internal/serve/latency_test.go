@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/authhints/spv/internal/core"
+)
+
+// TestStatsLatencySummaries pins the /stats latency surface: methods that
+// served traffic report a summary whose count matches the queries they
+// answered, with sane quantile ordering; idle methods report nothing.
+func TestStatsLatencySummaries(t *testing.T) {
+	w := testWorld(t)
+	e := w.engine(Options{})
+	const n = 20
+	for i := 0; i < n; i++ {
+		q := w.queries[i%len(w.queries)]
+		if _, err := e.Query(Query{Method: core.LDM, VS: q.S, VT: q.T}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.Stats()
+	sum, ok := s.Latency[core.LDM]
+	if !ok {
+		t.Fatal("no latency summary for LDM after serving it")
+	}
+	if sum.Count != n {
+		t.Fatalf("LDM latency count = %d, want %d", sum.Count, n)
+	}
+	if sum.P50 <= 0 || sum.P99 <= 0 || sum.Max <= 0 {
+		t.Fatalf("non-positive quantiles: %+v", sum)
+	}
+	if sum.P50 > sum.P99 || sum.P99 > sum.Max {
+		t.Fatalf("quantiles out of order: p50=%v p99=%v max=%v", sum.P50, sum.P99, sum.Max)
+	}
+	if _, ok := s.Latency[core.FULL]; ok {
+		t.Fatal("idle method FULL has a latency summary")
+	}
+}
+
+// TestLatencySurvivesSwap pins that a hot-swap does not reset a method's
+// latency history — the histogram tracks serving the method, not one
+// provider generation.
+func TestLatencySurvivesSwap(t *testing.T) {
+	w := testWorld(t)
+	e := w.engine(Options{})
+	q := w.queries[0]
+	if _, err := e.Query(Query{Method: core.DIJ, VS: q.S, VT: q.T}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Swap(w.dij, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(Query{Method: core.DIJ, VS: q.S, VT: q.T}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Latency[core.DIJ].Count; got != 2 {
+		t.Fatalf("latency count across swap = %d, want 2", got)
+	}
+}

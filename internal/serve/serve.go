@@ -33,6 +33,7 @@ import (
 
 	"github.com/authhints/spv/internal/core"
 	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/hist"
 )
 
 // ErrUnknownMethod reports a query for a method the engine has no provider
@@ -113,6 +114,13 @@ type queryFn func(vs, vt graph.NodeID) (dist float64, hops int, wire []byte, cov
 type methodSlot struct {
 	fn  atomic.Pointer[queryFn]
 	gen atomic.Int64
+	// lat is the method's server-observed latency histogram (whole query
+	// path: cache lookup through answer materialization, hits and colds
+	// alike). It survives hot-swaps — latency is a property of serving the
+	// method, not of one provider generation — and its Record path is
+	// lock-free, so it costs the hot path two clock reads and four atomic
+	// adds.
+	lat hist.Histogram
 }
 
 // Engine is a thread-safe, batched front-end over one or more outsourced
@@ -183,6 +191,21 @@ type Snapshot struct {
 	CacheInvalidated int64         `json:"cache_invalidated"`
 	// Methods lists the registered methods.
 	Methods []core.Method `json:"methods"`
+	// Latency holds per-method server-observed latency summaries (the
+	// whole Engine.Query path, cache hits and cold builds alike), so
+	// client-observed numbers from a load run can be cross-checked against
+	// what the server itself saw. Keys follow Methods.
+	Latency map[core.Method]LatencySummary `json:"latency,omitempty"`
+}
+
+// LatencySummary condenses one method's latency histogram for /stats.
+// Quantiles come from a fixed-bucket log-linear histogram (internal/hist)
+// with ≤1/32 relative bucket error; Max is exact.
+type LatencySummary struct {
+	Count int64         `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
 }
 
 // NewEngine returns an engine with no providers; attach at least one with
@@ -397,6 +420,21 @@ func (e *Engine) Stats() Snapshot {
 
 		Methods: e.Methods(),
 	}
+	for _, m := range s.Methods {
+		h := e.run[m].lat.Snapshot()
+		if h.Count() == 0 {
+			continue
+		}
+		if s.Latency == nil {
+			s.Latency = make(map[core.Method]LatencySummary, len(s.Methods))
+		}
+		s.Latency[m] = LatencySummary{
+			Count: h.Count(),
+			P50:   time.Duration(h.Quantile(0.50)),
+			P99:   time.Duration(h.Quantile(0.99)),
+			Max:   time.Duration(h.MaxValue()),
+		}
+	}
 	if e.cache != nil {
 		s.CacheLen = e.cache.Len()
 		s.CacheEvictions = e.cache.Evictions()
@@ -436,6 +474,8 @@ func (e *Engine) query(q Query) (ans Answer) {
 		e.stats.errors.Add(1)
 		return Answer{Query: q, Err: fmt.Errorf("%w %q", ErrUnknownMethod, q.Method)}
 	}
+	start := time.Now()
+	defer func() { sl.lat.Record(int64(time.Since(start))) }()
 	gen := sl.gen.Load() // read before fn: conservative under a racing swap
 	fn := *sl.fn.Load()
 	key := cacheKey{m: q.Method, vs: q.VS, vt: q.VT}

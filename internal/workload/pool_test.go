@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/authhints/spv/internal/netgen"
+)
+
+// TestPoolDeterministic pins the load harness's reproducibility contract:
+// the same (world, pool, locality, seed) always produces the same sample
+// sequence, for both distributions.
+func TestPoolDeterministic(t *testing.T) {
+	g, err := netgen.Synthesize(800, 850, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := Generate(g, 32, 1500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, loc := range []Locality{Hostile, Friendly} {
+		a, err := NewPool(qs, loc, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewPool(qs, loc, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			if qa, qb := a.Next(), b.Next(); qa != qb {
+				t.Fatalf("%s: sample %d differs across identically-seeded pools: %+v vs %+v", loc, i, qa, qb)
+			}
+		}
+		c, err := NewPool(qs, loc, 43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for i := 0; i < 100; i++ {
+			if a.Next() != c.Next() {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced an identical sample stream", loc)
+		}
+	}
+}
+
+// TestPoolLocalityShapes pins what the two distributions are for: on the
+// same pool, Friendly concentrates a large share of draws on its hottest
+// pair (a cache's dream) while Hostile spreads draws near-uniformly.
+func TestPoolLocalityShapes(t *testing.T) {
+	g, err := netgen.Synthesize(800, 850, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := Generate(g, 64, 1500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 2000
+	topShare := func(loc Locality) float64 {
+		p, err := NewPool(qs, loc, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[Query]int{}
+		for i := 0; i < draws; i++ {
+			counts[p.Next()]++
+		}
+		top := 0
+		for _, c := range counts {
+			if c > top {
+				top = c
+			}
+		}
+		return float64(top) / draws
+	}
+	hostile, friendly := topShare(Hostile), topShare(Friendly)
+	// Uniform over 64 entries puts ~1.6% on the modal pair; Zipf s=1.2
+	// puts >25% on rank 0. A 5× separation keeps the assertion far from
+	// both tails' noise.
+	if friendly < 5*hostile {
+		t.Errorf("friendly top-pair share %.3f not ≫ hostile %.3f; zipf concentration lost", friendly, hostile)
+	}
+	if hostile > 0.10 {
+		t.Errorf("hostile top-pair share %.3f; uniform sampling lost", hostile)
+	}
+}
+
+func TestPoolRejectsBadInput(t *testing.T) {
+	if _, err := NewPool(nil, Hostile, 1); err == nil {
+		t.Error("empty pool accepted")
+	}
+	g, _ := netgen.Synthesize(200, 210, 1)
+	qs, err := Generate(g, 4, 800, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPool(qs, Locality("zipfian"), 1); err == nil {
+		t.Error("unknown locality accepted")
+	}
+}
