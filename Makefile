@@ -34,11 +34,11 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./...
 
 # Machine-readable hot-path numbers (ns/op, B/op, allocs/op) for the
-# standard world → BENCH_PR6.json, with the committed PR4 snapshot embedded
+# standard world → BENCH_PR7.json, with the committed PR6 snapshot embedded
 # as the baseline, plus the open-loop load lanes. CI uploads this as an
 # artifact so perf regressions are visible in PR checks.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR6.json -baseline BENCH_PR4.json -load-duration 4s
+	$(GO) run ./cmd/benchjson -out BENCH_PR7.json -baseline BENCH_PR6.json -load-duration 4s
 
 # Regression gate: measure now, then compare against the committed
 # per-CPU-count baseline. benchjson compare exits non-zero when a lane

@@ -189,6 +189,84 @@ func BenchmarkClientVerify(b *testing.B) {
 	})
 }
 
+// microBatch builds a 64-proof single-root response for one method by
+// cycling the workload pool — the shape of real /batch traffic, where
+// queries repeat — and round-trips it through the shared batch wire, so
+// the items are exactly what a client decodes: repeated answers share one
+// proof pointer, record bytes share the table backing.
+func microBatch(b *testing.B, m *microWorld, method spv.Method) []spv.BatchItem {
+	b.Helper()
+	var p spv.Provider
+	switch method {
+	case spv.DIJ:
+		p = m.dij
+	case spv.FULL:
+		p = m.full
+	case spv.LDM:
+		p = m.ldm
+	case spv.HYP:
+		p = m.hyp
+	default:
+		b.Fatalf("unknown method %s", method)
+	}
+	items := make([]spv.BatchItem, 0, 64)
+	for i := 0; i < 64; i++ {
+		q := m.qs[i%len(m.qs)]
+		pr, err := p.QueryProof(q.S, q.T)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items = append(items, spv.BatchItem{VS: q.S, VT: q.T, Proof: pr})
+	}
+	wire, err := spv.AppendProofBatch(nil, method, items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pb, _, err := spv.DecodeProofBatch(wire)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pb.Items()
+}
+
+// BenchmarkVerifySingle64 is the baseline lane for the batch-verify gate:
+// 64 proofs of one epoch verified one at a time. Compare against
+// BenchmarkVerifyBatch64 — the batch lane must be ≥3× faster per response.
+func BenchmarkVerifySingle64(b *testing.B) {
+	m := microSetup(b)
+	for _, method := range spv.Methods() {
+		items := microBatch(b, m, method)
+		b.Run(string(method), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, it := range items {
+					if err := spv.VerifyProof(m.v, method, it.VS, it.VT, it.Proof); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyBatch64 verifies the same 64-proof response in one
+// VerifyBatch call: one signature check per signed root, each shared
+// Merkle digest hashed once, pooled search state.
+func BenchmarkVerifyBatch64(b *testing.B) {
+	m := microSetup(b)
+	for _, method := range spv.Methods() {
+		items := microBatch(b, m, method)
+		b.Run(string(method), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, err := range spv.VerifyBatch(m.v, method, items) {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // --- serving layer: throughput and cache amortization ---
 
 // serveEngine builds one engine over the shared micro world's providers.

@@ -57,6 +57,7 @@ func main() {
 
 		batchFrac = flag.Float64("batch-frac", 0, "fraction of arrivals sent as POST /batch")
 		batchSize = flag.Int("batch-size", 16, "queries per /batch call")
+		verify    = flag.Bool("verify", false, "verify every proof client-side (batches use the shared encoding); adds a 'verify' latency phase")
 
 		updEvery   = flag.Duration("update-every", 0, "POST /update cadence (0 = no updates; server needs -updates)")
 		updEdges   = flag.Int("update-edges", 2, "edges per update batch")
@@ -72,7 +73,7 @@ func main() {
 		url: *url, dataset: *dataset, scale: *scale, nodes: *nodes, edges: *edges,
 		seed: *seed, queries: *queries, qrange: *qrange, poolSeed: *poolSeed,
 		rate: *rate, duration: *duration, warmup: *warmup, mix: *mixFlag,
-		locality: *locality, batchFrac: *batchFrac, batchSize: *batchSize,
+		locality: *locality, batchFrac: *batchFrac, batchSize: *batchSize, verify: *verify,
 		updEvery: *updEvery, updEdges: *updEdges, updBatches: *updBatches,
 		snapAt: *snapAt, timeout: *timeout, inflight: *inflight, out: *out,
 	}); err != nil {
@@ -88,6 +89,7 @@ type loadFlags struct {
 	updEdges, updBatches, inflight           int
 	seed, poolSeed                           int64
 	duration, warmup, updEvery, timeout      time.Duration
+	verify                                   bool
 }
 
 func run(fl loadFlags) error {
@@ -133,6 +135,7 @@ func run(fl loadFlags) error {
 		Locality:      workload.Locality(fl.locality),
 		BatchFraction: fl.batchFrac,
 		BatchSize:     fl.batchSize,
+		Verify:        fl.verify,
 		UpdateEvery:   fl.updEvery,
 		SnapshotAt:    snapshotAt,
 		Timeout:       fl.timeout,

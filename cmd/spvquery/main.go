@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	spv "github.com/authhints/spv"
 	"github.com/authhints/spv/internal/graph"
@@ -40,6 +41,10 @@ func main() {
 		err = prove(os.Args[2:])
 	case "verify":
 		err = verify(os.Args[2:])
+	case "prove-batch":
+		err = proveBatch(os.Args[2:])
+	case "verify-batch":
+		err = verifyBatch(os.Args[2:])
 	default:
 		usage()
 	}
@@ -50,7 +55,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spvquery {keygen|prove|verify} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: spvquery {keygen|prove|verify|prove-batch|verify-batch} [flags]")
 	os.Exit(2)
 }
 
@@ -151,6 +156,143 @@ func prove(args []string) error {
 	fmt.Fprintf(os.Stderr, "wrote %s: %.1f KB (ΓS %.1f KB, ΓT %.1f KB, %d items)\n",
 		*out, stats.KBytes(), float64(stats.SBytes)/1024, float64(stats.TBytes)/1024,
 		stats.TotalItems())
+	return nil
+}
+
+// parsePairs parses "17:1860,5:99" into endpoint pairs.
+func parsePairs(s string) ([][2]spv.NodeID, error) {
+	var out [][2]spv.NodeID
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var from, to int
+		if _, err := fmt.Sscanf(part, "%d:%d", &from, &to); err != nil || from < 0 || to < 0 {
+			return nil, fmt.Errorf("bad pair %q (want from:to)", part)
+		}
+		out = append(out, [2]spv.NodeID{spv.NodeID(from), spv.NodeID(to)})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no query pairs")
+	}
+	return out, nil
+}
+
+// proveBatch answers many queries of one method and writes them as a single
+// shared-encoding batch file: root signatures and overlapping tuple records
+// are stored once across the batch.
+func proveBatch(args []string) error {
+	fs := flag.NewFlagSet("prove-batch", flag.ExitOnError)
+	netPath := fs.String("network", "", "network file (SPVG)")
+	keyPath := fs.String("key", "owner.pem", "owner private key")
+	method := fs.String("method", "LDM", "verification method (DIJ FULL LDM HYP)")
+	pairs := fs.String("pairs", "", "comma-separated from:to query pairs, e.g. 17:1860,5:99")
+	out := fs.String("out", "batch.bin", "batch output file")
+	cfg := configFlags(fs)
+	fs.Parse(args)
+
+	if *netPath == "" || *pairs == "" {
+		return fmt.Errorf("need -network and -pairs")
+	}
+	qs, err := parsePairs(*pairs)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*netPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := graph.Read(f)
+	if err != nil {
+		return err
+	}
+	keyPEM, err := os.ReadFile(*keyPath)
+	if err != nil {
+		return err
+	}
+	signer, err := spv.ParseSignerPEM(keyPEM)
+	if err != nil {
+		return err
+	}
+	owner, err := spv.NewOwnerWithSigner(g, *cfg, signer)
+	if err != nil {
+		return err
+	}
+	p, err := owner.Outsource(spv.Method(*method))
+	if err != nil {
+		return err
+	}
+	items := make([]spv.BatchItem, 0, len(qs))
+	var standalone int
+	for _, q := range qs {
+		proof, err := p.QueryProof(q[0], q[1])
+		if err != nil {
+			return fmt.Errorf("%d→%d: %w", q[0], q[1], err)
+		}
+		standalone += len(proof.AppendBinary(nil))
+		items = append(items, spv.BatchItem{VS: q[0], VT: q[1], Proof: proof})
+	}
+	wire, err := spv.AppendProofBatch(nil, spv.Method(*method), items)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, wire, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d proofs, %.1f KB shared (%.1f KB standalone, %.1f%% saved)\n",
+		*out, len(items), float64(len(wire))/1024, float64(standalone)/1024,
+		100*(1-float64(len(wire))/float64(standalone)))
+	return nil
+}
+
+// verifyBatch client-verifies a shared-encoding batch file: the method and
+// endpoint pairs travel inside the batch, so only the public key is needed.
+func verifyBatch(args []string) error {
+	fs := flag.NewFlagSet("verify-batch", flag.ExitOnError)
+	pubPath := fs.String("pub", "owner.pub", "owner public key")
+	fs.Parse(args)
+
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need exactly one batch file")
+	}
+	pubPEM, err := os.ReadFile(*pubPath)
+	if err != nil {
+		return err
+	}
+	verifier, err := spv.ParseVerifierPEM(pubPEM)
+	if err != nil {
+		return err
+	}
+	wire, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	pb, n, err := spv.DecodeProofBatch(wire)
+	if err != nil {
+		return err
+	}
+	if n != len(wire) {
+		return fmt.Errorf("batch file has %d trailing bytes", len(wire)-n)
+	}
+	items := pb.Items()
+	rejected := 0
+	for i, err := range spv.VerifyBatch(verifier, pb.Method, items) {
+		it := items[i]
+		if err != nil {
+			rejected++
+			fmt.Printf("REJECTED: %s %d→%d — %v\n", pb.Method, it.VS, it.VT, err)
+			continue
+		}
+		path, dist := it.Proof.Result()
+		fmt.Printf("VERIFIED: %d→%d is shortest — distance %.2f, %d hops\n",
+			it.VS, it.VT, dist, path.Hops())
+	}
+	if rejected > 0 {
+		return fmt.Errorf("%d of %d proofs rejected", rejected, len(items))
+	}
+	fmt.Fprintf(os.Stderr, "all %d %s proofs verified\n", len(items), pb.Method)
 	return nil
 }
 

@@ -123,7 +123,7 @@ func (p *FULLProvider) Query(vs, vt graph.NodeID) (*FULLProof, error) {
 	if path == nil {
 		return nil, fmt.Errorf("%w: from %d to %d", ErrNoPath, vs, vt)
 	}
-	vo, err := p.forest.Prove(int(vs), int(vt))
+	vo, err := p.forest.ProveWith(&s.forest, int(vs), int(vt))
 	if err != nil {
 		return nil, err
 	}

@@ -211,8 +211,42 @@ func VerifyHYP(verifier sigVerifier, vs, vt graph.NodeID, proof *HYPProof) error
 		return err
 	}
 
-	// Coarse re-computation (Theorem 2): intra-cell searches stitched with
-	// authenticated hyper-edges.
+	return hypCoarse(newCellSearchScratch(), parsed.tuples, meta, hyperW, vs, vt, claimed)
+}
+
+// cellSearchScratch is the search state hypCoarse's two intra-cell
+// Dijkstras run on. The single verifier allocates a fresh one per proof;
+// batch verification reuses one pooled instance across a whole batch.
+type cellSearchScratch struct {
+	distS, distT map[graph.NodeID]float64
+	doneS, doneT map[graph.NodeID]bool
+	h            *sp.Heap
+}
+
+func newCellSearchScratch() *cellSearchScratch {
+	return &cellSearchScratch{
+		distS: map[graph.NodeID]float64{},
+		distT: map[graph.NodeID]float64{},
+		doneS: map[graph.NodeID]bool{},
+		doneT: map[graph.NodeID]bool{},
+		h:     sp.NewHeap(16),
+	}
+}
+
+func (sc *cellSearchScratch) reset() {
+	clear(sc.distS)
+	clear(sc.distT)
+	clear(sc.doneS)
+	clear(sc.doneT)
+	sc.h.Reset()
+}
+
+// hypCoarse is the coarse re-computation of Theorem 2 — intra-cell searches
+// from both endpoints stitched through authenticated hyper-edge weights —
+// shared verbatim by the single and batch HYP verifiers so their verdicts
+// cannot diverge.
+func hypCoarse(sc *cellSearchScratch, tuples map[graph.NodeID]graph.Tuple, meta map[graph.NodeID]hypMeta,
+	hyperW map[mbt.Key]float64, vs, vt graph.NodeID, claimed float64) error {
 	msMeta, ok := meta[vs]
 	if !ok {
 		return reject(fmt.Errorf("%w: no tuple for source %d", ErrIncompleteProof, vs))
@@ -221,11 +255,13 @@ func VerifyHYP(verifier sigVerifier, vs, vt graph.NodeID, proof *HYPProof) error
 	if !ok {
 		return reject(fmt.Errorf("%w: no tuple for target %d", ErrIncompleteProof, vt))
 	}
-	dS, err := cellDijkstra(parsed.tuples, meta, vs)
+	sc.reset()
+	dS, err := cellDijkstraInto(sc.distS, sc.doneS, sc.h, tuples, meta, vs)
 	if err != nil {
 		return reject(err)
 	}
-	dT, err := cellDijkstra(parsed.tuples, meta, vt)
+	sc.h.Reset()
+	dT, err := cellDijkstraInto(sc.distT, sc.doneT, sc.h, tuples, meta, vt)
 	if err != nil {
 		return reject(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/mbt"
 	"github.com/authhints/spv/internal/mht"
 	"github.com/authhints/spv/internal/sp"
 )
@@ -21,6 +22,11 @@ type queryScratch struct {
 	ws      *sp.Workspace
 	prove   mht.ProveScratch
 	indices []int
+
+	// Forest prove scratch for FULL: the per-query row subtree rebuild was
+	// the cold-FULL allocation outlier (O(|V|) digests per proof) before it
+	// moved onto this reusable storage.
+	forest mbt.ForestScratch
 
 	// Stamped include-set for LDM/HYP proof node collection: mark[v]==epoch
 	// ⇔ v ∈ nodes. Insertion order is kept in nodes; Canonical re-sorts by

@@ -19,11 +19,17 @@ import (
 // ErrIncompleteProof is returned. It returns the subgraph distance of dst
 // (sp.Unreachable if not reached within bound).
 func tupleDijkstra(tuples map[graph.NodeID]graph.Tuple, src, dst graph.NodeID, bound float64) (float64, error) {
-	dist := make(map[graph.NodeID]float64, len(tuples))
-	h := sp.NewHeap(64)
+	return tupleDijkstraInto(make(map[graph.NodeID]float64, len(tuples)),
+		make(map[graph.NodeID]bool, len(tuples)), sp.NewHeap(64), tuples, src, dst, bound)
+}
+
+// tupleDijkstraInto is tupleDijkstra over caller-provided search state
+// (assumed empty), so batch verification can run one search per proof on a
+// pooled dist/done/heap set instead of allocating per proof.
+func tupleDijkstraInto(dist map[graph.NodeID]float64, done map[graph.NodeID]bool, h *sp.Heap,
+	tuples map[graph.NodeID]graph.Tuple, src, dst graph.NodeID, bound float64) (float64, error) {
 	dist[src] = 0
 	h.Push(src, 0)
-	done := make(map[graph.NodeID]bool, len(tuples))
 	for h.Len() > 0 {
 		v, d := h.Pop()
 		if d > bound*(1+distTolerance) {
@@ -66,9 +72,15 @@ func tupleDijkstra(tuples map[graph.NodeID]graph.Tuple, src, dst graph.NodeID, b
 // treated the same way.
 func tupleAStar(tuples map[graph.NodeID]graph.Tuple, src, dst graph.NodeID,
 	lb func(u, v graph.NodeID) (float64, error), bound float64) (float64, error) {
+	return tupleAStarInto(make(map[graph.NodeID]float64, len(tuples)), sp.NewHeap(64),
+		tuples, src, dst, lb, bound)
+}
 
-	g := make(map[graph.NodeID]float64, len(tuples))
-	h := sp.NewHeap(64)
+// tupleAStarInto is tupleAStar over caller-provided search state (assumed
+// empty); see tupleDijkstraInto.
+func tupleAStarInto(g map[graph.NodeID]float64, h *sp.Heap, tuples map[graph.NodeID]graph.Tuple,
+	src, dst graph.NodeID, lb func(u, v graph.NodeID) (float64, error), bound float64) (float64, error) {
+
 	lbSrc, err := lb(src, dst)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrIncompleteProof, err)
@@ -138,14 +150,21 @@ func tupleAStar(tuples map[graph.NodeID]graph.Tuple, src, dst graph.NodeID,
 // expanding a border node silently skips absent neighbors (they live in
 // other cells). It returns the distances of all settled same-cell nodes.
 func cellDijkstra(tuples map[graph.NodeID]graph.Tuple, meta map[graph.NodeID]hypMeta, src graph.NodeID) (map[graph.NodeID]float64, error) {
+	return cellDijkstraInto(map[graph.NodeID]float64{}, map[graph.NodeID]bool{}, sp.NewHeap(16),
+		tuples, meta, src)
+}
+
+// cellDijkstraInto is cellDijkstra over caller-provided search state
+// (assumed empty); the returned map is the provided dist map, valid until
+// its next reuse.
+func cellDijkstraInto(dist map[graph.NodeID]float64, done map[graph.NodeID]bool, h *sp.Heap,
+	tuples map[graph.NodeID]graph.Tuple, meta map[graph.NodeID]hypMeta, src graph.NodeID) (map[graph.NodeID]float64, error) {
 	srcMeta, ok := meta[src]
 	if !ok {
 		return nil, fmt.Errorf("%w: no tuple for query endpoint %d", ErrIncompleteProof, src)
 	}
 	cell := srcMeta.cell
-	dist := map[graph.NodeID]float64{src: 0}
-	done := map[graph.NodeID]bool{}
-	h := sp.NewHeap(16)
+	dist[src] = 0
 	h.Push(src, 0)
 	for h.Len() > 0 {
 		v, d := h.Pop()

@@ -156,6 +156,14 @@ func NewResolver(p Params) *Resolver {
 // Add registers node v's payload.
 func (r *Resolver) Add(v graph.NodeID, p Payload) { r.payloads[v] = p }
 
+// Reset empties the resolver and re-arms it for the given parameters,
+// keeping its map storage. Batch verification resolves one proof after
+// another on a single pooled resolver instead of allocating one per proof.
+func (r *Resolver) Reset(p Params) {
+	r.Params = p
+	clear(r.payloads)
+}
+
 // Has reports whether v's payload is registered.
 func (r *Resolver) Has(v graph.NodeID) bool {
 	_, ok := r.payloads[v]

@@ -32,6 +32,7 @@ import (
 	"github.com/authhints/spv/internal/core"
 	"github.com/authhints/spv/internal/hist"
 	"github.com/authhints/spv/internal/serve"
+	"github.com/authhints/spv/internal/sig"
 	"github.com/authhints/spv/internal/workload"
 )
 
@@ -104,6 +105,12 @@ type Config struct {
 	// Locality records the pool's distribution in the report (the pool is
 	// already built; this is documentation, not behavior).
 	Locality workload.Locality
+	// Verify turns the driver into a full client: it bootstraps the owner's
+	// public key from GET /verifier, verifies every /query proof, asks
+	// /batch for the shared proof encoding and batch-verifies each blob.
+	// Verification time lands in its own phase histogram (PhaseVerify);
+	// rejected proofs count as verify errors, never as transport errors.
+	Verify bool
 	// Timeout bounds one request (default 15s). MaxInFlight caps launched
 	// goroutines (default 1024); arrivals past the cap are dropped and
 	// reported. Seed drives the method/batch coin flips.
@@ -142,10 +149,11 @@ func (c *Config) validate() error {
 
 // run carries one load run's live state.
 type run struct {
-	cfg    Config
-	client *http.Client
-	rng    *rand.Rand
-	cum    []float64 // cumulative mix weights, normalized
+	cfg      Config
+	client   *http.Client
+	rng      *rand.Rand
+	cum      []float64     // cumulative mix weights, normalized
+	verifier *sig.Verifier // non-nil iff cfg.Verify
 
 	sem    chan struct{}
 	wg     sync.WaitGroup
@@ -183,7 +191,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		booked: map[Phase]*atomic.Int64{},
 		drops:  map[Phase]*atomic.Int64{},
 	}
-	for _, ph := range []Phase{PhaseQuery, PhaseBatch, PhaseUpdate, PhaseSnapshot} {
+	for _, ph := range []Phase{PhaseQuery, PhaseBatch, PhaseUpdate, PhaseSnapshot, PhaseVerify} {
 		r.hists[ph] = &hist.Histogram{}
 		r.errs[ph] = &atomic.Int64{}
 		r.booked[ph] = &atomic.Int64{}
@@ -199,6 +207,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	for i := range r.cum {
 		r.cum[i] /= total
+	}
+
+	if cfg.Verify {
+		v, err := r.fetchVerifier(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: /verifier: %w", err)
+		}
+		r.verifier = v
 	}
 
 	before, err := r.fetchStats(ctx)
@@ -278,10 +294,10 @@ func (r *run) dispatch(schedCtx, reqCtx context.Context, start, measureFrom, end
 			for j := range qs {
 				qs[j] = r.drawQuery()
 			}
-			reqFn = func() error { return r.doBatch(reqCtx, qs) }
+			reqFn = func() error { return r.doBatch(reqCtx, qs, measured) }
 		} else {
 			q := r.drawQuery()
-			reqFn = func() error { return r.doQuery(reqCtx, q) }
+			reqFn = func() error { return r.doQuery(reqCtx, q, measured) }
 		}
 		if measured {
 			r.booked[ph].Add(1)
@@ -328,8 +344,10 @@ func (r *run) drawQuery() serve.Query {
 }
 
 // doQuery fetches one binary proof; the body is drained so the connection
-// is reusable and the server actually did the work.
-func (r *run) doQuery(ctx context.Context, q serve.Query) error {
+// is reusable and the server actually did the work. Under Config.Verify
+// the proof is decoded and checked against the served key, with the pure
+// verification time recorded in PhaseVerify.
+func (r *run) doQuery(ctx context.Context, q serve.Query, measured bool) error {
 	url := fmt.Sprintf("%s/query?method=%s&vs=%d&vt=%d&format=binary", r.cfg.BaseURL, q.Method, q.VS, q.VT)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
@@ -340,6 +358,33 @@ func (r *run) doQuery(ctx context.Context, q serve.Query) error {
 		return err
 	}
 	defer resp.Body.Close()
+	if r.verifier != nil {
+		wire, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("query status %d", resp.StatusCode)
+		}
+		if len(wire) == 0 {
+			return fmt.Errorf("query returned empty proof")
+		}
+		start := time.Now()
+		pr, _, err := core.DecodeProof(q.Method, wire)
+		if err == nil {
+			err = core.VerifyProof(r.verifier, q.Method, q.VS, q.VT, pr)
+		}
+		// Verify-phase entries follow the measurement window like every
+		// other phase: warmup verifies run but are not recorded.
+		if measured {
+			r.booked[PhaseVerify].Add(1)
+			if err != nil {
+				r.errs[PhaseVerify].Add(1)
+			}
+			r.hists[PhaseVerify].Record(int64(time.Since(start)))
+		}
+		return err
+	}
 	n, err := io.Copy(io.Discard, resp.Body)
 	if err != nil {
 		return err
@@ -355,10 +400,18 @@ func (r *run) doQuery(ctx context.Context, q serve.Query) error {
 
 // doBatch posts one batch and fails on any per-item error — a batch that
 // "succeeds" while its items fail would hide errors from the run ledger.
-func (r *run) doBatch(ctx context.Context, qs []serve.Query) error {
-	body, err := json.Marshal(struct {
-		Queries []serve.Query `json:"queries"`
-	}{qs})
+// Under Config.Verify the request opts into the shared proof encoding and
+// every returned blob is batch-verified (PhaseVerify records one entry per
+// /batch call, covering all its blobs).
+func (r *run) doBatch(ctx context.Context, qs []serve.Query, measured bool) error {
+	breq := struct {
+		Queries  []serve.Query `json:"queries"`
+		Encoding string        `json:"encoding,omitempty"`
+	}{Queries: qs}
+	if r.verifier != nil {
+		breq.Encoding = "shared"
+	}
+	body, err := json.Marshal(breq)
 	if err != nil {
 		return err
 	}
@@ -376,6 +429,7 @@ func (r *run) doBatch(ctx context.Context, qs []serve.Query) error {
 			Error string `json:"error"`
 			Bytes int    `json:"proof_bytes"`
 		} `json:"answers"`
+		Batches []proofBlob `json:"proof_batches"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
 		return fmt.Errorf("batch decode: %w", err)
@@ -387,6 +441,52 @@ func (r *run) doBatch(ctx context.Context, qs []serve.Query) error {
 		if a.Error != "" {
 			return fmt.Errorf("batch item: %s", a.Error)
 		}
+	}
+	if r.verifier == nil {
+		return nil
+	}
+	start := time.Now()
+	verr := r.verifyBlobs(len(qs), rep.Batches)
+	if measured {
+		r.booked[PhaseVerify].Add(1)
+		if verr != nil {
+			r.errs[PhaseVerify].Add(1)
+		}
+		r.hists[PhaseVerify].Record(int64(time.Since(start)))
+	}
+	return verr
+}
+
+// proofBlob mirrors one serve.wireBatch entry of a shared-encoding /batch
+// reply.
+type proofBlob struct {
+	Method core.Method `json:"method"`
+	Items  []int       `json:"items"`
+	Batch  []byte      `json:"batch"`
+}
+
+// verifyBlobs decodes and batch-verifies every shared-encoding blob of one
+// /batch reply, checking that the blobs jointly cover all n answers.
+func (r *run) verifyBlobs(n int, blobs []proofBlob) error {
+	covered := 0
+	for _, b := range blobs {
+		pb, bn, err := core.DecodeProofBatch(b.Batch)
+		if err != nil || bn != len(b.Batch) {
+			return fmt.Errorf("%s blob decode: %v", b.Method, err)
+		}
+		if pb.Method != b.Method || pb.Len() != len(b.Items) {
+			return fmt.Errorf("%s blob shape: method %s, %d items for %d indexes",
+				b.Method, pb.Method, pb.Len(), len(b.Items))
+		}
+		for i, err := range core.VerifyBatch(r.verifier, b.Method, pb.Items()) {
+			if err != nil {
+				return fmt.Errorf("%s blob item %d: %w", b.Method, i, err)
+			}
+		}
+		covered += len(b.Items)
+	}
+	if covered != n {
+		return fmt.Errorf("blobs cover %d of %d answers", covered, n)
 	}
 	return nil
 }
@@ -471,6 +571,28 @@ func (r *run) snapshotAt(ctx context.Context, at time.Time) {
 	r.hists[PhaseSnapshot].Record(int64(time.Since(start)))
 }
 
+// fetchVerifier bootstraps the owner's public key from GET /verifier —
+// the out-of-band trust anchor every real client starts from.
+func (r *run) fetchVerifier(ctx context.Context) (*sig.Verifier, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/verifier", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	pem, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("verifier status %d", resp.StatusCode)
+	}
+	return sig.ParseVerifierPEM(pem)
+}
+
 func (r *run) fetchStats(ctx context.Context) (serve.Snapshot, error) {
 	var s serve.Snapshot
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/stats", nil)
@@ -499,6 +621,7 @@ func (r *run) report(before, after serve.Snapshot) *Report {
 		Locality: string(r.cfg.Locality),
 		Mix:      FormatMix(r.cfg.Mix),
 		Seed:     r.cfg.Seed,
+		Verify:   r.cfg.Verify,
 		CPUs:     runtime.NumCPU(),
 		Phases:   map[Phase]*PhaseStats{},
 		Stats:    delta(before, after),

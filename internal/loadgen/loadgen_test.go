@@ -225,3 +225,54 @@ func TestConfigValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestRunVerify drives the harness as a full client: every /query proof is
+// verified individually and every /batch reply travels as shared-encoding
+// blobs that batch-verify, with the verification cost in its own phase.
+func TestRunVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load run takes ~1s of wall clock")
+	}
+	url, pool, _ := liveServer(t)
+	mix, err := ParseMix("DIJ=1,LDM=1,HYP=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:       url,
+		Rate:          60,
+		Duration:      900 * time.Millisecond,
+		Mix:           mix,
+		Pool:          pool,
+		Locality:      workload.Friendly,
+		BatchFraction: 0.4,
+		BatchSize:     4,
+		Verify:        true,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verify {
+		t.Error("report does not record verify mode")
+	}
+	v := rep.Phases[PhaseVerify]
+	if v == nil {
+		t.Fatal("verify phase missing from report")
+	}
+	if v.Errors != 0 {
+		t.Errorf("verify phase: %d rejections", v.Errors)
+	}
+	if v.Completed == 0 {
+		t.Error("verify phase: nothing verified")
+	}
+	// One verify entry per query plus one per batch call.
+	wantVerifies := rep.Phases[PhaseQuery].Completed + rep.Phases[PhaseBatch].Completed
+	if v.Offered != wantVerifies {
+		t.Errorf("verify offered %d, want %d (queries %d + batches %d)",
+			v.Offered, wantVerifies, rep.Phases[PhaseQuery].Completed, rep.Phases[PhaseBatch].Completed)
+	}
+	if v.Completed > 0 && v.P50 <= 0 {
+		t.Errorf("verify p50 = %v", v.P50)
+	}
+}

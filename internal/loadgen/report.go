@@ -23,6 +23,10 @@ const (
 	PhaseUpdate Phase = "update"
 	// PhaseSnapshot is POST /snapshot traffic (full state save).
 	PhaseSnapshot Phase = "snapshot"
+	// PhaseVerify is client-side proof verification (Config.Verify): one
+	// entry per verified /query response or /batch blob, measuring pure
+	// verification time (decode + signature + re-execution), not transport.
+	PhaseVerify Phase = "verify"
 )
 
 // PhaseStats is one phase's ledger: every scheduled arrival is accounted
@@ -124,6 +128,9 @@ type Report struct {
 	Locality string        `json:"locality"`
 	Mix      string        `json:"mix"`
 	Seed     int64         `json:"seed"`
+	// Verify records whether the driver verified every proof client-side
+	// (see PhaseVerify for the cost it measured).
+	Verify bool `json:"verify"`
 	// CPUs is runtime.NumCPU on the driving host — load numbers from a
 	// 1-CPU box measure contention between driver and server, and the CI
 	// gate refuses to compare across different budgets.

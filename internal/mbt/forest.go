@@ -182,8 +182,35 @@ type ForestProof struct {
 	Top   *mht.Proof // proves row root i within the top tree
 }
 
-// Prove generates the verification object for dist(i, j).
+// Prove generates the verification object for dist(i, j). Safe for
+// concurrent use; hot paths should hold a ForestScratch and call ProveWith.
 func (f *Forest) Prove(i, j int) (*ForestProof, error) {
+	var s ForestScratch
+	return f.ProveWith(&s, i, j)
+}
+
+// ForestScratch is reusable storage for ProveWith: the row's leaf digests,
+// the transient row subtree, and the coverage state of both Merkle proofs.
+// A zero value is ready; a scratch reused across proofs on one forest (the
+// FULL provider steady state) reaches near-zero allocations per proof,
+// where the standalone path pays O(|V|) digest allocations to rebuild the
+// row subtree. Not safe for concurrent use.
+type ForestScratch struct {
+	leaves   [][]byte
+	arena    []byte // leaf digest bytes, appended by one reused hasher
+	entry    []byte
+	ts       mht.TreeScratch
+	rowProve mht.ProveScratch
+	topProve mht.ProveScratch
+	idx      [1]int
+}
+
+// ProveWith is Prove with caller-provided scratch. The returned proof is
+// fully detached: row-proof digests are copied out of the scratch-backed
+// subtree (top-proof digests alias the persistent top tree, exactly as in
+// Prove), so the proof stays valid after the scratch is reused. Output is
+// byte-identical to Prove's.
+func (f *Forest) ProveWith(s *ForestScratch, i, j int) (*ForestProof, error) {
 	if i < 0 || i >= f.n || j < 0 || j >= f.n {
 		return nil, fmt.Errorf("mbt: pair (%d, %d) out of range [0, %d)", i, j, f.n)
 	}
@@ -191,7 +218,22 @@ func (f *Forest) Prove(i, j int) (*ForestProof, error) {
 	if len(vals) != f.n {
 		return nil, fmt.Errorf("mbt: row function returned %d values, want %d", len(vals), f.n)
 	}
-	rt, err := rowTree(f.alg, f.fanout, f.n, i, vals)
+	size := f.alg.Size()
+	if cap(s.leaves) < f.n {
+		s.leaves = make([][]byte, f.n)
+	}
+	leaves := s.leaves[:f.n]
+	s.arena = s.arena[:0]
+	h := f.alg.New()
+	for c := 0; c < f.n; c++ {
+		e := Entry{Key: MakeKey(uint32(i), uint32(c)), Value: vals[c]}
+		s.entry = e.AppendBinary(s.entry[:0])
+		h.Reset()
+		h.Write(s.entry)
+		s.arena = h.Sum(s.arena)
+		leaves[c] = s.arena[len(s.arena)-size:]
+	}
+	rt, err := mht.BuildInto(&s.ts, f.alg, f.fanout, leaves)
 	if err != nil {
 		return nil, err
 	}
@@ -201,11 +243,21 @@ func (f *Forest) Prove(i, j int) (*ForestProof, error) {
 	if !bytes.Equal(rt.Root(), f.top.Leaf(i)) {
 		return nil, fmt.Errorf("mbt: row %d regenerated with different contents", i)
 	}
-	rowProof, err := rt.Prove([]int{j})
+	s.idx[0] = j
+	rowProof, err := rt.ProveWith(&s.rowProve, s.idx[:])
 	if err != nil {
 		return nil, err
 	}
-	topProof, err := f.top.Prove([]int{i})
+	// The row proof's digests point into the transient subtree; copy them
+	// into one owned block so nothing reachable from the scratch is retained
+	// by the returned proof.
+	block := make([]byte, 0, len(rowProof.Entries)*size)
+	for ei := range rowProof.Entries {
+		block = append(block, rowProof.Entries[ei].Digest...)
+		rowProof.Entries[ei].Digest = block[len(block)-size:]
+	}
+	s.idx[0] = i
+	topProof, err := f.top.ProveWith(&s.topProve, s.idx[:])
 	if err != nil {
 		return nil, err
 	}
@@ -233,6 +285,23 @@ func (p *ForestProof) Root() ([]byte, error) {
 		return nil, fmt.Errorf("mbt: top reconstruction: %w", err)
 	}
 	return topRoot, nil
+}
+
+// RowLeaf reconstructs only the row half of the proof: the row subtree
+// root (the top-tree leaf for source i) plus that leaf's position. Batch
+// verifiers reconstruct rows per proof — each source's row differs — then
+// audit all the top-tree proofs jointly via mht.ReconstructSet.
+func (p *ForestProof) RowLeaf() (int, []byte, error) {
+	if p.Row == nil || p.Top == nil {
+		return 0, nil, errors.New("mbt: forest proof missing parts")
+	}
+	i, j := p.Entry.Key.Split()
+	leaf := p.Row.Alg.Sum(p.Entry.AppendBinary(nil))
+	rowRoot, err := mht.Reconstruct(p.Row, map[int][]byte{int(j): leaf})
+	if err != nil {
+		return 0, nil, fmt.Errorf("mbt: row reconstruction: %w", err)
+	}
+	return int(i), rowRoot, nil
 }
 
 // Verify checks the proof against the trusted forest root. On success,

@@ -1,0 +1,254 @@
+package mht
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"github.com/authhints/spv/internal/digest"
+)
+
+// ErrInconsistentSet reports that a set of proofs claimed to share one tree
+// does not: shapes differ, two proofs claim different digests for the same
+// position, or a provided digest disagrees with the hash of its (fully
+// known) children. Batch verifiers treat this as "fall back to per-proof
+// verification" — it is a performance signal, never an accept/reject
+// verdict.
+var ErrInconsistentSet = errors.New("mht: inconsistent proof set")
+
+// ReconstructSet audits a set of proofs that claim positions in one shared
+// tree, hashing every needed internal digest exactly once instead of once
+// per proof. known holds the merged leaf digests (the caller guarantees a
+// single digest per position — it must reject byte-differing duplicates
+// while merging); leaves[i] lists the leaf positions proof i relies on.
+//
+// The returned root is the digest every *complete* proof would reconstruct
+// on its own: complete[i] reports whether proof i's claims alone cover the
+// root (the precondition for that equivalence — incomplete proofs must be
+// retried individually so they fail with their own ErrIncomplete). The
+// equivalence holds because (a) all claims are merged conflict-checked, so
+// a proof's own claims have the same values in the merged view, and (b)
+// every provided digest whose children are all known is recomputed and
+// compared, so a position one proof computes bottom-up can never be
+// short-circuited by another proof's differing claim. Any violation yields
+// ErrInconsistentSet.
+func ReconstructSet(proofs []*Proof, known map[int][]byte, leaves [][]int) ([]byte, []bool, error) {
+	if len(proofs) == 0 {
+		return nil, nil, errors.New("mht: empty proof set")
+	}
+	if len(leaves) != len(proofs) {
+		return nil, nil, fmt.Errorf("mht: %d leaf sets for %d proofs", len(leaves), len(proofs))
+	}
+	first := proofs[0]
+	if first == nil {
+		return nil, nil, fmt.Errorf("%w: nil proof", ErrInconsistentSet)
+	}
+	if !first.Alg.Valid() {
+		return nil, nil, fmt.Errorf("%w: invalid algorithm %d", ErrInconsistentSet, first.Alg)
+	}
+	fanout := int(first.Fanout)
+	if fanout < 2 || fanout > MaxFanout {
+		return nil, nil, fmt.Errorf("%w: invalid fanout %d", ErrInconsistentSet, fanout)
+	}
+	n := int(first.NumLeaves)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("%w: invalid leaf count", ErrInconsistentSet)
+	}
+	for _, p := range proofs[1:] {
+		if p == nil || p.Alg != first.Alg || p.Fanout != first.Fanout || p.NumLeaves != first.NumLeaves {
+			return nil, nil, fmt.Errorf("%w: proofs describe different tree shapes", ErrInconsistentSet)
+		}
+	}
+	size := first.Alg.Size()
+
+	var widths []int
+	for w := n; ; w = groupLevel(w, fanout).groups {
+		widths = append(widths, w)
+		if w == 1 {
+			break
+		}
+	}
+
+	// Merge every claim — leaves and proof entries — into one view, with
+	// conflict detection across proofs.
+	have := make([]map[uint32][]byte, len(widths))
+	for l := range have {
+		have[l] = make(map[uint32][]byte)
+	}
+	for idx, d := range known {
+		if idx < 0 || idx >= n {
+			return nil, nil, fmt.Errorf("%w: known leaf %d out of range", ErrInconsistentSet, idx)
+		}
+		if len(d) != size {
+			return nil, nil, fmt.Errorf("%w: known leaf %d digest size %d, want %d", ErrInconsistentSet, idx, len(d), size)
+		}
+		have[0][uint32(idx)] = d
+	}
+	for _, p := range proofs {
+		for _, e := range p.Entries {
+			if int(e.Level) >= len(widths) || int(e.Index) >= widths[e.Level] {
+				return nil, nil, fmt.Errorf("%w: entry (%d,%d) outside tree shape", ErrInconsistentSet, e.Level, e.Index)
+			}
+			if len(e.Digest) != size {
+				return nil, nil, fmt.Errorf("%w: entry (%d,%d) digest size %d, want %d", ErrInconsistentSet, e.Level, e.Index, len(e.Digest), size)
+			}
+			if prev, dup := have[e.Level][e.Index]; dup && !bytes.Equal(prev, e.Digest) {
+				return nil, nil, fmt.Errorf("%w: conflicting digests at (%d,%d)", ErrInconsistentSet, e.Level, e.Index)
+			}
+			have[e.Level][e.Index] = e.Digest
+		}
+	}
+
+	// Per-proof structural completeness: covered(l,i) ⇔ proof i claims the
+	// position or (recursively) all its children. No hashing — this only
+	// decides which proofs the shared root speaks for.
+	complete := make([]bool, len(proofs))
+	claims := make(map[uint64]struct{})
+	pos := func(l int, i uint32) uint64 { return uint64(l)<<32 | uint64(i) }
+	for pi, p := range proofs {
+		clear(claims)
+		for _, li := range leaves[pi] {
+			if li < 0 || li >= n {
+				return nil, nil, fmt.Errorf("%w: proof %d leaf %d out of range", ErrInconsistentSet, pi, li)
+			}
+			if _, present := known[li]; !present {
+				return nil, nil, fmt.Errorf("%w: proof %d leaf %d missing from known set", ErrInconsistentSet, pi, li)
+			}
+			claims[pos(0, uint32(li))] = struct{}{}
+		}
+		for _, e := range p.Entries {
+			claims[pos(int(e.Level), e.Index)] = struct{}{}
+		}
+		var covered func(l int, i uint32) bool
+		covered = func(l int, i uint32) bool {
+			if _, c := claims[pos(l, i)]; c {
+				return true
+			}
+			if l == 0 {
+				return false
+			}
+			first, last := groupLevel(widths[l-1], fanout).childRange(int(i))
+			for c := first; c < last; c++ {
+				if !covered(l-1, uint32(c)) {
+					return false
+				}
+			}
+			return true
+		}
+		complete[pi] = covered(len(widths)-1, 0)
+	}
+
+	// Bottom-up: compute every position whose children are all known,
+	// hashing each exactly once. Where a computed digest meets a provided
+	// one, they must agree.
+	h := first.Alg.New()
+	var arena []byte
+	visited := make(map[uint32]struct{})
+	for l := 1; l < len(widths); l++ {
+		grp := groupLevel(widths[l-1], fanout)
+		clear(visited)
+		for c := range have[l-1] {
+			p := uint32(grp.parentOf(int(c)))
+			if _, seen := visited[p]; seen {
+				continue
+			}
+			visited[p] = struct{}{}
+			first, last := grp.childRange(int(p))
+			full := true
+			for ci := first; ci < last; ci++ {
+				if _, ok := have[l-1][uint32(ci)]; !ok {
+					full = false
+					break
+				}
+			}
+			if !full {
+				continue
+			}
+			h.Reset()
+			for ci := first; ci < last; ci++ {
+				h.Write(have[l-1][uint32(ci)])
+			}
+			arena = h.Sum(arena)
+			d := arena[len(arena)-size:]
+			if prev, ok := have[l][p]; ok {
+				if !bytes.Equal(prev, d) {
+					return nil, nil, fmt.Errorf("%w: provided digest at (%d,%d) disagrees with its children", ErrInconsistentSet, l, p)
+				}
+				continue
+			}
+			have[l][p] = d
+		}
+	}
+
+	root, ok := have[len(widths)-1][0]
+	if !ok {
+		// No proof in the set covers the root; every one is incomplete and
+		// will be retried individually by the caller.
+		return nil, complete, nil
+	}
+	for pi := range complete {
+		if complete[pi] {
+			return root, complete, nil
+		}
+	}
+	return nil, complete, nil
+}
+
+// TreeScratch holds reusable storage for BuildInto: per-level node slices
+// and one digest arena. A zero value is ready; reusing one scratch across
+// builds of same-shaped trees reaches zero steady-state allocations. Not
+// safe for concurrent use.
+type TreeScratch struct {
+	bufs  [][][]byte // bufs[k] backs tree level k+1
+	arena []byte
+	tree  Tree
+}
+
+// BuildInto is Build with caller-provided scratch for transient trees (the
+// FULL method's per-query row trees). The returned tree aliases both the
+// scratch and the leaves slice: it is valid only until the next BuildInto
+// on s, and any digest taken from it (proof entries included) must be
+// copied before s is reused. Digests are byte-identical to Build's.
+func BuildInto(s *TreeScratch, alg digest.Alg, fanout int, leaves [][]byte) (*Tree, error) {
+	if !alg.Valid() {
+		return nil, fmt.Errorf("mht: invalid hash algorithm %d", alg)
+	}
+	if fanout < 2 || fanout > MaxFanout {
+		return nil, fmt.Errorf("mht: fanout %d out of range [2, %d]", fanout, MaxFanout)
+	}
+	if len(leaves) == 0 {
+		return nil, errors.New("mht: no leaves")
+	}
+	size := alg.Size()
+	for i, l := range leaves {
+		if len(l) != size {
+			return nil, fmt.Errorf("mht: leaf %d has %d bytes, want %d", i, len(l), size)
+		}
+	}
+	s.arena = s.arena[:0]
+	levels := s.tree.levels[:0]
+	levels = append(levels, leaves)
+	h := alg.New()
+	cur := leaves
+	for li := 0; len(cur) > 1; li++ {
+		grp := groupLevel(len(cur), fanout)
+		if li == len(s.bufs) {
+			s.bufs = append(s.bufs, make([][]byte, 0, grp.groups))
+		}
+		next := s.bufs[li][:0]
+		for p := 0; p < grp.groups; p++ {
+			first, last := grp.childRange(p)
+			h.Reset()
+			for _, child := range cur[first:last] {
+				h.Write(child)
+			}
+			s.arena = h.Sum(s.arena)
+			next = append(next, s.arena[len(s.arena)-size:])
+		}
+		s.bufs[li] = next
+		levels = append(levels, next)
+		cur = next
+	}
+	s.tree = Tree{alg: alg, fanout: fanout, levels: levels}
+	return &s.tree, nil
+}

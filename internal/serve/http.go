@@ -191,6 +191,17 @@ func statusFor(err error) int {
 	}
 }
 
+// wireBatch is one shared-encoding proof blob in a /batch reply: the
+// method, the answer indexes the blob covers (in blob item order), and the
+// core.ProofBatch wire bytes (base64 under encoding/json). Clients decode
+// with core.DecodeProofBatch and check with core.VerifyBatch.
+type wireBatch struct {
+	Method core.Method `json:"method"`
+	Items  []int       `json:"items"`
+	Bytes  int         `json:"batch_bytes"`
+	Batch  []byte      `json:"batch"`
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -198,9 +209,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var req struct {
 		Queries []Query `json:"queries"`
+		// Encoding selects the proof transport: "" (default) inlines one
+		// standalone proof per answer — the original shape, old clients
+		// unaffected — while "shared" moves proofs into per-method
+		// proof_batches blobs that dedup signatures and tuple bytes across
+		// the batch (answers keep their metadata, proof field empty).
+		Encoding string `json:"encoding,omitempty"`
 	}
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<24)).Decode(&req); err != nil {
 		http.Error(w, fmt.Sprintf("bad batch body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Encoding != "" && req.Encoding != "shared" {
+		http.Error(w, fmt.Sprintf("unknown batch encoding %q", req.Encoding), http.StatusBadRequest)
 		return
 	}
 	if len(req.Queries) > MaxBatch {
@@ -211,11 +232,60 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	answers := s.engine.QueryBatch(req.Queries)
 	out := struct {
 		Answers []wireAnswer `json:"answers"`
+		Batches []wireBatch  `json:"proof_batches,omitempty"`
 	}{Answers: make([]wireAnswer, len(answers))}
 	for i, a := range answers {
 		out.Answers[i] = toWire(a)
 	}
+	if req.Encoding == "shared" {
+		batches, err := shareProofs(out.Answers)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out.Batches = batches
+	}
 	writeJSON(w, out)
+}
+
+// shareProofs regroups per-answer proof bytes into one shared-encoding
+// blob per method, clearing the inlined proofs it absorbs (their
+// proof_bytes still report the standalone size, so clients can see the
+// dedup win). Failed answers and methods outside the registry keep their
+// original shape.
+func shareProofs(answers []wireAnswer) ([]wireBatch, error) {
+	byMethod := make(map[core.Method][]int)
+	var order []core.Method
+	for i, a := range answers {
+		if a.Error != "" || len(a.Proof) == 0 {
+			continue
+		}
+		if _, ok := byMethod[a.Method]; !ok {
+			order = append(order, a.Method)
+		}
+		byMethod[a.Method] = append(byMethod[a.Method], i)
+	}
+	var out []wireBatch
+	for _, m := range order {
+		idxs := byMethod[m]
+		items := make([]core.BatchItem, 0, len(idxs))
+		for _, i := range idxs {
+			pr, n, err := core.DecodeProof(m, answers[i].Proof)
+			if err != nil || n != len(answers[i].Proof) {
+				return nil, fmt.Errorf("serve: re-decode %s proof for batch encoding: %v", m, err)
+			}
+			items = append(items, core.BatchItem{VS: answers[i].VS, VT: answers[i].VT, Proof: pr})
+		}
+		blob, err := core.AppendProofBatch(nil, m, items)
+		if err != nil {
+			return nil, fmt.Errorf("serve: batch-encode %s proofs: %v", m, err)
+		}
+		for _, i := range idxs {
+			answers[i].Proof = nil
+		}
+		out = append(out, wireBatch{Method: m, Items: idxs, Bytes: len(blob), Batch: blob})
+	}
+	return out, nil
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {

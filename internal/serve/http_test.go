@@ -236,3 +236,109 @@ func TestHTTPConcurrentClients(t *testing.T) {
 		t.Errorf("misses = %d, want 4 distinct", s.Misses)
 	}
 }
+
+// TestHTTPBatchSharedEncoding opts a /batch request into the shared proof
+// transport and checks the whole client story: answers keep their metadata
+// but move their proofs into per-method blobs, repeated queries share one
+// body, the blob is smaller than the inlined proofs it replaces, and every
+// decoded item batch-verifies against the served key.
+func TestHTTPBatchSharedEncoding(t *testing.T) {
+	w, _, ts := testServer(t)
+	var req struct {
+		Queries  []Query `json:"queries"`
+		Encoding string  `json:"encoding"`
+	}
+	for i := 0; i < 3; i++ {
+		req.Queries = append(req.Queries, Query{Method: core.DIJ, VS: w.queries[i].S, VT: w.queries[i].T})
+	}
+	req.Queries = append(req.Queries, req.Queries[0]) // repeated query → backref
+	req.Queries = append(req.Queries, Query{Method: core.LDM, VS: w.queries[0].S, VT: w.queries[0].T})
+	req.Queries = append(req.Queries, Query{Method: "NOPE", VS: 0, VT: 1})
+	req.Encoding = "shared"
+	body, _ := json.Marshal(req)
+
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Answers []wireAnswer `json:"answers"`
+		Batches []wireBatch  `json:"proof_batches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 6 {
+		t.Fatalf("got %d answers", len(got.Answers))
+	}
+	if len(got.Batches) != 2 {
+		t.Fatalf("got %d proof batches, want DIJ + LDM", len(got.Batches))
+	}
+	covered := map[int]bool{}
+	for _, b := range got.Batches {
+		pb, n, err := core.DecodeProofBatch(b.Batch)
+		if err != nil || n != len(b.Batch) {
+			t.Fatalf("%s blob: n=%d/%d err=%v", b.Method, n, len(b.Batch), err)
+		}
+		if pb.Method != b.Method || pb.Len() != len(b.Items) {
+			t.Fatalf("%s blob: method %s, %d items for %d indexes", b.Method, pb.Method, pb.Len(), len(b.Items))
+		}
+		var inlined int
+		for k, i := range b.Items {
+			a := got.Answers[i]
+			if a.Method != b.Method || a.Error != "" {
+				t.Fatalf("%s blob covers answer %d (%s, err=%q)", b.Method, i, a.Method, a.Error)
+			}
+			if len(a.Proof) != 0 {
+				t.Errorf("answer %d still inlines its proof next to a batch blob", i)
+			}
+			inlined += a.Bytes
+			it := pb.Items()[k]
+			if it.VS != a.VS || it.VT != a.VT {
+				t.Errorf("%s blob item %d is %d→%d, answer says %d→%d", b.Method, k, it.VS, it.VT, a.VS, a.VT)
+			}
+			covered[i] = true
+		}
+		// Sharing wins whenever a blob has anything to share; a singleton
+		// blob only pays the (small) table framing.
+		if len(b.Items) > 1 && b.Bytes >= inlined {
+			t.Errorf("%s blob is %dB, replaced proofs were %dB — no dedup win", b.Method, b.Bytes, inlined)
+		}
+		for i, err := range core.VerifyBatch(w.verifier, b.Method, pb.Items()) {
+			if err != nil {
+				t.Errorf("%s blob item %d: %v", b.Method, i, err)
+			}
+		}
+	}
+	// The repeated DIJ query must share its first occurrence's proof value.
+	for _, b := range got.Batches {
+		if b.Method == core.DIJ {
+			items := make(map[int]int) // answer index → blob position
+			for k, i := range b.Items {
+				items[i] = k
+			}
+			pb, _, _ := core.DecodeProofBatch(b.Batch)
+			if pb.Items()[items[3]].Proof != pb.Items()[items[0]].Proof {
+				t.Error("repeated query did not share its proof body")
+			}
+		}
+	}
+	if got.Answers[4].Error != "" || covered[5] {
+		t.Errorf("answer shapes wrong: LDM err=%q, failed item covered=%v", got.Answers[4].Error, covered[5])
+	}
+	if got.Answers[5].Error == "" {
+		t.Error("unknown-method item reported no error")
+	}
+
+	// Unknown encodings are a client error, not silently the default.
+	resp2, err := http.Post(ts.URL+"/batch", "application/json",
+		strings.NewReader(`{"queries":[],"encoding":"gzip"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown encoding: status %d, want 400", resp2.StatusCode)
+	}
+}

@@ -107,3 +107,11 @@ func (h *Heap) swap(i, j int) {
 	h.pos[h.items[i].node] = i
 	h.pos[h.items[j].node] = j
 }
+
+// Reset empties the heap for reuse, keeping its storage. Batch clients run
+// many searches in sequence on one pooled heap instead of allocating one
+// per proof.
+func (h *Heap) Reset() {
+	h.items = h.items[:0]
+	clear(h.pos)
+}

@@ -140,6 +140,40 @@ func VerifyProof(v *Verifier, m Method, vs, vt NodeID, p Proof) error {
 	return core.VerifyProof(v, m, vs, vt, p)
 }
 
+// BatchItem pairs one query's endpoints with its proof for batch
+// verification. Items may repeat (vs, vt, proof) — VerifyBatch verifies
+// each distinct item once and shares the verdict.
+type BatchItem = core.BatchItem
+
+// VerifyBatch client-verifies a batch of proofs of one method, returning
+// one verdict per item (nil ⇒ authentic and optimal). Verdicts are
+// accept/reject-equivalent to calling VerifyProof per item, but proofs
+// from one epoch share the expensive work: each distinct root signature is
+// checked once and overlapping Merkle authentication paths reconstruct as
+// one merged partial tree. See DESIGN.md §12.
+func VerifyBatch(v *Verifier, m Method, items []BatchItem) []error {
+	return core.VerifyBatch(v, m, items)
+}
+
+// ProofBatch is a decoded shared-encoding proof blob (the /batch
+// "encoding":"shared" transport): many proofs of one method with
+// signatures and tuple bytes stored once. Items() feeds VerifyBatch.
+type ProofBatch = core.ProofBatch
+
+// AppendProofBatch encodes proofs of one method into the shared batch
+// wire form, deduplicating signatures, tuple records and whole repeated
+// proofs across the batch.
+func AppendProofBatch(buf []byte, m Method, items []BatchItem) ([]byte, error) {
+	return core.AppendProofBatch(buf, m, items)
+}
+
+// DecodeProofBatch parses a shared batch encoding, returning the batch and
+// the bytes consumed. The encoding is canonical: decode → re-encode is
+// byte-identity.
+func DecodeProofBatch(buf []byte) (*ProofBatch, int, error) {
+	return core.DecodeProofBatch(buf)
+}
+
 // DefaultConfig mirrors the paper's default setting (Table II), with the
 // landmark count scaled for the 1/10-scale synthetic datasets.
 func DefaultConfig() Config { return core.DefaultConfig() }
