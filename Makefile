@@ -6,7 +6,7 @@ GO ?= go
 # Snapshot file produced by `make snap` and audited by `make snap-verify`.
 SNAP ?= snapshot.spv
 
-.PHONY: all build test short race bench bench-json bench-gate load snap snap-verify fmt fmt-check vet lint clean
+.PHONY: all build test short race bench bench-json bench-gate load snap snap-verify large-snap fmt fmt-check vet lint clean
 
 # staticcheck version the lint lane pins (CI installs exactly this).
 STATICCHECK_VERSION ?= 2025.1
@@ -87,6 +87,15 @@ snap:
 snap-verify:
 	$(GO) run ./cmd/spvsnap info $(SNAP)
 	$(GO) run ./cmd/spvsnap verify $(SNAP) -proofs 64
+
+# Large-snapshot lane: build a 10⁵-node grid world, snapshot DIJ+LDM,
+# then restart a replica both ways under a GOMEMLIMIT that would make
+# full-file hydration hurt. Asserts lazy open + first verified proof
+# beats the eager load by ≥10× and that DIJ-only traffic leaves the LDM
+# bulk on disk (resident ≪ eager). The log carries LARGE-SNAPSHOT size
+# and latency markers for the CI artifact.
+large-snap:
+	SPV_LARGE_SNAPSHOT=1 GOMEMLIMIT=512MiB $(GO) test -run TestLargeSnapshotColdStart -v . | tee large-snapshot.txt
 
 fmt:
 	gofmt -l -w .

@@ -51,6 +51,7 @@ import (
 
 	spv "github.com/authhints/spv"
 	"github.com/authhints/spv/internal/loadgen"
+	"github.com/authhints/spv/internal/netgen"
 	"github.com/authhints/spv/internal/workload"
 )
 
@@ -118,16 +119,17 @@ func main() {
 	baselineFile := flag.String("baseline", "", "previous benchjson output to embed for comparison")
 	loadDur := flag.Duration("load-duration", 0, "run the open-loop load lanes for this long each (0 = skip)")
 	loadRate := flag.Float64("load-rate", 150, "offered arrival rate for the load lanes, requests/sec")
+	largeNodes := flag.Int("large-nodes", 100000, "grid-world node count for the lazy-snapshot lanes (0 = skip)")
 	assumeCPUs := flag.Int("assume-cpus", 0,
 		"pin GOMAXPROCS to N and record cpus=N, to generate a baseline candidate for a runner with a different CPU budget (0 = use this host's)")
 	flag.Parse()
-	if err := run(*out, *baselineFile, *loadDur, *loadRate, *assumeCPUs); err != nil {
+	if err := run(*out, *baselineFile, *loadDur, *loadRate, *assumeCPUs, *largeNodes); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, baselineFile string, loadDur time.Duration, loadRate float64, assumeCPUs int) error {
+func run(out, baselineFile string, loadDur time.Duration, loadRate float64, assumeCPUs, largeNodes int) error {
 	r := Report{
 		Schema:  "spv-bench/v1",
 		Go:      runtime.Version(),
@@ -359,6 +361,12 @@ func run(out, baselineFile string, loadDur time.Duration, loadRate float64, assu
 		}
 	})
 
+	if largeNodes > 0 {
+		if err := benchLazySnapshot(&r, measure, largeNodes); err != nil {
+			return err
+		}
+	}
+
 	// Update vs rebuild: a single-edge re-weighting through the full
 	// incremental pipeline (probe → patch all served methods → hot-swap)
 	// against a from-scratch re-outsource of the same method set. The
@@ -450,6 +458,130 @@ func benchLoad(r *Report, g *spv.Graph, rate float64, dur time.Duration) error {
 			}
 		}
 	}
+	return nil
+}
+
+// benchLazySnapshot measures the replica cold-start story on a large grid
+// world (O(n+m) generation keeps the lane about the snapshot, not the
+// generator): eager load as the baseline, lazy open, lazy open + first
+// verified proof (the replica time-to-first-answer), and resident heap
+// bytes after single-method traffic — the number that shows an untouched
+// method costs nothing. DIJ + LDM only: LDM's c×n distance rows give the
+// file real bulk, and the lanes query only DIJ so the LDM rows are
+// exactly the bytes laziness must not load.
+func benchLazySnapshot(r *Report, measure func(string, func(b *testing.B)), nodes int) error {
+	g, err := netgen.Grid(nodes, 11)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "large world: %d-node grid (%d edges); building DIJ+LDM snapshot...\n",
+		g.NumNodes(), g.NumEdges())
+	owner, err := spv.NewOwner(g, spv.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	provs := make([]spv.Provider, 0, 2)
+	for _, m := range []spv.Method{spv.DIJ, spv.LDM} {
+		p, err := owner.Outsource(m)
+		if err != nil {
+			return err
+		}
+		provs = append(provs, p)
+	}
+	path := filepath.Join(os.TempDir(), fmt.Sprintf("benchjson-large-%d.spv", os.Getpid()))
+	defer os.Remove(path)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	size, err := owner.WriteSnapshot(f, provs...)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	r.Results["snapshot/file-bytes"] = Metrics{N: 1, BPerOp: size}
+	fmt.Fprintf(os.Stderr, "%-22s %23d bytes\n", "snapshot/file-bytes", size)
+	qs, err := spv.GenerateWorkload(g, 16, 4000, 9)
+	if err != nil {
+		return err
+	}
+	verifier := owner.Verifier()
+
+	measure("snapshot/eager-load", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := spv.LoadProviderSet(path); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("snapshot/lazy-open", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			set, err := spv.LoadProviderSetLazy(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			set.Close()
+		}
+	})
+	// Cold open through first client-verified proof, per iteration — the
+	// replica's time-to-first-answer, including the DIJ section hydration.
+	measure("snapshot/first-query", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			set, err := spv.LoadProviderSetLazy(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := qs[i%len(qs)]
+			pr, err := set.Provider(spv.DIJ).QueryProof(q.S, q.T)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := spv.VerifyProof(verifier, spv.DIJ, q.S, q.T, pr); err != nil {
+				b.Fatal(err)
+			}
+			set.Close()
+		}
+	})
+
+	// Resident bytes after DIJ-only traffic: heap growth attributable to
+	// the open set, measured with the GC quiesced. Not a timing lane — N=1
+	// and B/op carries the number; read it against snapshot/file-bytes.
+	resident := func(open func() (*spv.ProviderSet, error)) (int64, error) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		set, err := open()
+		if err != nil {
+			return 0, err
+		}
+		for _, q := range qs {
+			if _, err := set.Provider(spv.DIJ).QueryProof(q.S, q.T); err != nil {
+				return 0, err
+			}
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		delta := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+		runtime.KeepAlive(set)
+		set.Close()
+		return delta, nil
+	}
+	lazyRes, err := resident(func() (*spv.ProviderSet, error) { return spv.LoadProviderSetLazy(path) })
+	if err != nil {
+		return err
+	}
+	eagerRes, err := resident(func() (*spv.ProviderSet, error) { return spv.LoadProviderSet(path) })
+	if err != nil {
+		return err
+	}
+	r.Results["snapshot/resident-bytes"] = Metrics{N: 1, BPerOp: lazyRes}
+	r.Results["snapshot/resident-bytes-eager"] = Metrics{N: 1, BPerOp: eagerRes}
+	fmt.Fprintf(os.Stderr, "%-22s %23d bytes (eager: %d)\n", "snapshot/resident-bytes", lazyRes, eagerRes)
 	return nil
 }
 

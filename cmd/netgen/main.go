@@ -6,6 +6,10 @@
 //
 //	netgen -dataset DE -scale 0.1 -o de.spvg
 //	netgen -nodes 5000 -edges 5270 -seed 7 -format edgelist -o custom.txt
+//
+//	# Large worlds for snapshot/lazy-load stress (O(n+m) generation):
+//	netgen -topology grid -nodes 1000000 -o grid1m.spvg
+//	netgen -topology scalefree -nodes 200000 -degree 2 -o sf200k.spvg
 package main
 
 import (
@@ -25,19 +29,28 @@ func main() {
 		edges   = flag.Int("edges", 0, "explicit edge count (with -nodes)")
 		seed    = flag.Int64("seed", 0, "generation seed (0 = per-dataset default)")
 		format  = flag.String("format", "spvg", "output format: spvg or edgelist")
+		topo    = flag.String("topology", "road", "generator: road (DCW-shaped), grid, or scalefree (needs -nodes)")
+		degree  = flag.Int("degree", 2, "scalefree attachment degree")
 		out     = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
 	var g *graph.Graph
 	var err error
-	if *nodes > 0 {
+	switch {
+	case *topo == "grid":
+		g, err = netgen.Grid(*nodes, *seed)
+	case *topo == "scalefree":
+		g, err = netgen.ScaleFree(*nodes, *degree, *seed)
+	case *topo != "road":
+		err = fmt.Errorf("unknown topology %q", *topo)
+	case *nodes > 0:
 		m := *edges
 		if m == 0 {
 			m = *nodes + *nodes/20
 		}
 		g, err = netgen.Synthesize(*nodes, m, *seed)
-	} else {
+	default:
 		g, err = netgen.Generate(netgen.Dataset(*dataset), netgen.Config{Scale: *scale, Seed: *seed})
 	}
 	if err != nil {

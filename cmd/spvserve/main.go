@@ -13,6 +13,11 @@
 //	spvserve -snapshot world.spv -addr :8081              # replica 1 (no owner key)
 //	spvserve -snapshot world.spv -addr :8082              # replica 2
 //
+// Replicas boot lazily: only the small core sections load at startup and
+// each method's payload hydrates from the file on its first query, so a
+// replica over a multi-gigabyte world serves its first proof in
+// milliseconds. Pass -eager to hydrate everything at startup instead.
+//
 //	# Resume an update-capable owner from a snapshot + the same persisted
 //	# key the origin ran with (spvquery keygen -key owner.pem creates one;
 //	# a fresh per-run key can never resume — the snapshot pins its public
@@ -68,6 +73,7 @@ func main() {
 		cells    = flag.Int("cells", 0, "HYP grid cell count (0 = config default)")
 		updates  = flag.Bool("updates", false, "enable owner-side POST /update (incremental edge re-weighting + hot-swap)")
 		snapFile = flag.String("snapshot", "", "cold-start from this snapshot file instead of outsourcing")
+		eager    = flag.Bool("eager", false, "with -snapshot: hydrate every method at startup instead of on first query")
 		saveFile = flag.String("save", "", "write a snapshot here after startup and enable POST /snapshot")
 		drain    = flag.Duration("drain", 10*time.Second, "in-flight drain timeout on SIGINT/SIGTERM before forced exit")
 	)
@@ -78,7 +84,7 @@ func main() {
 		addr: *addr, dataset: *dataset, scale: *scale, nodes: *nodes, edges: *edges,
 		seed: *seed, methods: *methods, workers: *workers, cache: *cache,
 		keyFile: *keyFile, landmarks: *landmark, cells: *cells, updates: *updates,
-		snapFile: *snapFile, saveFile: *saveFile, drain: *drain, explicit: set,
+		snapFile: *snapFile, saveFile: *saveFile, eager: *eager, drain: *drain, explicit: set,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "spvserve: %v\n", err)
@@ -94,7 +100,7 @@ type serveFlags struct {
 	scale                                               float64
 	nodes, edges, workers, landmarks, cells             int
 	seed, cache                                         int64
-	updates                                             bool
+	updates, eager                                      bool
 	drain                                               time.Duration
 	explicit                                            map[string]bool
 }
@@ -110,6 +116,11 @@ func run(fl serveFlags) error {
 				return fmt.Errorf("-%s has no effect with -snapshot (the snapshot fixes the world and methods); drop it", name)
 			}
 		}
+	}
+	if fl.eager && (fl.snapFile == "" || fl.updates) {
+		// Owner resume is always eager — every method gets patched, so
+		// deferring hydration would only move the same work later.
+		return fmt.Errorf("-eager only applies to a key-less -snapshot replica boot")
 	}
 	serveOpts := spv.ServeOptions{Workers: fl.workers, CacheBytes: fl.cache}
 	var (
@@ -148,14 +159,24 @@ func run(fl serveFlags) error {
 			// owner resumed when only a replica booted.
 			return fmt.Errorf("-key with -snapshot needs -updates (owner resume); drop -key for a replica")
 		}
+		// Replicas boot lazily by default: core sections load now, method
+		// payloads hydrate on first query — on large worlds the daemon
+		// answers its first proof in milliseconds instead of reading the
+		// whole file. -eager restores hydrate-everything-at-startup (pays
+		// the full load up front, no first-query hydration latency).
 		start := time.Now()
-		e, set, err := spv.LoadEngine(fl.snapFile, serveOpts)
+		mode := "lazy"
+		load := spv.LoadEngineLazy
+		if fl.eager {
+			mode, load = "eager", spv.LoadEngine
+		}
+		e, set, err := load(fl.snapFile, serveOpts)
 		if err != nil {
 			return err
 		}
 		engine, verifier = e, set.Verifier
-		log.Printf("replica cold-started from %s in %v: epoch %d, %d nodes, methods %v",
-			fl.snapFile, time.Since(start).Round(time.Millisecond),
+		log.Printf("replica cold-started (%s) from %s in %v: epoch %d, %d nodes, methods %v",
+			mode, fl.snapFile, time.Since(start).Round(time.Millisecond),
 			set.Epoch, set.Graph.NumNodes(), engine.Methods())
 	default:
 		if dep, err = buildDeployment(fl, serveOpts); err != nil {

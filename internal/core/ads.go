@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/authhints/spv/internal/graph"
 	"github.com/authhints/spv/internal/mht"
@@ -19,6 +20,61 @@ type networkADS struct {
 	ord  *order.Ordering
 	tree *mht.Tree
 	msgs [][]byte // canonical tuple encoding per leaf position
+	// lazy, when non-nil, fills msgs on demand: leaf encodings are a
+	// deterministic function of the graph and the method's extra bytes, so
+	// a lazily opened snapshot defers them until a query actually covers a
+	// leaf. All msgs reads must go through msg() (or materialize() for
+	// whole-table access) — the per-chunk sync.Once is what publishes the
+	// writes to concurrent readers.
+	lazy *lazyTuples
+}
+
+// tupleChunk is the lazy-encoding granularity: one first-touch encodes
+// this many leaves. Small enough that a query's resident cost stays
+// proportional to the leaves it covers, large enough that the per-chunk
+// sync.Once bookkeeping disappears against encoding cost.
+const tupleChunk = 1024
+
+// lazyTuples is the on-demand encoder behind a lazily opened networkADS.
+type lazyTuples struct {
+	g       *graph.Graph
+	extraFn func(graph.NodeID) []byte
+	chunks  []sync.Once
+	all     sync.Once
+}
+
+// msg returns the canonical tuple encoding at leaf position pos, encoding
+// its chunk on first touch.
+func (a *networkADS) msg(pos int) []byte {
+	if a.lazy != nil {
+		a.lazy.chunks[pos/tupleChunk].Do(func() { a.fillChunk(pos / tupleChunk) })
+	}
+	return a.msgs[pos]
+}
+
+func (a *networkADS) fillChunk(c int) {
+	lo := c * tupleChunk
+	hi := min(lo+tupleChunk, len(a.msgs))
+	for pos := lo; pos < hi; pos++ {
+		a.msgs[pos] = encodeTupleMsg(a.lazy.g, a.ord.Seq[pos], a.lazy.extraFn, nil)
+	}
+}
+
+// materialize encodes every remaining chunk (in parallel), for paths that
+// walk the whole message table: copy-on-write patching, snapshot
+// re-publication, full-table audits. Idempotent and safe concurrently
+// with msg readers.
+func (a *networkADS) materialize() {
+	if a.lazy == nil {
+		return
+	}
+	a.lazy.all.Do(func() {
+		par.Chunks(len(a.lazy.chunks), 1, func(lo, hi int) {
+			for c := lo; c < hi; c++ {
+				a.lazy.chunks[c].Do(func() { a.fillChunk(c) })
+			}
+		})
+	})
 }
 
 // buildNetworkADS encodes every node's extended-tuple (with the method's
@@ -72,6 +128,7 @@ func (a *networkADS) patched(dirtyMsgs map[int][]byte) (*networkADS, int, error)
 		return a, 0, nil
 	}
 	h := a.tree.Alg().New()
+	a.materialize()
 	msgs := append([][]byte(nil), a.msgs...)
 	dirtyLeaves := make(map[int][]byte, len(dirtyMsgs))
 	for pos, msg := range dirtyMsgs {
@@ -94,13 +151,13 @@ func (a *networkADS) Root() []byte { return a.tree.Root() }
 func (a *networkADS) Pos(v graph.NodeID) int { return a.ord.Pos[v] }
 
 // TupleBytes returns the canonical encoding of node v's tuple.
-func (a *networkADS) TupleBytes(v graph.NodeID) []byte { return a.msgs[a.ord.Pos[v]] }
+func (a *networkADS) TupleBytes(v graph.NodeID) []byte { return a.msg(a.ord.Pos[v]) }
 
 // Records assembles the wire records (position + bytes) for a node set.
 func (a *networkADS) Records(nodes []graph.NodeID) []tupleRecord {
 	recs := make([]tupleRecord, 0, len(nodes))
 	for _, v := range nodes {
-		recs = append(recs, tupleRecord{Pos: uint32(a.ord.Pos[v]), Bytes: a.msgs[a.ord.Pos[v]]})
+		recs = append(recs, tupleRecord{Pos: uint32(a.ord.Pos[v]), Bytes: a.msg(a.ord.Pos[v])})
 	}
 	return recs
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/snapshot"
 )
 
 // This file wires DIJ (dij.go) into the method registry: the erased
@@ -96,6 +97,19 @@ func (dijImpl) AppendSnapshot(buf []byte, p Provider) ([]byte, error) {
 	return appendSnapTree(appendBytes(buf, dp.rootSig), dp.ads.tree), nil
 }
 
+// StreamSnapshot writes the same bytes as AppendSnapshot, streamed.
+func (dijImpl) StreamSnapshot(sw *snapshot.Writer, p Provider) error {
+	dp, err := providerAs[*DIJProvider](DIJ, p)
+	if err != nil {
+		return err
+	}
+	size := snapBytesSize(dp.rootSig) + snapTreeSize(dp.ads.tree)
+	return streamSection(sw, snapKindDIJ, size, func(s *snapStream) {
+		s.bytes(dp.rootSig)
+		s.tree(dp.ads.tree)
+	})
+}
+
 func (dijImpl) DecodeSnapshot(payload []byte, env *SnapshotEnv) (Provider, error) {
 	c := &snapCursor{buf: payload}
 	rootSig := c.bytes()
@@ -103,7 +117,7 @@ func (dijImpl) DecodeSnapshot(payload []byte, env *SnapshotEnv) (Provider, error
 	if err := c.finish("DIJ"); err != nil {
 		return nil, err
 	}
-	ads, err := rehydrateADS(env.Graph, env.Ord, tree, nil)
+	ads, err := env.rehydrateADS(tree, nil)
 	if err != nil {
 		return nil, err
 	}

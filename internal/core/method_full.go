@@ -5,6 +5,7 @@ import (
 
 	"github.com/authhints/spv/internal/graph"
 	"github.com/authhints/spv/internal/mbt"
+	"github.com/authhints/spv/internal/snapshot"
 )
 
 // This file wires FULL (full.go) into the method registry: the erased
@@ -102,6 +103,22 @@ func (fullImpl) AppendSnapshot(buf []byte, p Provider) ([]byte, error) {
 	return appendSnapTree(buf, fp.forest.Top()), nil
 }
 
+// StreamSnapshot writes the same bytes as AppendSnapshot, streamed.
+func (fullImpl) StreamSnapshot(sw *snapshot.Writer, p Provider) error {
+	fp, err := providerAs[*FULLProvider](FULL, p)
+	if err != nil {
+		return err
+	}
+	size := snapBytesSize(fp.netSig) + snapBytesSize(fp.distSig) +
+		snapTreeSize(fp.ads.tree) + snapTreeSize(fp.forest.Top())
+	return streamSection(sw, snapKindFULL, size, func(s *snapStream) {
+		s.bytes(fp.netSig)
+		s.bytes(fp.distSig)
+		s.tree(fp.ads.tree)
+		s.tree(fp.forest.Top())
+	})
+}
+
 func (fullImpl) DecodeSnapshot(payload []byte, env *SnapshotEnv) (Provider, error) {
 	c := &snapCursor{buf: payload}
 	netSig := c.bytes()
@@ -111,7 +128,7 @@ func (fullImpl) DecodeSnapshot(payload []byte, env *SnapshotEnv) (Provider, erro
 	if err := c.finish("FULL"); err != nil {
 		return nil, err
 	}
-	ads, err := rehydrateADS(env.Graph, env.Ord, netTree, nil)
+	ads, err := env.rehydrateADS(netTree, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/authhints/spv/internal/hiti"
 	"github.com/authhints/spv/internal/mbt"
 	"github.com/authhints/spv/internal/mht"
+	"github.com/authhints/spv/internal/snapshot"
 )
 
 // This file wires HYP (hyp.go) into the method registry: the erased
@@ -131,6 +132,51 @@ func (hypImpl) AppendSnapshot(buf []byte, p Provider) ([]byte, error) {
 	return appendSnapTree(buf, hp.ads.tree), nil
 }
 
+// StreamSnapshot writes the same bytes as AppendSnapshot, streamed — the
+// materialized W* rows are HYP's dominant payload.
+func (hypImpl) StreamSnapshot(sw *snapshot.Writer, p Provider) error {
+	hp, err := providerAs[*HYPProvider](HYP, p)
+	if err != nil {
+		return err
+	}
+	full, rows := hp.hyper.Rows()
+	size := snapBytesSize(hp.netSig) + snapBytesSize(hp.distSig) + 1 + 4 + 4 + 1 +
+		snapTreeSize(hp.ads.tree)
+	for _, row := range rows {
+		size += 8 * uint64(len(row))
+	}
+	if hp.distMBT != nil {
+		size += snapTreeSize(hp.distMBT.MHT())
+	}
+	return streamSection(sw, snapKindHYP, size, func(s *snapStream) {
+		s.bytes(hp.netSig)
+		s.bytes(hp.distSig)
+		if full {
+			s.u8(1)
+		} else {
+			s.u8(0)
+		}
+		rowLen := 0
+		if len(rows) > 0 {
+			rowLen = len(rows[0])
+		}
+		s.u32(uint32(len(rows)))
+		s.u32(uint32(rowLen))
+		for _, row := range rows {
+			for _, d := range row {
+				s.f64(d)
+			}
+		}
+		if hp.distMBT != nil {
+			s.u8(1)
+			s.tree(hp.distMBT.MHT())
+		} else {
+			s.u8(0)
+		}
+		s.tree(hp.ads.tree)
+	})
+}
+
 func (hypImpl) DecodeSnapshot(payload []byte, env *SnapshotEnv) (Provider, error) {
 	c := &snapCursor{buf: payload}
 	netSig := c.bytes()
@@ -183,7 +229,7 @@ func (hypImpl) DecodeSnapshot(payload []byte, env *SnapshotEnv) (Provider, error
 	} else if hyper.NumBorders() > 0 {
 		return nil, fmt.Errorf("%w: HYP section has %d borders but no distance tree", ErrBadSnapshot, hyper.NumBorders())
 	}
-	p2.ads, err = rehydrateADS(env.Graph, env.Ord, netTree, hyper.Extra)
+	p2.ads, err = env.rehydrateADS(netTree, hyper.Extra)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/authhints/spv/internal/graph"
 	"github.com/authhints/spv/internal/hints/landmark"
+	"github.com/authhints/spv/internal/snapshot"
 )
 
 // This file wires LDM (ldm.go) into the method registry: the erased
@@ -121,6 +122,41 @@ func (ldmImpl) AppendSnapshot(buf []byte, p Provider) ([]byte, error) {
 	return appendSnapTree(buf, lp.ads.tree), nil
 }
 
+// StreamSnapshot writes the same bytes as AppendSnapshot, streamed — the
+// c × n exact distance rows are a large snapshot's dominant payload, and
+// streaming them row by row keeps the owner from holding the section
+// twice.
+func (ldmImpl) StreamSnapshot(sw *snapshot.Writer, p Provider) error {
+	lp, err := providerAs[*LDMProvider](LDM, p)
+	if err != nil {
+		return err
+	}
+	h := lp.hints
+	if h.Dists == nil {
+		return errors.New("core: LDM provider retains no distance rows; cannot snapshot")
+	}
+	size := snapBytesSize(lp.rootSig) + 4 + 8 + 4 + 4*uint64(len(h.Landmarks)) +
+		snapTreeSize(lp.ads.tree)
+	for _, row := range h.Dists {
+		size += 8 * uint64(len(row))
+	}
+	return streamSection(sw, snapKindLDM, size, func(s *snapStream) {
+		s.bytes(lp.rootSig)
+		s.u32(uint32(h.Bits))
+		s.f64(h.Lambda)
+		s.u32(uint32(len(h.Landmarks)))
+		for _, l := range h.Landmarks {
+			s.u32(uint32(l))
+		}
+		for _, row := range h.Dists {
+			for _, d := range row {
+				s.f64(d)
+			}
+		}
+		s.tree(lp.ads.tree)
+	})
+}
+
 func (ldmImpl) DecodeSnapshot(payload []byte, env *SnapshotEnv) (Provider, error) {
 	c := &snapCursor{buf: payload}
 	rootSig := c.bytes()
@@ -167,7 +203,7 @@ func (ldmImpl) DecodeSnapshot(payload []byte, env *SnapshotEnv) (Provider, error
 		Xi:          env.Cfg.Xi,
 		FixedLambda: lambda,
 	})
-	ads, err := rehydrateADS(env.Graph, env.Ord, tree, func(v graph.NodeID) []byte {
+	ads, err := env.rehydrateADS(tree, func(v graph.NodeID) []byte {
 		return h.PayloadOf(v).AppendBinary(h.Bits, nil)
 	})
 	if err != nil {

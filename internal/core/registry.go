@@ -110,6 +110,10 @@ type SnapshotEnv struct {
 	View  *graph.CSR
 	Ord   *order.Ordering
 	Cfg   Config
+	// lazyTuples marks an env built by a lazy open: rehydrateADS defers
+	// leaf tuple encoding to first query touch instead of encoding every
+	// node up front.
+	lazyTuples bool
 }
 
 // Registry maps methods to implementations with a fixed canonical
@@ -228,8 +232,15 @@ func proofAs[T Proof](m Method, pr Proof) (T, error) {
 	return p, nil
 }
 
-// providerAs narrows an erased provider to method m's concrete type.
+// providerAs narrows an erased provider to method m's concrete type,
+// hydrating a lazily opened provider first — patching or re-snapshotting
+// a lazy set materializes exactly the methods the operation touches.
 func providerAs[T Provider](m Method, p Provider) (T, error) {
+	p, err := unwrapProvider(p)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
 	cp, ok := p.(T)
 	if !ok {
 		var zero T

@@ -1,13 +1,14 @@
 package core
 
 import (
-	"bytes"
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"sync"
 
 	"github.com/authhints/spv/internal/digest"
 	"github.com/authhints/spv/internal/graph"
@@ -106,6 +107,9 @@ type ProviderSet struct {
 	// ReadProviderSet); RestoreOwner adopts it so the staleness guard's
 	// pointer-identity test holds across a restore.
 	view *graph.CSR
+	// file backs a lazily opened set (OpenProviderSetLazy): method
+	// sections hydrate from it on demand until Close. Nil for eager loads.
+	file *snapshot.File
 }
 
 // Provider returns the set's provider for m, or nil when the set does
@@ -202,11 +206,16 @@ func (s *ProviderSet) WriteTo(w io.Writer) (int64, error) {
 	if err := sw.Section(snapKindConfig, appendSnapConfig(nil, s.Cfg)); err != nil {
 		return sw.Bytes(), err
 	}
-	var gb bytes.Buffer
-	if _, err := s.Graph.WriteTo(&gb); err != nil {
+	// The graph streams straight into its section — its encoded size is
+	// exact arithmetic, so nothing buffers a second copy.
+	gw, err := sw.BeginSection(snapKindGraph, uint64(s.Graph.BinarySize()))
+	if err != nil {
 		return sw.Bytes(), err
 	}
-	if err := sw.Section(snapKindGraph, gb.Bytes()); err != nil {
+	if _, err := s.Graph.WriteTo(gw); err != nil {
+		return sw.Bytes(), err
+	}
+	if err := sw.EndSection(); err != nil {
 		return sw.Bytes(), err
 	}
 	pem, err := s.Verifier.MarshalPEM()
@@ -224,6 +233,16 @@ func (s *ProviderSet) WriteTo(w io.Writer) (int64, error) {
 		if p == nil {
 			continue
 		}
+		// Methods that can declare their section size up front stream it
+		// (hint-row payloads dominate a large snapshot; materializing them
+		// would briefly double the owner's resident set); others fall back
+		// to the buffered AppendSnapshot contract.
+		if streamer, ok := impl.(snapshotStreamer); ok {
+			if err := streamer.StreamSnapshot(sw, p); err != nil {
+				return sw.Bytes(), err
+			}
+			continue
+		}
 		payload, err := impl.AppendSnapshot(nil, p)
 		if err != nil {
 			return sw.Bytes(), err
@@ -236,6 +255,110 @@ func (s *ProviderSet) WriteTo(w io.Writer) (int64, error) {
 		return sw.Bytes(), err
 	}
 	return sw.Bytes(), nil
+}
+
+// snapshotStreamer is an optional MethodImpl capability: write the
+// method's snapshot section by streaming into the container writer
+// (snapshot.Writer.BeginSection with a precomputed exact length) instead
+// of materializing the whole payload for AppendSnapshot. The streamed
+// bytes must be identical to AppendSnapshot's — the round-trip and golden
+// fixtures pin that equivalence. All four built-in methods implement it.
+type snapshotStreamer interface {
+	StreamSnapshot(sw *snapshot.Writer, p Provider) error
+}
+
+// snapStream adapts a streaming section writer to the append-style
+// encoding helpers, with sticky-error semantics mirroring snapCursor. The
+// bufio layer keeps tree-level and row writes from degenerating into tiny
+// syscalls.
+type snapStream struct {
+	bw  *bufio.Writer
+	err error
+}
+
+func newSnapStream(w io.Writer) *snapStream {
+	return &snapStream{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (s *snapStream) write(p []byte) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = s.bw.Write(p)
+}
+
+func (s *snapStream) u8(v byte) { s.write([]byte{v}) }
+
+func (s *snapStream) u16(v uint16) {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	s.write(b[:])
+}
+
+func (s *snapStream) u32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	s.write(b[:])
+}
+
+func (s *snapStream) f64(v float64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	s.write(b[:])
+}
+
+func (s *snapStream) bytes(b []byte) {
+	s.u32(uint32(len(b)))
+	s.write(b)
+}
+
+// tree streams a Merkle tree in appendSnapTree's exact layout.
+func (s *snapStream) tree(t *mht.Tree) {
+	levels := t.Levels()
+	s.u8(byte(t.Alg()))
+	s.u16(uint16(t.Fanout()))
+	s.u32(uint32(len(levels)))
+	for _, lvl := range levels {
+		s.u32(uint32(len(lvl)))
+		for _, d := range lvl {
+			s.write(d)
+		}
+	}
+}
+
+func (s *snapStream) flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
+// snapBytesSize and snapTreeSize are the size arithmetic behind streaming
+// sections: they must match appendBytes/appendSnapTree byte for byte.
+func snapBytesSize(b []byte) uint64 { return 4 + uint64(len(b)) }
+
+func snapTreeSize(t *mht.Tree) uint64 {
+	total := uint64(1 + 2 + 4)
+	size := uint64(t.Alg().Size())
+	for _, lvl := range t.Levels() {
+		total += 4 + uint64(len(lvl))*size
+	}
+	return total
+}
+
+// streamSection runs one method's body writer inside a BeginSection /
+// EndSection frame of the declared size.
+func streamSection(sw *snapshot.Writer, kind uint32, size uint64, body func(s *snapStream)) error {
+	w, err := sw.BeginSection(kind, size)
+	if err != nil {
+		return err
+	}
+	s := newSnapStream(w)
+	body(s)
+	if err := s.flush(); err != nil {
+		return err
+	}
+	return sw.EndSection()
 }
 
 // sharedOrdering returns the (single) leaf ordering all present providers
@@ -336,7 +459,7 @@ func ReadProviderSet(r io.Reader) (*ProviderSet, error) {
 			}
 			haveCfg = true
 		case snapKindGraph:
-			g, err := graph.Read(bytes.NewReader(sec.Payload))
+			g, err := graph.ReadBytes(sec.Payload)
 			if err != nil {
 				return nil, fmt.Errorf("%w: graph: %v", ErrBadSnapshot, err)
 			}
@@ -564,15 +687,25 @@ func (c *snapCursor) tree() *mht.Tree {
 }
 
 // rehydrateADS rebuilds a networkADS from the loaded graph, ordering and
-// tree: leaf messages are re-encoded in parallel (deterministic in the
-// graph and the method's extra bytes), the tree digests come from the
-// snapshot.
-func rehydrateADS(g *graph.Graph, ord *order.Ordering, tree *mht.Tree, extraFn func(graph.NodeID) []byte) (*networkADS, error) {
+// tree for a method section decoder: the tree digests come from the
+// snapshot; leaf messages are re-encoded (deterministic in the graph and
+// the method's extra bytes) — in parallel up front on the eager path, or
+// chunk by chunk on first query touch when the env came from a lazy open,
+// so a freshly opened replica's first proof encodes only the tuples it
+// actually covers.
+func (env *SnapshotEnv) rehydrateADS(tree *mht.Tree, extraFn func(graph.NodeID) []byte) (*networkADS, error) {
+	g, ord := env.Graph, env.Ord
 	n := g.NumNodes()
 	if tree.NumLeaves() != n {
 		return nil, fmt.Errorf("%w: network tree has %d leaves for %d nodes", ErrBadSnapshot, tree.NumLeaves(), n)
 	}
 	msgs := make([][]byte, n)
+	if env.lazyTuples {
+		return &networkADS{ord: ord, tree: tree, msgs: msgs, lazy: &lazyTuples{
+			g: g, extraFn: extraFn,
+			chunks: make([]sync.Once, (n+tupleChunk-1)/tupleChunk),
+		}}, nil
+	}
 	par.Chunks(n, adsParallelThreshold, func(lo, hi int) {
 		for pos := lo; pos < hi; pos++ {
 			msgs[pos] = encodeTupleMsg(g, ord.Seq[pos], extraFn, nil)

@@ -419,7 +419,7 @@ func (b *UpdateBatch) dirtyTupleMsgs(a *networkADS, extraFn func(graph.NodeID) [
 	for _, v := range b.dirty {
 		pos := a.ord.Pos[v]
 		msg := encodeTupleMsg(b.owner.g, v, extraFn, nil)
-		if !bytes.Equal(msg, a.msgs[pos]) {
+		if !bytes.Equal(msg, a.msg(pos)) {
 			out[pos] = msg
 		}
 	}
@@ -524,6 +524,7 @@ func (b *UpdateBatch) PatchLDM(p *LDMProvider) (*LDMProvider, *PatchStats, error
 		// plus the endpoints' adjacency — a value compare is far cheaper
 		// than encode-and-hash for the untouched majority.
 		a := p.ads
+		a.materialize() // the compare below walks the whole message table
 		n := len(a.msgs)
 		endpoint := make(map[graph.NodeID]bool, len(b.dirty))
 		for _, v := range b.dirty {

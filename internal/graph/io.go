@@ -71,51 +71,59 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
+// BinarySize returns the exact byte size WriteTo produces — the length a
+// streaming snapshot writer must declare before piping the graph to disk.
+func (g *Graph) BinarySize() int64 {
+	return int64(len(magic)) + 12 + 16*int64(g.NumNodes()) + 16*int64(g.NumEdges())
+}
+
 // Read deserializes a graph written by WriteTo.
 func Read(r io.Reader) (*Graph, error) {
-	br := bufio.NewReader(r)
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
 	}
-	if string(head) != magic {
-		return nil, fmt.Errorf("graph: bad magic %q", head)
+	return ReadBytes(data)
+}
+
+// ReadBytes deserializes a graph from an in-memory SPVG image. This is
+// the hot deserialization path — snapshot opens decode the graph before
+// the first proof can be served — so it parses fields manually instead of
+// through encoding/binary's reflective Read.
+func ReadBytes(data []byte) (*Graph, error) {
+	const headSize = len(magic) + 12
+	if len(data) < headSize {
+		return nil, fmt.Errorf("graph: %d-byte input is shorter than the header", len(data))
 	}
-	var version, n, m uint32
-	for _, p := range []*uint32{&version, &n, &m} {
-		if err := binary.Read(br, binary.BigEndian, p); err != nil {
-			return nil, fmt.Errorf("graph: reading header: %w", err)
-		}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("graph: bad magic %q", data[:len(magic)])
 	}
+	version := binary.BigEndian.Uint32(data[len(magic):])
+	n := binary.BigEndian.Uint32(data[len(magic)+4:])
+	m := binary.BigEndian.Uint32(data[len(magic)+8:])
 	if version != fmtVersion {
 		return nil, fmt.Errorf("graph: unsupported version %d", version)
 	}
+	need := uint64(headSize) + 16*uint64(n) + 16*uint64(m)
+	if uint64(len(data)) < need {
+		return nil, fmt.Errorf("graph: truncated (%d bytes, need %d for %d nodes and %d edges)", len(data), need, n, m)
+	}
 	g := New(int(n))
+	off := headSize
 	for i := uint32(0); i < n; i++ {
-		var xb, yb uint64
-		if err := binary.Read(br, binary.BigEndian, &xb); err != nil {
-			return nil, fmt.Errorf("graph: reading node %d: %w", i, err)
-		}
-		if err := binary.Read(br, binary.BigEndian, &yb); err != nil {
-			return nil, fmt.Errorf("graph: reading node %d: %w", i, err)
-		}
-		g.AddNode(math.Float64frombits(xb), math.Float64frombits(yb))
+		x := math.Float64frombits(binary.BigEndian.Uint64(data[off:]))
+		y := math.Float64frombits(binary.BigEndian.Uint64(data[off+8:]))
+		g.AddNode(x, y)
+		off += 16
 	}
 	for i := uint32(0); i < m; i++ {
-		var u, v uint32
-		var wb uint64
-		if err := binary.Read(br, binary.BigEndian, &u); err != nil {
-			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
-		}
-		if err := binary.Read(br, binary.BigEndian, &v); err != nil {
-			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
-		}
-		if err := binary.Read(br, binary.BigEndian, &wb); err != nil {
-			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
-		}
-		if err := g.AddEdge(NodeID(u), NodeID(v), math.Float64frombits(wb)); err != nil {
+		u := binary.BigEndian.Uint32(data[off:])
+		v := binary.BigEndian.Uint32(data[off+4:])
+		w := math.Float64frombits(binary.BigEndian.Uint64(data[off+8:]))
+		if err := g.AddEdge(NodeID(u), NodeID(v), w); err != nil {
 			return nil, fmt.Errorf("graph: edge %d: %w", i, err)
 		}
+		off += 16
 	}
 	return g, nil
 }

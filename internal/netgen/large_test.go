@@ -1,0 +1,89 @@
+package netgen
+
+import (
+	"testing"
+
+	"github.com/authhints/spv/internal/graph"
+)
+
+func TestGridShape(t *testing.T) {
+	for _, n := range []int{2, 5, 100, 1000, 4097} {
+		g, err := Grid(n, 7)
+		if err != nil {
+			t.Fatalf("Grid(%d): %v", n, err)
+		}
+		if g.NumNodes() != n {
+			t.Fatalf("Grid(%d): %d nodes", n, g.NumNodes())
+		}
+		if !g.IsConnected() {
+			t.Fatalf("Grid(%d) disconnected", n)
+		}
+		// A near-square lattice has close to 2n edges (minus the two open
+		// borders); well above tree sparsity, well below quadratic.
+		if m := g.NumEdges(); n >= 100 && (m < n || m > 2*n) {
+			t.Fatalf("Grid(%d): %d edges out of lattice range", n, m)
+		}
+	}
+}
+
+func TestGridDeterministic(t *testing.T) {
+	a, err := Grid(500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Grid(500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		ea, eb := a.Neighbors(graph.NodeID(v)), b.Neighbors(graph.NodeID(v))
+		if len(ea) != len(eb) {
+			t.Fatalf("node %d: degree differs", v)
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("node %d: edge %d differs", v, i)
+			}
+		}
+	}
+}
+
+func TestScaleFreeShape(t *testing.T) {
+	g, err := ScaleFree(2000, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2000 {
+		t.Fatalf("%d nodes", g.NumNodes())
+	}
+	if !g.IsConnected() {
+		t.Fatal("disconnected")
+	}
+	// Preferential attachment must actually concentrate degree: the busiest
+	// node should see far more than the attachment constant.
+	maxDeg := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := len(g.Neighbors(graph.NodeID(v))); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 20 {
+		t.Fatalf("max degree %d; expected hub formation", maxDeg)
+	}
+}
+
+func TestScaleFreeSmall(t *testing.T) {
+	// degree clamps below n; tiny graphs must still come out connected.
+	for _, n := range []int{2, 3, 5} {
+		g, err := ScaleFree(n, 4, 3)
+		if err != nil {
+			t.Fatalf("ScaleFree(%d): %v", n, err)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("ScaleFree(%d) disconnected", n)
+		}
+	}
+}

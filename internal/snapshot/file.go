@@ -1,0 +1,295 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// File is the random-access face of a snapshot: it opens by reading only
+// the header and the section table — the trailing index when present and
+// valid, a frame walk over section heads otherwise — and reads one
+// payload per Section call with positioned reads. No payload byte is
+// touched at open, which is what keeps a replica's cold start O(sections)
+// instead of O(file size); payload CRCs are verified on first touch, so a
+// lazily hydrated loader surfaces corruption as a clean error from the
+// query that first needs the section.
+//
+// Safe for concurrent Section calls (io.ReaderAt is required to tolerate
+// concurrent positioned reads, and os.File does).
+type File struct {
+	ra      io.ReaderAt
+	size    int64
+	closer  io.Closer
+	epoch   int64
+	version uint32
+	indexed bool
+	table   []SectionInfo
+}
+
+// Open opens a snapshot file for random access. The returned File keeps
+// the descriptor open — lazily hydrated loaders read from it long after
+// open — until Close.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	sf, err := NewFile(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	sf.closer = f
+	return sf, nil
+}
+
+// NewFile opens a snapshot over any positioned reader of the given size.
+// A v2 file's index is loaded and validated; a v1 file, or a v2 file
+// whose index is corrupt or unreachable, falls back to a sequential frame
+// walk that reads only section heads (never payloads).
+func NewFile(ra io.ReaderAt, size int64) (*File, error) {
+	f := &File{ra: ra, size: size}
+	var head [headerSize]byte
+	if err := f.pread(head[:], 0); err != nil {
+		return nil, fmt.Errorf("%w: header truncated: %v", ErrCorrupt, err)
+	}
+	if string(head[:8]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, head[:8])
+	}
+	f.version = binary.BigEndian.Uint32(head[8:])
+	if f.version != Version && f.version != versionV1 {
+		return nil, fmt.Errorf("%w: unsupported version %d (reader speaks %d and %d)", ErrCorrupt, f.version, versionV1, Version)
+	}
+	f.epoch = int64(binary.BigEndian.Uint64(head[16:]))
+	if f.version == Version {
+		if table, err := f.loadIndex(); err == nil {
+			f.table, f.indexed = table, true
+			return f, nil
+		}
+	}
+	table, err := f.walk()
+	if err != nil {
+		return nil, err
+	}
+	f.table = table
+	return f, nil
+}
+
+// Close releases the underlying descriptor when the File owns one (Open);
+// section reads fail afterwards.
+func (f *File) Close() error {
+	if f.closer == nil {
+		return nil
+	}
+	return f.closer.Close()
+}
+
+// Epoch returns the deployment epoch recorded in the header.
+func (f *File) Epoch() int64 { return f.epoch }
+
+// Version returns the file's format version (1 or 2).
+func (f *File) Version() uint32 { return f.version }
+
+// Indexed reports whether the section table came from a valid trailing
+// index (false for v1 files and for v2 files opened via the fallback
+// walk).
+func (f *File) Indexed() bool { return f.indexed }
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// Sections returns the section table (a copy), in file order. Payload
+// CRCs in a table built by the fallback walk are as recorded in the file,
+// not yet verified — Section verifies on read.
+func (f *File) Sections() []SectionInfo {
+	return append([]SectionInfo(nil), f.table...)
+}
+
+// Has reports whether the file contains a section of the given kind.
+func (f *File) Has(kind uint32) bool {
+	for _, e := range f.table {
+		if e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Section reads, CRC-verifies and returns the payload of the first
+// section of the given kind. Absent kinds return ErrNoSection; integrity
+// failures (including an index entry that disagrees with the section it
+// points at) wrap ErrCorrupt. The returned payload is owned by the
+// caller. Safe for concurrent use.
+func (f *File) Section(kind uint32) ([]byte, error) {
+	for _, e := range f.table {
+		if e.Kind == kind {
+			return f.payload(e)
+		}
+	}
+	return nil, fmt.Errorf("%w: kind %d", ErrNoSection, kind)
+}
+
+// payload reads and verifies one section's payload. The table entry was
+// bounds-checked at open, so the allocation here is backed by real file
+// bytes.
+func (f *File) payload(e SectionInfo) ([]byte, error) {
+	var head [sectionHeadSize]byte
+	if err := f.pread(head[:], e.Offset); err != nil {
+		return nil, fmt.Errorf("%w: section kind %d head: %v", ErrCorrupt, e.Kind, err)
+	}
+	if k := binary.BigEndian.Uint32(head[:]); k != e.Kind {
+		return nil, fmt.Errorf("%w: table points kind %d at a kind-%d section", ErrCorrupt, e.Kind, k)
+	}
+	if l := binary.BigEndian.Uint64(head[4:]); l != e.Length {
+		return nil, fmt.Errorf("%w: section kind %d is %d bytes, table says %d", ErrCorrupt, e.Kind, l, e.Length)
+	}
+	buf := make([]byte, e.Length+4)
+	if err := f.pread(buf, e.Offset+sectionHeadSize); err != nil {
+		return nil, fmt.Errorf("%w: section kind %d payload: %v", ErrCorrupt, e.Kind, err)
+	}
+	payload, tail := buf[:e.Length:e.Length], buf[e.Length:]
+	stored := binary.BigEndian.Uint32(tail)
+	if got := sectionCRC(head, payload); got != stored || stored != e.CRC {
+		return nil, fmt.Errorf("%w: section kind %d CRC mismatch", ErrCorrupt, e.Kind)
+	}
+	return payload, nil
+}
+
+func (f *File) pread(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > f.size {
+		return fmt.Errorf("read [%d, %d) outside %d-byte file", off, off+int64(len(p)), f.size)
+	}
+	_, err := f.ra.ReadAt(p, off)
+	return err
+}
+
+// loadIndex resolves the trailing index of a v2 file: end marker → index
+// offset → index section, each CRC-checked, every entry bounds-checked
+// against the real file size so a lying index cannot cause reads or
+// allocations beyond the file.
+func (f *File) loadIndex() ([]SectionInfo, error) {
+	if f.size < headerSize+endSize {
+		return nil, fmt.Errorf("%w: %d-byte file has no room for an end marker", ErrCorrupt, f.size)
+	}
+	var end [endSize]byte
+	if err := f.pread(end[:], f.size-endSize); err != nil {
+		return nil, fmt.Errorf("%w: end marker: %v", ErrCorrupt, err)
+	}
+	if binary.BigEndian.Uint32(end[:]) != EndKind {
+		return nil, fmt.Errorf("%w: no end marker at file tail", ErrCorrupt)
+	}
+	if got := binary.BigEndian.Uint32(end[20:]); got != crc32.ChecksumIEEE(end[:20]) {
+		return nil, fmt.Errorf("%w: end marker CRC mismatch", ErrCorrupt)
+	}
+	count := binary.BigEndian.Uint64(end[4:])
+	indexOff := int64(binary.BigEndian.Uint64(end[12:]))
+	if indexOff < headerSize || indexOff > f.size-endSize-sectionHeadSize-4 {
+		return nil, fmt.Errorf("%w: index offset %d outside file", ErrCorrupt, indexOff)
+	}
+	var head [sectionHeadSize]byte
+	if err := f.pread(head[:], indexOff); err != nil {
+		return nil, fmt.Errorf("%w: index head: %v", ErrCorrupt, err)
+	}
+	if binary.BigEndian.Uint32(head[:]) != IndexKind {
+		return nil, fmt.Errorf("%w: no index at offset %d", ErrCorrupt, indexOff)
+	}
+	length := binary.BigEndian.Uint64(head[4:])
+	if length > uint64(f.size-endSize-indexOff-sectionHeadSize-4) {
+		return nil, fmt.Errorf("%w: index length %d outside file", ErrCorrupt, length)
+	}
+	buf := make([]byte, length+4)
+	if err := f.pread(buf, indexOff+sectionHeadSize); err != nil {
+		return nil, fmt.Errorf("%w: index payload: %v", ErrCorrupt, err)
+	}
+	payload, tail := buf[:length:length], buf[length:]
+	if got := binary.BigEndian.Uint32(tail); got != sectionCRC(head, payload) {
+		return nil, fmt.Errorf("%w: index CRC mismatch", ErrCorrupt)
+	}
+	entries, err := parseIndex(payload)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(entries)) != count {
+		return nil, fmt.Errorf("%w: index lists %d sections, end marker counts %d", ErrCorrupt, len(entries), count)
+	}
+	for _, e := range entries {
+		if e.Offset+sectionHeadSize+int64(e.Length)+4 > indexOff {
+			return nil, fmt.Errorf("%w: index entry kind %d overruns the index", ErrCorrupt, e.Kind)
+		}
+	}
+	return entries, nil
+}
+
+// walk builds the section table sequentially from section heads alone —
+// the open path for v1 files and the fallback for a corrupt v2 index. It
+// validates framing and the end marker but reads no payload; payload CRCs
+// are taken from the file and verified on first Section read.
+func (f *File) walk() ([]SectionInfo, error) {
+	var table []SectionInfo
+	var payloads uint64
+	off := int64(headerSize)
+	for {
+		var head [sectionHeadSize]byte
+		if err := f.pread(head[:], off); err != nil {
+			return nil, fmt.Errorf("%w: section header at %d: %v", ErrCorrupt, off, err)
+		}
+		kind := binary.BigEndian.Uint32(head[:])
+		length := binary.BigEndian.Uint64(head[4:])
+		if kind == EndKind {
+			if err := f.walkEnd(head, length, off); err != nil {
+				return nil, err
+			}
+			if length != payloads {
+				return nil, fmt.Errorf("%w: end marker counts %d sections, walked %d", ErrCorrupt, length, payloads)
+			}
+			return table, nil
+		}
+		if room := f.size - off - sectionHeadSize - 4; room < 0 || length > uint64(room) {
+			return nil, fmt.Errorf("%w: section kind %d length %d outside file", ErrCorrupt, kind, length)
+		}
+		var tail [4]byte
+		if err := f.pread(tail[:], off+sectionHeadSize+int64(length)); err != nil {
+			return nil, fmt.Errorf("%w: section kind %d CRC truncated: %v", ErrCorrupt, kind, err)
+		}
+		if kind != IndexKind {
+			payloads++
+			table = append(table, SectionInfo{
+				Kind: kind, Offset: off, Length: length,
+				CRC: binary.BigEndian.Uint32(tail[:]),
+			})
+		}
+		off += sectionHeadSize + int64(length) + 4
+	}
+}
+
+// walkEnd validates the version-appropriate end marker during a walk.
+func (f *File) walkEnd(head [sectionHeadSize]byte, count uint64, off int64) error {
+	if f.version == versionV1 {
+		var tail [4]byte
+		if err := f.pread(tail[:], off+sectionHeadSize); err != nil {
+			return fmt.Errorf("%w: end marker truncated: %v", ErrCorrupt, err)
+		}
+		if got := binary.BigEndian.Uint32(tail[:]); got != crc32.ChecksumIEEE(head[:12]) {
+			return fmt.Errorf("%w: end marker CRC mismatch", ErrCorrupt)
+		}
+		return nil
+	}
+	var tail [12]byte
+	if err := f.pread(tail[:], off+sectionHeadSize); err != nil {
+		return fmt.Errorf("%w: end marker truncated: %v", ErrCorrupt, err)
+	}
+	crc := crc32.ChecksumIEEE(head[:12])
+	crc = crc32.Update(crc, crc32.IEEETable, tail[:8])
+	if got := binary.BigEndian.Uint32(tail[8:]); got != crc {
+		return fmt.Errorf("%w: end marker CRC mismatch", ErrCorrupt)
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"sync"
+	"testing"
+)
+
+// buildV1 hand-writes a version-1 snapshot (no index, 16-byte end marker)
+// — the compatibility fixture current writers can no longer produce.
+func buildV1(epoch int64, sections ...Section) []byte {
+	var buf bytes.Buffer
+	head := make([]byte, headerSize)
+	copy(head, magic)
+	binary.BigEndian.PutUint32(head[8:], versionV1)
+	binary.BigEndian.PutUint64(head[16:], uint64(epoch))
+	buf.Write(head)
+	for _, s := range sections {
+		var sh [sectionHeadSize]byte
+		binary.BigEndian.PutUint32(sh[:], s.Kind)
+		binary.BigEndian.PutUint64(sh[4:], uint64(len(s.Payload)))
+		buf.Write(sh[:])
+		buf.Write(s.Payload)
+		var tail [4]byte
+		binary.BigEndian.PutUint32(tail[:], sectionCRC(sh, s.Payload))
+		buf.Write(tail[:])
+	}
+	var end [endSizeV1]byte
+	binary.BigEndian.PutUint32(end[:], EndKind)
+	binary.BigEndian.PutUint64(end[4:], uint64(len(sections)))
+	binary.BigEndian.PutUint32(end[12:], crc32.ChecksumIEEE(end[:12]))
+	buf.Write(end[:])
+	return buf.Bytes()
+}
+
+var fileSections = []Section{
+	{Kind: 1, Payload: []byte("config")},
+	{Kind: 2, Payload: bytes.Repeat([]byte{0xC4}, 5000)},
+	{Kind: 8, Payload: []byte{}},
+}
+
+func checkFileReads(t *testing.T, f *File) {
+	t.Helper()
+	if f.Epoch() != 9 {
+		t.Fatalf("epoch = %d", f.Epoch())
+	}
+	if got := len(f.Sections()); got != len(fileSections) {
+		t.Fatalf("%d sections, want %d", got, len(fileSections))
+	}
+	for i, want := range fileSections {
+		e := f.Sections()[i]
+		if e.Kind != want.Kind || e.Length != uint64(len(want.Payload)) {
+			t.Fatalf("table entry %d = %+v", i, e)
+		}
+		got, err := f.Section(want.Kind)
+		if err != nil {
+			t.Fatalf("Section(%d): %v", want.Kind, err)
+		}
+		if !bytes.Equal(got, want.Payload) {
+			t.Fatalf("Section(%d): %d bytes", want.Kind, len(got))
+		}
+	}
+	if !f.Has(2) || f.Has(42) {
+		t.Fatal("Has is wrong")
+	}
+	if _, err := f.Section(42); !errors.Is(err, ErrNoSection) {
+		t.Fatalf("absent kind: %v", err)
+	}
+}
+
+func TestFileIndexedOpen(t *testing.T) {
+	data := buildSnapshot(t, 9, fileSections...)
+	f, err := NewFile(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Indexed() || f.Version() != Version {
+		t.Fatalf("indexed=%v version=%d", f.Indexed(), f.Version())
+	}
+	if f.Size() != int64(len(data)) {
+		t.Fatalf("Size = %d", f.Size())
+	}
+	checkFileReads(t, f)
+}
+
+func TestFileV1FallbackWalk(t *testing.T) {
+	data := buildV1(9, fileSections...)
+	f, err := NewFile(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Indexed() || f.Version() != versionV1 {
+		t.Fatalf("indexed=%v version=%d", f.Indexed(), f.Version())
+	}
+	checkFileReads(t, f)
+
+	// The sequential reader keeps speaking v1 too.
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		s, err := r.Next()
+		if err == io.EOF {
+			if i != len(fileSections) {
+				t.Fatalf("read %d sections", i)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Kind != fileSections[i].Kind {
+			t.Fatalf("section %d kind %d", i, s.Kind)
+		}
+	}
+}
+
+// indexPayloadRange locates the index section's byte range in a v2 file.
+func indexPayloadRange(t *testing.T, data []byte) (start, end int) {
+	t.Helper()
+	indexOff := int(binary.BigEndian.Uint64(data[len(data)-endSize+12:]))
+	if binary.BigEndian.Uint32(data[indexOff:]) != IndexKind {
+		t.Fatalf("no index at %d", indexOff)
+	}
+	length := int(binary.BigEndian.Uint64(data[indexOff+4:]))
+	return indexOff + sectionHeadSize, indexOff + sectionHeadSize + length
+}
+
+func TestFileCorruptIndexFallsBackToWalk(t *testing.T) {
+	data := buildSnapshot(t, 9, fileSections...)
+	bad := append([]byte(nil), data...)
+	start, _ := indexPayloadRange(t, bad)
+	bad[start+2] ^= 0xFF // flip an index payload byte; sections are intact
+	f, err := NewFile(bytes.NewReader(bad), int64(len(bad)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Indexed() {
+		t.Fatal("corrupt index reported as indexed")
+	}
+	checkFileReads(t, f)
+
+	// The strict sequential paths must still reject the file outright.
+	if err := readAll(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("sequential read of corrupt index: %v", err)
+	}
+}
+
+func TestFileTruncatedIndexFallsBackToWalk(t *testing.T) {
+	data := buildSnapshot(t, 9, fileSections...)
+	// Rewrite the end marker to point the index past the file tail: the
+	// index is unreachable, but the walk still serves every section.
+	bad := append([]byte(nil), data...)
+	off := len(bad) - endSize
+	binary.BigEndian.PutUint64(bad[off+12:], uint64(len(bad)))
+	fixEndCRC(bad, off)
+	f, err := NewFile(bytes.NewReader(bad), int64(len(bad)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Indexed() {
+		t.Fatal("unreachable index reported as indexed")
+	}
+	checkFileReads(t, f)
+}
+
+func TestFileSectionCRCVerifiedOnTouch(t *testing.T) {
+	data := buildSnapshot(t, 9, fileSections...)
+	// Flip one byte inside section kind 2's payload. Open must succeed
+	// (no payload is read), the untouched section must read fine, and the
+	// corrupt one must surface ErrCorrupt on first touch.
+	bad := append([]byte(nil), data...)
+	bad[headerSize+sectionHeadSize+len(fileSections[0].Payload)+4+sectionHeadSize+100] ^= 1
+	f, err := NewFile(bytes.NewReader(bad), int64(len(bad)))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Section(1); err != nil {
+		t.Fatalf("untouched section: %v", err)
+	}
+	if _, err := f.Section(2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt section on touch: %v", err)
+	}
+}
+
+func TestFileLyingIndexDoesNotOverAllocate(t *testing.T) {
+	data := buildSnapshot(t, 9, fileSections...)
+	// Patch an index entry's length to a giant value, fixing the index
+	// CRC so only the bounds checks can catch it. NewFile must reject the
+	// index (entry overruns it) and fall back; the walk sees the real
+	// sections, so nothing allocates beyond the file.
+	bad := append([]byte(nil), data...)
+	start, end := indexPayloadRange(t, bad)
+	binary.BigEndian.PutUint64(bad[start+4+12:], 1<<60)
+	var head [sectionHeadSize]byte
+	copy(head[:], bad[start-sectionHeadSize:start])
+	binary.BigEndian.PutUint32(bad[end:], sectionCRC(head, bad[start:end]))
+	f, err := NewFile(bytes.NewReader(bad), int64(len(bad)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Indexed() {
+		t.Fatal("lying index accepted")
+	}
+	checkFileReads(t, f)
+}
+
+func TestFileConcurrentSectionReads(t *testing.T) {
+	data := buildSnapshot(t, 9, fileSections...)
+	f, err := NewFile(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, s := range fileSections {
+				got, err := f.Section(s.Kind)
+				if err != nil || !bytes.Equal(got, s.Payload) {
+					t.Errorf("Section(%d): %v", s.Kind, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStreamingSectionMatchesBuffered(t *testing.T) {
+	payload := bytes.Repeat([]byte{7, 1, 9}, 4321)
+	var buffered, streamed bytes.Buffer
+	w1, _ := NewWriter(&buffered, 5)
+	if err := w1.Section(3, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := NewWriter(&streamed, 5)
+	dst, err := w2.BeginSection(3, uint64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(payload); i += 1000 {
+		if _, err := dst.Write(payload[i:min(i+1000, len(payload))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buffered.Bytes(), streamed.Bytes()) {
+		t.Fatal("streamed bytes differ from buffered bytes")
+	}
+}
+
+func TestStreamingSectionLengthEnforced(t *testing.T) {
+	w, _ := NewWriter(io.Discard, 0)
+	dst, err := w.BeginSection(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Write([]byte("12345")); err == nil {
+		t.Fatal("overflow accepted")
+	}
+
+	w2, _ := NewWriter(io.Discard, 0)
+	dst2, err := w2.BeginSection(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst2.Write([]byte("123")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.EndSection(); err == nil {
+		t.Fatal("short section accepted")
+	}
+
+	w3, _ := NewWriter(io.Discard, 0)
+	if _, err := w3.BeginSection(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w3.Close(); err == nil {
+		t.Fatal("Close with open streaming section accepted")
+	}
+}
+
+func TestScanReportsVersionAndIndex(t *testing.T) {
+	data := buildSnapshot(t, 3, Section{Kind: 1, Payload: []byte("x")})
+	info, err := Scan(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != Version || !info.Indexed {
+		t.Fatalf("version=%d indexed=%v", info.Version, info.Indexed)
+	}
+	if info.Sections[0].Offset != headerSize {
+		t.Fatalf("offset = %d", info.Sections[0].Offset)
+	}
+
+	v1 := buildV1(3, Section{Kind: 1, Payload: []byte("x")})
+	info, err = Scan(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != versionV1 || info.Indexed {
+		t.Fatalf("v1: version=%d indexed=%v", info.Version, info.Indexed)
+	}
+	if info.Bytes != int64(len(v1)) {
+		t.Fatalf("v1 Bytes = %d, file is %d", info.Bytes, len(v1))
+	}
+}

@@ -24,6 +24,7 @@ func FuzzReader(f *testing.F) {
 	f.Add(valid)
 	f.Add(valid[:len(valid)-5])
 	f.Add(valid[:headerSize+3])
+	f.Add(buildV1(3, Section{Kind: 1, Payload: []byte("config-payload")}))
 	f.Add([]byte("SPVSNAP1"))
 	f.Add([]byte{})
 
@@ -59,6 +60,7 @@ func FuzzScan(f *testing.F) {
 	_ = w.Section(4, []byte{1, 2, 3})
 	_ = w.Close()
 	f.Add(buf.Bytes())
+	f.Add(buildV1(0, Section{Kind: 4, Payload: []byte{1, 2, 3}}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		info, err := Scan(bytes.NewReader(data))
@@ -67,6 +69,47 @@ func FuzzScan(f *testing.F) {
 		}
 		if info.Bytes <= 0 || info.Bytes > int64(len(data)) {
 			t.Fatalf("Scan reports %d bytes of a %d-byte input", info.Bytes, len(data))
+		}
+	})
+}
+
+// FuzzFile drives the random-access path: arbitrary bytes must open via
+// the index or the fallback walk (or error) — never panic — and every
+// section read must be backed by real file bytes, so a lying index or
+// length field cannot over-allocate. Seeds include a valid v2 file, its
+// index-corrupted mutant (exercising the fallback walk), and a v1 file.
+func FuzzFile(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 11)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = w.Section(1, []byte("config"))
+	_ = w.Section(5, bytes.Repeat([]byte{0x3C}, 900))
+	_ = w.Close()
+	valid := buf.Bytes()
+	f.Add(valid)
+	mutant := append([]byte(nil), valid...)
+	mutant[len(mutant)-30] ^= 0xFF // lands in the index or end marker
+	f.Add(mutant)
+	f.Add(buildV1(11, Section{Kind: 1, Payload: []byte("config")}))
+	f.Add(valid[:headerSize+5])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sf, err := NewFile(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		total := 0
+		for _, e := range sf.Sections() {
+			payload, err := sf.Section(e.Kind)
+			if err != nil {
+				continue
+			}
+			total += len(payload)
+			if total > len(data) {
+				t.Fatalf("read %d payload bytes from a %d-byte input", total, len(data))
+			}
 		}
 	})
 }

@@ -8,21 +8,33 @@
 //
 // # File layout
 //
-// All integers are big-endian. A snapshot is
+// All integers are big-endian. A version-2 snapshot is
 //
-//	header | section* | end marker
+//	header | section* | index | end marker
 //
 //	header:   magic "SPVSNAP1" (8) | version u32 | flags u32 | epoch i64
 //	section:  kind u32 | length u64 | payload[length] | crc u32
-//	end:      kind 0   | count  u64 |                 | crc u32
+//	index:    kind 0xFFFFFFFF | length u64 | count u32 |
+//	          count × (kind u32, offset u64, length u64, crc u32) | crc u32
+//	end:      kind 0 | count u64 | indexOff u64 | crc u32
 //
 // Each section's crc is CRC-32 (IEEE) over its 12-byte kind+length prefix
 // followed by its payload, so a flipped kind or length byte is caught as
-// surely as payload corruption. The end marker's crc covers its own
-// kind+count prefix, and its count must equal the number of sections
-// written, so silent truncation at a section boundary is detected as
-// reliably as mid-payload corruption. Kind 0 is reserved for the end
-// marker; payload semantics for kinds ≥ 1 belong to the producing layer.
+// surely as payload corruption. The index is framed exactly like a section
+// (under the reserved kind IndexKind) and records every preceding
+// section's file offset, length and crc — the random-access map that lets
+// a File open in O(sections) and read one payload with one pread. The end
+// marker's crc covers its kind+count+indexOff prefix; its count must equal
+// the number of payload sections written (the index is not counted), and
+// indexOff must point at the index, so silent truncation at a section
+// boundary is detected as reliably as mid-payload corruption. Kind 0 is
+// reserved for the end marker and kind 0xFFFFFFFF for the index; payload
+// semantics for other kinds belong to the producing layer.
+//
+// Version-1 files (no index; 16-byte end marker without indexOff) remain
+// fully readable: the sequential Reader speaks both versions, and File
+// falls back to a frame walk — reading only section heads, never payloads
+// — when a file is v1 or its index is corrupt.
 //
 // # Version and compatibility rules
 //
@@ -35,12 +47,15 @@
 //
 // # Robustness
 //
-// Readers never trust a declared length: payloads are read in bounded
-// chunks that grow only as bytes actually arrive, so a lying length field
-// costs at most one chunk of allocation before the truncation error
-// surfaces. Corruption — flipped payload bytes, truncated files, wrong
-// section counts — is reported as an error wrapping ErrCorrupt, never a
-// panic.
+// Readers never trust a declared length: sequential reads grow payload
+// buffers in bounded chunks as bytes actually arrive, and File validates
+// every index offset and length against the real file size before
+// allocating, so a lying length field cannot translate into a giant
+// speculative allocation. Corruption — flipped payload bytes, truncated
+// files, wrong section counts, a lying index — is reported as an error
+// wrapping ErrCorrupt, never a panic. A payload read through File is CRC-
+// verified at read time (first touch), so lazy loaders surface corruption
+// as a clean error from the query that first needs the section.
 package snapshot
 
 import (
@@ -51,10 +66,14 @@ import (
 	"io"
 )
 
-// Version is the current snapshot format version. Readers refuse any other
-// version: payloads carry precomputed digests whose layout must match the
-// writer exactly (see the package compatibility rules).
-const Version = 1
+// Version is the current snapshot format version. Writers emit it;
+// readers additionally accept version 1 (the pre-index format, identical
+// except for the trailing index and the shorter end marker).
+const Version = 2
+
+// versionV1 is the legacy, index-less format both Reader and File still
+// accept.
+const versionV1 = 1
 
 // magic identifies snapshot files; the trailing "1" is a human-visible
 // format generation, distinct from the finer-grained version field.
@@ -64,10 +83,20 @@ const magic = "SPVSNAP1"
 // must number their sections from 1.
 const EndKind = 0
 
+// IndexKind is the reserved section kind of the trailing index. The
+// sequential Reader validates and consumes it internally; it is never
+// surfaced as a payload section.
+const IndexKind = 0xFFFFFFFF
+
 // ErrCorrupt tags every integrity failure a reader can detect: bad magic,
-// unsupported version, truncation, CRC mismatch, or a section count that
-// does not match the end marker. Callers test with errors.Is.
+// unsupported version, truncation, CRC mismatch, a section count that
+// does not match the end marker, or an index that disagrees with the
+// sections it describes. Callers test with errors.Is.
 var ErrCorrupt = errors.New("snapshot: corrupt")
+
+// ErrNoSection reports a File.Section lookup for a kind the file does not
+// contain.
+var ErrNoSection = errors.New("snapshot: section not present")
 
 // headerSize is the fixed byte size of the file header.
 const headerSize = 8 + 4 + 4 + 8
@@ -75,22 +104,56 @@ const headerSize = 8 + 4 + 4 + 8
 // sectionHeadSize is the fixed byte size of a section's kind+length prefix.
 const sectionHeadSize = 4 + 8
 
+// indexEntrySize is the fixed byte size of one index entry:
+// kind u32 | offset u64 | length u64 | crc u32.
+const indexEntrySize = 4 + 8 + 8 + 4
+
+// endSizeV1 and endSize are the full end-marker sizes (head + tail) of
+// the two accepted versions: v1 has no indexOff field.
+const (
+	endSizeV1 = sectionHeadSize + 4
+	endSize   = sectionHeadSize + 8 + 4
+)
+
 // readChunk bounds how much a reader allocates ahead of verified bytes:
 // payloads grow in readChunk steps as data actually arrives, so a lying
 // length field cannot translate into a giant speculative allocation.
 const readChunk = 1 << 20
 
+// SectionInfo describes one section without retaining its payload: its
+// kind, its file offset (of the kind field), its payload length and its
+// CRC. It is both the index entry layout and the Scan/File inspection
+// record.
+type SectionInfo struct {
+	Kind   uint32
+	Offset int64
+	Length uint64
+	CRC    uint32
+}
+
 // Writer streams one snapshot to an io.Writer: header first, then sections
-// in call order, then the end marker on Close. It buffers nothing beyond
-// the caller's payload slice, so writing a multi-gigabyte deployment costs
-// constant memory on top of the payloads themselves. Not safe for
-// concurrent use.
+// in call order, then the index and end marker on Close. It buffers
+// nothing beyond the caller's payload slice — BeginSection/EndSection
+// stream a payload of known length straight through — so writing a
+// multi-gigabyte deployment costs constant memory on top of the payloads
+// themselves. Not safe for concurrent use.
 type Writer struct {
 	w        io.Writer
 	sections uint64
 	written  int64
 	closed   bool
 	err      error
+	index    []SectionInfo
+	// stream is the in-flight BeginSection state, nil between sections.
+	stream *streamState
+}
+
+type streamState struct {
+	kind      uint32
+	offset    int64
+	length    uint64
+	remaining uint64
+	crc       uint32
 }
 
 // NewWriter writes the header and returns a writer ready for Section
@@ -121,18 +184,30 @@ func (sw *Writer) write(p []byte) error {
 	return sw.err
 }
 
-// Section appends one framed section: kind, length, payload, payload CRC.
-// kind must not be EndKind. The payload is not retained.
-func (sw *Writer) Section(kind uint32, payload []byte) error {
+// checkKind rejects writes outside the legal section states.
+func (sw *Writer) checkKind(kind uint32) error {
 	if sw.err != nil {
 		return sw.err
 	}
 	if sw.closed {
 		return errors.New("snapshot: section after Close")
 	}
-	if kind == EndKind {
-		return fmt.Errorf("snapshot: section kind %d is reserved", EndKind)
+	if sw.stream != nil {
+		return errors.New("snapshot: section while a streaming section is open")
 	}
+	if kind == EndKind || kind == IndexKind {
+		return fmt.Errorf("snapshot: section kind %#x is reserved", kind)
+	}
+	return nil
+}
+
+// Section appends one framed section: kind, length, payload, payload CRC.
+// kind must not be a reserved kind. The payload is not retained.
+func (sw *Writer) Section(kind uint32, payload []byte) error {
+	if err := sw.checkKind(kind); err != nil {
+		return err
+	}
+	offset := sw.written
 	var head [sectionHeadSize]byte
 	binary.BigEndian.PutUint32(head[:], kind)
 	binary.BigEndian.PutUint64(head[4:], uint64(len(payload)))
@@ -142,17 +217,92 @@ func (sw *Writer) Section(kind uint32, payload []byte) error {
 	if err := sw.write(payload); err != nil {
 		return err
 	}
+	crc := sectionCRC(head, payload)
 	var tail [4]byte
-	binary.BigEndian.PutUint32(tail[:], sectionCRC(head, payload))
+	binary.BigEndian.PutUint32(tail[:], crc)
 	if err := sw.write(tail[:]); err != nil {
 		return err
 	}
 	sw.sections++
+	sw.index = append(sw.index, SectionInfo{Kind: kind, Offset: offset, Length: uint64(len(payload)), CRC: crc})
 	return nil
 }
 
-// Close writes the end marker (kind 0, section count, count CRC). The
-// underlying io.Writer is not closed — callers own its lifecycle.
+// BeginSection opens a streaming section of exactly length payload bytes
+// and returns the writer to stream them into. The producer must write the
+// declared length precisely and then call EndSection — the CRC is
+// accumulated as bytes flow, so nothing is buffered and the underlying
+// writer need not be seekable. Writing past the declared length is an
+// error; writing less is caught by EndSection.
+func (sw *Writer) BeginSection(kind uint32, length uint64) (io.Writer, error) {
+	if err := sw.checkKind(kind); err != nil {
+		return nil, err
+	}
+	offset := sw.written
+	var head [sectionHeadSize]byte
+	binary.BigEndian.PutUint32(head[:], kind)
+	binary.BigEndian.PutUint64(head[4:], length)
+	if err := sw.write(head[:]); err != nil {
+		return nil, err
+	}
+	sw.stream = &streamState{
+		kind: kind, offset: offset, length: length, remaining: length,
+		crc: crc32.ChecksumIEEE(head[:]),
+	}
+	return (*streamWriter)(sw), nil
+}
+
+// EndSection closes the streaming section opened by BeginSection, writing
+// its CRC frame. The full declared length must have been written.
+func (sw *Writer) EndSection() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	st := sw.stream
+	if st == nil {
+		return errors.New("snapshot: EndSection without BeginSection")
+	}
+	if st.remaining != 0 {
+		sw.err = fmt.Errorf("snapshot: streaming section kind %d short by %d bytes", st.kind, st.remaining)
+		return sw.err
+	}
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], st.crc)
+	if err := sw.write(tail[:]); err != nil {
+		return err
+	}
+	sw.stream = nil
+	sw.sections++
+	sw.index = append(sw.index, SectionInfo{Kind: st.kind, Offset: st.offset, Length: st.length, CRC: st.crc})
+	return nil
+}
+
+// streamWriter is the io.Writer handed out by BeginSection.
+type streamWriter Writer
+
+func (w *streamWriter) Write(p []byte) (int, error) {
+	sw := (*Writer)(w)
+	if sw.err != nil {
+		return 0, sw.err
+	}
+	st := sw.stream
+	if st == nil {
+		return 0, errors.New("snapshot: write outside BeginSection/EndSection")
+	}
+	if uint64(len(p)) > st.remaining {
+		sw.err = fmt.Errorf("snapshot: streaming section kind %d overflows its declared %d bytes", st.kind, st.length)
+		return 0, sw.err
+	}
+	if err := sw.write(p); err != nil {
+		return 0, err
+	}
+	st.remaining -= uint64(len(p))
+	st.crc = crc32.Update(st.crc, crc32.IEEETable, p)
+	return len(p), nil
+}
+
+// Close writes the index and the end marker. The underlying io.Writer is
+// not closed — callers own its lifecycle.
 func (sw *Writer) Close() error {
 	if sw.err != nil {
 		return sw.err
@@ -160,12 +310,45 @@ func (sw *Writer) Close() error {
 	if sw.closed {
 		return nil
 	}
+	if sw.stream != nil {
+		sw.err = fmt.Errorf("snapshot: Close with streaming section kind %d still open", sw.stream.kind)
+		return sw.err
+	}
 	sw.closed = true
-	var buf [sectionHeadSize + 4]byte
+	indexOff := sw.written
+	if err := sw.writeIndex(); err != nil {
+		return err
+	}
+	var buf [endSize]byte
 	binary.BigEndian.PutUint32(buf[:], EndKind)
 	binary.BigEndian.PutUint64(buf[4:], sw.sections)
-	binary.BigEndian.PutUint32(buf[12:], crc32.ChecksumIEEE(buf[:12]))
+	binary.BigEndian.PutUint64(buf[12:], uint64(indexOff))
+	binary.BigEndian.PutUint32(buf[20:], crc32.ChecksumIEEE(buf[:20]))
 	return sw.write(buf[:])
+}
+
+// writeIndex emits the index as a normally framed section under IndexKind.
+func (sw *Writer) writeIndex() error {
+	payload := make([]byte, 0, 4+len(sw.index)*indexEntrySize)
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(sw.index)))
+	for _, e := range sw.index {
+		payload = binary.BigEndian.AppendUint32(payload, e.Kind)
+		payload = binary.BigEndian.AppendUint64(payload, uint64(e.Offset))
+		payload = binary.BigEndian.AppendUint64(payload, e.Length)
+		payload = binary.BigEndian.AppendUint32(payload, e.CRC)
+	}
+	var head [sectionHeadSize]byte
+	binary.BigEndian.PutUint32(head[:], IndexKind)
+	binary.BigEndian.PutUint64(head[4:], uint64(len(payload)))
+	if err := sw.write(head[:]); err != nil {
+		return err
+	}
+	if err := sw.write(payload); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], sectionCRC(head, payload))
+	return sw.write(tail[:])
 }
 
 // sectionCRC is CRC-32 (IEEE) over a section's kind+length prefix followed
@@ -178,19 +361,26 @@ func sectionCRC(head [sectionHeadSize]byte, payload []byte) uint32 {
 // Bytes returns the total bytes written so far, including framing.
 func (sw *Writer) Bytes() int64 { return sw.written }
 
-// Section is one decoded section: its kind and its CRC-verified payload.
-// The payload is owned by the caller.
+// Section is one decoded section: its kind, its file offset, and its
+// CRC-verified payload. The payload is owned by the caller.
 type Section struct {
 	Kind    uint32
+	Offset  int64
 	Payload []byte
 }
 
 // Reader streams sections back from an io.Reader, verifying every CRC and
-// the end marker's section count. Not safe for concurrent use.
+// the end marker's section count. It speaks both format versions; a v2
+// file's index is validated and consumed internally, never surfaced as a
+// section. Not safe for concurrent use.
 type Reader struct {
 	r        io.Reader
 	epoch    int64
+	version  uint32
 	sections uint64
+	off      int64
+	indexOff int64 // offset of the index section, 0 until seen
+	indexed  bool
 	done     bool
 }
 
@@ -204,64 +394,175 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(buf[:8]) != magic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, buf[:8])
 	}
-	if v := binary.BigEndian.Uint32(buf[8:]); v != Version {
-		return nil, fmt.Errorf("%w: unsupported version %d (reader speaks %d)", ErrCorrupt, v, Version)
+	v := binary.BigEndian.Uint32(buf[8:])
+	if v != Version && v != versionV1 {
+		return nil, fmt.Errorf("%w: unsupported version %d (reader speaks %d and %d)", ErrCorrupt, v, versionV1, Version)
 	}
-	return &Reader{r: r, epoch: int64(binary.BigEndian.Uint64(buf[16:]))}, nil
+	return &Reader{r: r, epoch: int64(binary.BigEndian.Uint64(buf[16:])), version: v, off: headerSize}, nil
 }
 
 // Epoch returns the deployment epoch recorded in the header.
 func (sr *Reader) Epoch() int64 { return sr.epoch }
 
-// Next returns the next section, or io.EOF after a valid end marker. Any
-// integrity failure returns an error wrapping ErrCorrupt; once an error or
-// EOF is returned the reader is exhausted.
+// Version returns the file's format version (1 or 2).
+func (sr *Reader) Version() uint32 { return sr.version }
+
+// Indexed reports whether a valid index section has been consumed. Only
+// meaningful once Next has returned io.EOF.
+func (sr *Reader) Indexed() bool { return sr.indexed }
+
+func (sr *Reader) read(p []byte) error {
+	n, err := io.ReadFull(sr.r, p)
+	sr.off += int64(n)
+	return err
+}
+
+// Next returns the next payload section, or io.EOF after a valid end
+// marker. Any integrity failure returns an error wrapping ErrCorrupt; once
+// an error or EOF is returned the reader is exhausted.
 func (sr *Reader) Next() (*Section, error) {
-	if sr.done {
-		return nil, io.EOF
-	}
-	var head [sectionHeadSize]byte
-	if _, err := io.ReadFull(sr.r, head[:]); err != nil {
-		sr.done = true
-		return nil, fmt.Errorf("%w: section header truncated: %v", ErrCorrupt, err)
-	}
-	kind := binary.BigEndian.Uint32(head[:])
-	length := binary.BigEndian.Uint64(head[4:])
-	if kind == EndKind {
-		sr.done = true
+	for {
+		if sr.done {
+			return nil, io.EOF
+		}
+		offset := sr.off
+		var head [sectionHeadSize]byte
+		if err := sr.read(head[:]); err != nil {
+			sr.done = true
+			return nil, fmt.Errorf("%w: section header truncated: %v", ErrCorrupt, err)
+		}
+		kind := binary.BigEndian.Uint32(head[:])
+		length := binary.BigEndian.Uint64(head[4:])
+		if kind == EndKind {
+			sr.done = true
+			return nil, sr.endMarker(head, length)
+		}
+		payload, err := readBounded(sr.r, length)
+		sr.off += int64(len(payload))
+		if err != nil {
+			sr.done = true
+			return nil, fmt.Errorf("%w: section kind %d payload: %v", ErrCorrupt, kind, err)
+		}
 		var tail [4]byte
-		if _, err := io.ReadFull(sr.r, tail[:]); err != nil {
-			return nil, fmt.Errorf("%w: end marker truncated: %v", ErrCorrupt, err)
+		if err := sr.read(tail[:]); err != nil {
+			sr.done = true
+			return nil, fmt.Errorf("%w: section kind %d CRC truncated: %v", ErrCorrupt, kind, err)
+		}
+		if got := binary.BigEndian.Uint32(tail[:]); got != sectionCRC(head, payload) {
+			sr.done = true
+			return nil, fmt.Errorf("%w: section kind %d CRC mismatch", ErrCorrupt, kind)
+		}
+		if kind == IndexKind {
+			// The index is container metadata: validate its shape here and
+			// keep streaming — semantic loaders never see it.
+			if err := sr.checkIndex(payload, offset); err != nil {
+				sr.done = true
+				return nil, err
+			}
+			continue
+		}
+		sr.sections++
+		return &Section{Kind: kind, Offset: offset, Payload: payload}, nil
+	}
+}
+
+// checkIndex validates an index section encountered mid-stream: well-
+// formed, one per file, v2 only, and counting exactly the sections read
+// so far (the index is written last, so a stray early index is corrupt).
+func (sr *Reader) checkIndex(payload []byte, offset int64) error {
+	if sr.version == versionV1 {
+		return fmt.Errorf("%w: index section in a version-1 file", ErrCorrupt)
+	}
+	if sr.indexed {
+		return fmt.Errorf("%w: duplicate index section", ErrCorrupt)
+	}
+	entries, err := parseIndex(payload)
+	if err != nil {
+		return err
+	}
+	if uint64(len(entries)) != sr.sections {
+		return fmt.Errorf("%w: index lists %d sections, read %d", ErrCorrupt, len(entries), sr.sections)
+	}
+	sr.indexed = true
+	sr.indexOff = offset
+	return nil
+}
+
+// endMarker consumes and validates the version-appropriate end marker
+// tail; head holds the already-read kind+count prefix.
+func (sr *Reader) endMarker(head [sectionHeadSize]byte, count uint64) error {
+	if sr.version == versionV1 {
+		var tail [4]byte
+		if err := sr.read(tail[:]); err != nil {
+			return fmt.Errorf("%w: end marker truncated: %v", ErrCorrupt, err)
 		}
 		if got := binary.BigEndian.Uint32(tail[:]); got != crc32.ChecksumIEEE(head[:12]) {
-			return nil, fmt.Errorf("%w: end marker CRC mismatch", ErrCorrupt)
+			return fmt.Errorf("%w: end marker CRC mismatch", ErrCorrupt)
 		}
-		if length != sr.sections {
-			return nil, fmt.Errorf("%w: end marker counts %d sections, read %d", ErrCorrupt, length, sr.sections)
+		if count != sr.sections {
+			return fmt.Errorf("%w: end marker counts %d sections, read %d", ErrCorrupt, count, sr.sections)
 		}
-		return nil, io.EOF
+		return io.EOF
 	}
-	payload, err := readBounded(sr.r, length)
-	if err != nil {
-		sr.done = true
-		return nil, fmt.Errorf("%w: section kind %d payload: %v", ErrCorrupt, kind, err)
+	var tail [12]byte
+	if err := sr.read(tail[:]); err != nil {
+		return fmt.Errorf("%w: end marker truncated: %v", ErrCorrupt, err)
 	}
-	var tail [4]byte
-	if _, err := io.ReadFull(sr.r, tail[:]); err != nil {
-		sr.done = true
-		return nil, fmt.Errorf("%w: section kind %d CRC truncated: %v", ErrCorrupt, kind, err)
+	crc := crc32.ChecksumIEEE(head[:12])
+	crc = crc32.Update(crc, crc32.IEEETable, tail[:8])
+	if got := binary.BigEndian.Uint32(tail[8:]); got != crc {
+		return fmt.Errorf("%w: end marker CRC mismatch", ErrCorrupt)
 	}
-	if got := binary.BigEndian.Uint32(tail[:]); got != sectionCRC(head, payload) {
-		sr.done = true
-		return nil, fmt.Errorf("%w: section kind %d CRC mismatch", ErrCorrupt, kind)
+	if count != sr.sections {
+		return fmt.Errorf("%w: end marker counts %d sections, read %d", ErrCorrupt, count, sr.sections)
 	}
-	sr.sections++
-	return &Section{Kind: kind, Payload: payload}, nil
+	indexOff := int64(binary.BigEndian.Uint64(tail[:8]))
+	if !sr.indexed {
+		return fmt.Errorf("%w: version-2 file has no index section", ErrCorrupt)
+	}
+	if indexOff != sr.indexOff {
+		return fmt.Errorf("%w: end marker points index at %d, found at %d", ErrCorrupt, indexOff, sr.indexOff)
+	}
+	return io.EOF
+}
+
+// parseIndex decodes an index payload into section infos, validating only
+// self-consistency (count vs payload size, monotonic offsets).
+func parseIndex(payload []byte) ([]SectionInfo, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: index payload of %d bytes", ErrCorrupt, len(payload))
+	}
+	count := binary.BigEndian.Uint32(payload)
+	if uint64(len(payload)) != 4+uint64(count)*indexEntrySize {
+		return nil, fmt.Errorf("%w: index counts %d entries in %d bytes", ErrCorrupt, count, len(payload))
+	}
+	entries := make([]SectionInfo, count)
+	prevEnd := int64(headerSize)
+	for i := range entries {
+		p := payload[4+i*indexEntrySize:]
+		e := SectionInfo{
+			Kind:   binary.BigEndian.Uint32(p),
+			Offset: int64(binary.BigEndian.Uint64(p[4:])),
+			Length: binary.BigEndian.Uint64(p[12:]),
+			CRC:    binary.BigEndian.Uint32(p[20:]),
+		}
+		if e.Kind == EndKind || e.Kind == IndexKind {
+			return nil, fmt.Errorf("%w: index entry %d has reserved kind %#x", ErrCorrupt, i, e.Kind)
+		}
+		if e.Offset < prevEnd {
+			return nil, fmt.Errorf("%w: index entry %d offset %d overlaps the previous section", ErrCorrupt, i, e.Offset)
+		}
+		if e.Length > uint64(1)<<62 {
+			return nil, fmt.Errorf("%w: index entry %d length %d", ErrCorrupt, i, e.Length)
+		}
+		prevEnd = e.Offset + sectionHeadSize + int64(e.Length) + 4
+		entries[i] = e
+	}
+	return entries, nil
 }
 
 // readBounded reads exactly length bytes, growing the buffer chunk by
-// chunk so a lying length cannot force a giant allocation before the
-// truncation error surfaces.
+// chunk so a lying length cannot force a giant allocation.
 func readBounded(r io.Reader, length uint64) ([]byte, error) {
 	var out []byte
 	for remaining := length; remaining > 0; {
@@ -272,7 +573,7 @@ func readBounded(r io.Reader, length uint64) ([]byte, error) {
 		start := len(out)
 		out = append(out, make([]byte, step)...)
 		if _, err := io.ReadFull(r, out[start:]); err != nil {
-			return nil, fmt.Errorf("truncated (%d of %d bytes): %v", uint64(start), length, err)
+			return out[:start], fmt.Errorf("truncated (%d of %d bytes): %v", uint64(start), length, err)
 		}
 		remaining -= step
 	}
@@ -282,16 +583,12 @@ func readBounded(r io.Reader, length uint64) ([]byte, error) {
 	return out, nil
 }
 
-// SectionInfo describes one section without retaining its payload.
-type SectionInfo struct {
-	Kind   uint32
-	Length uint64
-	CRC    uint32
-}
-
 // Info is the inspection summary Scan produces.
 type Info struct {
-	Epoch    int64
+	Epoch   int64
+	Version uint32
+	// Indexed reports whether the file carries a valid trailing index.
+	Indexed  bool
 	Sections []SectionInfo
 	// Bytes is the total file size consumed, framing included.
 	Bytes int64
@@ -305,11 +602,12 @@ func Scan(r io.Reader) (*Info, error) {
 	if err != nil {
 		return nil, err
 	}
-	info := &Info{Epoch: sr.epoch, Bytes: headerSize}
+	info := &Info{Epoch: sr.epoch, Version: sr.version}
 	for {
 		s, err := sr.Next()
 		if err == io.EOF {
-			info.Bytes += sectionHeadSize + 4 // end marker
+			info.Bytes = sr.off
+			info.Indexed = sr.indexed
 			return info, nil
 		}
 		if err != nil {
@@ -320,9 +618,9 @@ func Scan(r io.Reader) (*Info, error) {
 		binary.BigEndian.PutUint64(head[4:], uint64(len(s.Payload)))
 		info.Sections = append(info.Sections, SectionInfo{
 			Kind:   s.Kind,
+			Offset: s.Offset,
 			Length: uint64(len(s.Payload)),
 			CRC:    sectionCRC(head, s.Payload),
 		})
-		info.Bytes += sectionHeadSize + int64(len(s.Payload)) + 4
 	}
 }

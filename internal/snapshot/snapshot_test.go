@@ -173,7 +173,7 @@ func TestWrongSectionCount(t *testing.T) {
 	// Patch the end marker count from 2 to 3 and fix its CRC so only the
 	// count check can catch it.
 	bad := append([]byte(nil), data...)
-	off := len(bad) - (sectionHeadSize + 4)
+	off := len(bad) - endSize
 	binary.BigEndian.PutUint64(bad[off+4:], 3)
 	fixEndCRC(bad, off)
 	if err := readAll(bad); !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "counts 3") {
@@ -181,7 +181,7 @@ func TestWrongSectionCount(t *testing.T) {
 	}
 }
 
-// fixEndCRC recomputes the end marker's CRC exactly as Close does.
+// fixEndCRC recomputes the v2 end marker's CRC exactly as Close does.
 func fixEndCRC(data []byte, off int) {
-	binary.BigEndian.PutUint32(data[off+12:], crc32.ChecksumIEEE(data[off:off+12]))
+	binary.BigEndian.PutUint32(data[off+20:], crc32.ChecksumIEEE(data[off:off+20]))
 }

@@ -532,6 +532,18 @@ func SaveSnapshot(path string, d *Deployment) (int64, error) {
 // the set and may wrap it in any number of engines.
 func LoadProviderSet(path string) (*ProviderSet, error) { return core.OpenProviderSet(path) }
 
+// LoadProviderSetLazy opens a snapshot for lazy serving: the core
+// sections (config, graph, verifier, ordering) load now, and each method
+// section is read, CRC-checked and decoded on its first query. On large
+// worlds this turns a replica cold start from O(file) into O(core
+// sections), and methods nobody queries stay on disk. Proofs are
+// byte-identical to an eager load's. The set holds the file open for
+// on-demand reads — Close it when done; methods hydrated before Close
+// keep serving.
+func LoadProviderSetLazy(path string) (*ProviderSet, error) {
+	return core.OpenProviderSetLazy(path)
+}
+
 // LoadEngine cold-starts a replica from a snapshot file: the loaded
 // providers are registered on a fresh engine whose epoch counter reports
 // the snapshot's data epoch. The returned set carries the verifier to
@@ -539,6 +551,19 @@ func LoadProviderSet(path string) (*ProviderSet, error) { return core.OpenProvid
 // process would need. The engine is ready to share across goroutines.
 func LoadEngine(path string, opts ServeOptions) (*QueryEngine, *ProviderSet, error) {
 	set, err := core.OpenProviderSet(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return serve.EngineFromSet(set, opts), set, nil
+}
+
+// LoadEngineLazy is LoadEngine over LoadProviderSetLazy: the replica
+// starts answering queries after loading only the core sections, and
+// method payloads hydrate from the file as traffic touches them. The
+// first query per method pays its section's read+decode; everything
+// after serves from memory at eager speed.
+func LoadEngineLazy(path string, opts ServeOptions) (*QueryEngine, *ProviderSet, error) {
+	set, err := core.OpenProviderSetLazy(path)
 	if err != nil {
 		return nil, nil, err
 	}
