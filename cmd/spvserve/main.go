@@ -74,6 +74,7 @@ func main() {
 		updates  = flag.Bool("updates", false, "enable owner-side POST /update (incremental edge re-weighting + hot-swap)")
 		snapFile = flag.String("snapshot", "", "cold-start from this snapshot file instead of outsourcing")
 		eager    = flag.Bool("eager", false, "with -snapshot: hydrate every method at startup instead of on first query")
+		audit    = flag.Bool("audit-on-load", false, "with -snapshot: audit the embedded certificate before serving; methods that fail (or are uncovered) are refused")
 		saveFile = flag.String("save", "", "write a snapshot here after startup and enable POST /snapshot")
 		drain    = flag.Duration("drain", 10*time.Second, "in-flight drain timeout on SIGINT/SIGTERM before forced exit")
 	)
@@ -84,7 +85,8 @@ func main() {
 		addr: *addr, dataset: *dataset, scale: *scale, nodes: *nodes, edges: *edges,
 		seed: *seed, methods: *methods, workers: *workers, cache: *cache,
 		keyFile: *keyFile, landmarks: *landmark, cells: *cells, updates: *updates,
-		snapFile: *snapFile, saveFile: *saveFile, eager: *eager, drain: *drain, explicit: set,
+		snapFile: *snapFile, saveFile: *saveFile, eager: *eager, auditOnLoad: *audit,
+		drain: *drain, explicit: set,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "spvserve: %v\n", err)
@@ -100,7 +102,7 @@ type serveFlags struct {
 	scale                                               float64
 	nodes, edges, workers, landmarks, cells             int
 	seed, cache                                         int64
-	updates, eager                                      bool
+	updates, eager, auditOnLoad                         bool
 	drain                                               time.Duration
 	explicit                                            map[string]bool
 }
@@ -121,6 +123,12 @@ func run(fl serveFlags) error {
 		// Owner resume is always eager — every method gets patched, so
 		// deferring hydration would only move the same work later.
 		return fmt.Errorf("-eager only applies to a key-less -snapshot replica boot")
+	}
+	if fl.auditOnLoad && (fl.snapFile == "" || fl.updates) {
+		// The audit defends a replica against a tampered or mis-built file
+		// it received from elsewhere; an owner resume holds the key and can
+		// re-outsource, and a fresh build has nothing to audit.
+		return fmt.Errorf("-audit-on-load only applies to a key-less -snapshot replica boot")
 	}
 	serveOpts := spv.ServeOptions{Workers: fl.workers, CacheBytes: fl.cache}
 	var (
@@ -166,15 +174,20 @@ func run(fl serveFlags) error {
 		// the full load up front, no first-query hydration latency).
 		start := time.Now()
 		mode := "lazy"
-		load := spv.LoadEngineLazy
+		load := spv.LoadProviderSetLazy
 		if fl.eager {
-			mode, load = "eager", spv.LoadEngine
+			mode, load = "eager", spv.LoadProviderSet
 		}
-		e, set, err := load(fl.snapFile, serveOpts)
+		set, err := load(fl.snapFile)
 		if err != nil {
 			return err
 		}
-		engine, verifier = e, set.Verifier
+		if fl.auditOnLoad {
+			if err := auditReplicaSet(set, fl.snapFile); err != nil {
+				return err
+			}
+		}
+		engine, verifier = spv.NewEngineFromSet(set, serveOpts), set.Verifier
 		log.Printf("replica cold-started (%s) from %s in %v: epoch %d, %d nodes, methods %v",
 			mode, fl.snapFile, time.Since(start).Round(time.Millisecond),
 			set.Epoch, set.Graph.NumNodes(), engine.Methods())
@@ -195,6 +208,14 @@ func run(fl serveFlags) error {
 		endpoints += " /update"
 	}
 	if fl.saveFile != "" && dep != nil {
+		// Certify before the first save so the snapshot can boot an
+		// -audit-on-load replica. The deployment retains the certificate:
+		// every later POST /snapshot embeds it, and ApplyUpdates re-issues
+		// it per epoch, so saved files stay audit-ready for the daemon's
+		// whole lifetime.
+		if _, err := dep.Certify(); err != nil {
+			return fmt.Errorf("certify for snapshot: %w", err)
+		}
 		snapFn := spv.FileSnapshot(dep, fl.saveFile)
 		if res, err := snapFn(); err != nil {
 			return fmt.Errorf("initial snapshot: %w", err)
@@ -293,6 +314,48 @@ func buildDeployment(fl serveFlags, serveOpts spv.ServeOptions) (*spv.Deployment
 	// opens with -updates, since it is the owner's side door (re-signing
 	// roots needs the private key this process holds anyway).
 	return spv.NewDeployment(owner, serveOpts, ms...)
+}
+
+// auditReplicaSet runs the certificate audit against a freshly loaded
+// replica set and enforces the serving policy: a snapshot without a
+// certificate (or with a globally bad one — wrong epoch, wrong core
+// digest, bad signature) is refused outright; a method whose rows fail
+// the linear-pass audit — or that the certificate does not cover — is
+// dropped from the set, so the replica serves only audited state. On a
+// lazy set only the audited sections hydrate.
+func auditReplicaSet(set *spv.ProviderSet, path string) error {
+	c, err := set.Certificate()
+	if err != nil {
+		return fmt.Errorf("-audit-on-load: reading certificate from %s: %w", path, err)
+	}
+	if c == nil {
+		return fmt.Errorf("-audit-on-load: %s carries no certificate (write one with `spvsnap make -certify`, `spvserve -save`, or Deployment.Certify)", path)
+	}
+	rep := spv.Audit(set, c, set.Verifier)
+	if rep.Global != nil {
+		return fmt.Errorf("-audit-on-load: %s rejected: %w", path, rep.Global)
+	}
+	if rep.SigErr != nil {
+		return fmt.Errorf("-audit-on-load: %s rejected: %w", path, rep.SigErr)
+	}
+	kept := 0
+	for _, mr := range rep.Methods {
+		if mr.Err != nil {
+			log.Printf("audit: refusing to serve %s: %v", mr.Method, mr.Err)
+			set.RemoveProvider(spv.Method(mr.Method))
+			continue
+		}
+		kept++
+	}
+	for _, m := range rep.Uncovered {
+		log.Printf("audit: refusing to serve %s: certificate does not cover it", m)
+		set.RemoveProvider(spv.Method(m))
+	}
+	if kept == 0 {
+		return fmt.Errorf("-audit-on-load: no method in %s passed the audit", path)
+	}
+	log.Printf("audit clean for %d method(s) at epoch %d", kept, rep.Epoch)
+	return nil
 }
 
 func loadSigner(keyFile string) (*spv.Signer, error) {

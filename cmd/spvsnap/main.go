@@ -12,18 +12,27 @@
 //	# client-verify each proof against the embedded public key.
 //	spvsnap verify world.spv -proofs 64
 //
+//	# Certificate audit: one linear pass over every stored row against the
+//	# owner-signed snapshot certificate — no queries, no Dijkstra re-runs.
+//	spvsnap audit world.spv
+//
 // verify exits non-zero on the first failure, so it slots into CI and
 // cron-driven fleet audits; info only checks container integrity (CRCs,
-// section framing) and never loads the structures.
+// section framing) and never loads the structures. audit distinguishes
+// its verdicts by exit code: 0 clean, 3 certificate rejected (tampered or
+// mis-labelled state), 1 anything else (unreadable file, no certificate),
+// 2 usage.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	spv "github.com/authhints/spv"
+	"github.com/authhints/spv/internal/cert"
 	"github.com/authhints/spv/internal/core"
 	"github.com/authhints/spv/internal/snapshot"
 	"github.com/authhints/spv/internal/workload"
@@ -42,6 +51,12 @@ func main() {
 		err = runInfo(os.Args[2:])
 	case "verify":
 		err = runVerify(os.Args[2:])
+	case "audit":
+		code, aerr := runAudit(os.Args[2:], os.Stdout)
+		if aerr != nil {
+			fmt.Fprintf(os.Stderr, "spvsnap: %v\n", aerr)
+		}
+		os.Exit(code)
 	default:
 		usage()
 		os.Exit(2)
@@ -54,9 +69,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  spvsnap make   -out FILE [-dataset DE] [-scale 0.05] [-nodes N] [-edges M] [-seed 1] [-methods DIJ,LDM,HYP]
+  spvsnap make   -out FILE [-dataset DE] [-scale 0.05] [-nodes N] [-edges M] [-seed 1] [-methods DIJ,LDM,HYP] [-certify=true]
   spvsnap info   FILE
-  spvsnap verify FILE [-proofs 64] [-seed 1]`)
+  spvsnap verify FILE [-proofs 64] [-seed 1]
+  spvsnap audit  FILE [-verifier KEY.pem]`)
 }
 
 func runMake(args []string) error {
@@ -68,6 +84,7 @@ func runMake(args []string) error {
 	edges := fs.Int("edges", 0, "edge count for -nodes (default: nodes + nodes/20)")
 	seed := fs.Int64("seed", 1, "synthesis seed")
 	methods := fs.String("methods", "DIJ,LDM,HYP", "comma-separated methods (FULL is quadratic)")
+	certify := fs.Bool("certify", true, "embed an owner-signed snapshot certificate (spvsnap audit checks it)")
 	fs.Parse(args)
 
 	g, err := spv.BuildNetwork(*dataset, *scale, *nodes, *edges, *seed)
@@ -86,12 +103,21 @@ func runMake(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *certify {
+		if _, err := dep.Certify(); err != nil {
+			return err
+		}
+	}
 	n, err := spv.SaveSnapshot(*out, dep)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d bytes, %d nodes, %d edges, methods %v\n",
-		*out, n, g.NumNodes(), g.NumEdges(), ms)
+	certNote := ""
+	if *certify {
+		certNote = ", certified"
+	}
+	fmt.Printf("wrote %s: %d bytes, %d nodes, %d edges, methods %v%s\n",
+		*out, n, g.NumNodes(), g.NumEdges(), ms, certNote)
 	return nil
 }
 
@@ -217,6 +243,75 @@ func queryAndVerify(set *core.ProviderSet, m core.Method, vs, vt spv.NodeID) err
 		return err
 	}
 	return spv.VerifyProof(set.Verifier, m, vs, vt, rt)
+}
+
+// Audit exit codes — distinguishable so cron jobs and CI can tell "this
+// snapshot is tampered" (page someone) from "this file is unreadable"
+// (probably an operational problem).
+const (
+	auditExitOK       = 0
+	auditExitError    = 1 // unreadable file, missing certificate, bad flags value
+	auditExitUsage    = 2
+	auditExitRejected = 3 // certificate audit rejected the snapshot
+)
+
+// runAudit implements `spvsnap audit FILE [-verifier KEY.pem]`: open the
+// snapshot lazily, audit every certificate-covered method in one linear
+// pass, and report. Only sections the audit touches are read — a
+// certificate covering one method of a many-method file leaves the rest
+// on disk. Returns the process exit code; the error (if any) carries the
+// operator-facing reason.
+func runAudit(args []string, out io.Writer) (int, error) {
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		return auditExitUsage, fmt.Errorf("audit needs a snapshot file first")
+	}
+	path := args[0]
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	verifierPEM := fs.String("verifier", "", "out-of-band owner public key PEM (default: the snapshot's embedded key)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return auditExitUsage, nil // flag package already printed the problem
+	}
+
+	set, err := spv.LoadProviderSetLazy(path)
+	if err != nil {
+		return auditExitError, err
+	}
+	defer set.Close()
+	c, err := set.Certificate()
+	if err != nil {
+		return auditExitError, fmt.Errorf("reading certificate: %w", err)
+	}
+	if c == nil {
+		return auditExitError, fmt.Errorf("%s carries no certificate (write one with `spvsnap make -certify`)", path)
+	}
+	v := set.Verifier
+	if *verifierPEM != "" {
+		pem, err := os.ReadFile(*verifierPEM)
+		if err != nil {
+			return auditExitError, err
+		}
+		if v, err = spv.ParseVerifierPEM(pem); err != nil {
+			return auditExitError, fmt.Errorf("parsing -verifier key: %w", err)
+		}
+	}
+
+	rep := cert.Audit(set, c, v)
+	fmt.Fprintf(out, "%s: certificate epoch %d, %d method(s) covered\n", path, c.Epoch, len(c.Methods))
+	for _, mr := range rep.Methods {
+		verdict := "OK"
+		if mr.Err != nil {
+			verdict = "FAIL: " + mr.Err.Error()
+		}
+		fmt.Fprintf(out, "  %-4s %s\n", mr.Method, verdict)
+	}
+	for _, m := range rep.Uncovered {
+		fmt.Fprintf(out, "  %-4s UNCOVERED (snapshot serves it, certificate says nothing)\n", m)
+	}
+	if err := rep.Err(); err != nil {
+		return auditExitRejected, fmt.Errorf("audit rejected %s: %w", path, err)
+	}
+	fmt.Fprintf(out, "audit clean: every covered row passed the linear-pass checks\n")
+	return auditExitOK, nil
 }
 
 func parseMethods(list string) ([]spv.Method, error) {

@@ -1,0 +1,114 @@
+package cert_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"github.com/authhints/spv/internal/cert"
+	"github.com/authhints/spv/internal/digest"
+	"github.com/authhints/spv/internal/graph"
+)
+
+// corpusCert builds a small, structurally valid certificate for one
+// method — the fuzz corpus seeds one wire per method so coverage starts
+// from every per-method layout (DIJ single-row, HYP aux flag, &c.).
+func corpusCert(method string) *cert.Certificate {
+	alg := digest.SHA256
+	r := cert.Row{
+		Src:     0,
+		Dists:   []float64{0, 1, 2},
+		Parents: []graph.NodeID{graph.Invalid, 0, 1},
+	}
+	r.Digest = cert.RowDigest(alg, &r, nil)
+	return &cert.Certificate{
+		Alg:        alg,
+		Epoch:      1,
+		CoreDigest: make([]byte, alg.Size()),
+		Methods: []cert.MethodCert{{
+			Method: method,
+			Aux:    []byte{0},
+			Roots:  [][]byte{make([]byte, alg.Size())},
+			Rows:   []cert.Row{r},
+		}},
+		Sig: []byte("fuzz-corpus-signature"),
+	}
+}
+
+// FuzzDecodeCertificate pins the decoder's two hard guarantees on
+// adversarial input: it never panics or over-allocates (lengths are
+// validated against the remaining input before any make), and every
+// accepted wire re-encodes byte-identically — the canonical-encoding
+// contract the certificate signature depends on.
+func FuzzDecodeCertificate(f *testing.F) {
+	for _, m := range []string{"DIJ", "FULL", "LDM", "HYP"} {
+		f.Add(corpusCert(m).AppendBinary(nil))
+	}
+	f.Add([]byte("SPVC"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := cert.DecodeCertificate(data)
+		if err != nil {
+			return
+		}
+		re := c.AppendBinary(nil)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted wire is not canonical: decode→re-encode changed %d bytes", len(data))
+		}
+		if _, err := cert.DecodeCertificate(re); err != nil {
+			t.Fatalf("re-encoded wire does not decode: %v", err)
+		}
+	})
+}
+
+// wireOffsets locates the numMethods-relative fields of a single-method
+// certificate wire by walking the layout, so the lying-length tests stay
+// correct if the corpus cert changes shape.
+func wireOffsets(c *cert.Certificate) (numRowsOff, rowNOff int) {
+	off := 4 + 1 + 1 + 8         // magic, version, alg, epoch
+	off += 4 + len(c.CoreDigest) // core digest
+	off += 2                     // numMethods
+	m := &c.Methods[0]
+	off += 4 + len(m.Method) // method name
+	off += 4 + len(m.Aux)    // aux
+	off += 2                 // numRoots
+	for _, r := range m.Roots {
+		off += 4 + len(r)
+	}
+	numRowsOff = off
+	rowNOff = off + 4 + 4 // numRows, then row src, then row n
+	return numRowsOff, rowNOff
+}
+
+// TestDecodeCertificateLyingLengths pins the bounded-allocation rule: a
+// wire claiming more rows (or longer rows) than its remaining bytes could
+// possibly hold is rejected up front — the decoder must not trust counts
+// the input asserts about itself.
+func TestDecodeCertificateLyingLengths(t *testing.T) {
+	c := corpusCert("DIJ")
+	wire := c.AppendBinary(nil)
+	numRowsOff, rowNOff := wireOffsets(c)
+
+	lying := append([]byte(nil), wire...)
+	binary.BigEndian.PutUint32(lying[numRowsOff:], 0xFFFFFFFF)
+	if _, err := cert.DecodeCertificate(lying); !errors.Is(err, cert.ErrEncoding) {
+		t.Fatalf("lying row count: got %v, want ErrEncoding", err)
+	}
+
+	lying = append(lying[:0], wire...)
+	binary.BigEndian.PutUint32(lying[rowNOff:], 0x7FFFFFFF)
+	if _, err := cert.DecodeCertificate(lying); !errors.Is(err, cert.ErrEncoding) {
+		t.Fatalf("lying row length: got %v, want ErrEncoding", err)
+	}
+
+	// Trailing bytes after a valid wire are rejected, not ignored — the
+	// wire must be canonical for the signature to be meaningful.
+	if _, err := cert.DecodeCertificate(append(append([]byte(nil), wire...), 0)); !errors.Is(err, cert.ErrEncoding) {
+		t.Fatalf("trailing byte: got %v, want ErrEncoding", err)
+	}
+	for _, n := range []int{0, 3, 7, len(wire) / 2, len(wire) - 1} {
+		if _, err := cert.DecodeCertificate(wire[:n]); !errors.Is(err, cert.ErrEncoding) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrEncoding", n, err)
+		}
+	}
+}

@@ -132,6 +132,13 @@ func TestGoldenByteCompat(t *testing.T) {
 		got[phase+"/sig/LDM/root"] = sha(provs[LDM].(*LDMProvider).rootSig)
 		got[phase+"/sig/HYP/net"] = sha(provs[HYP].(*HYPProvider).netSig)
 		got[phase+"/sig/HYP/dist"] = sha(provs[HYP].(*HYPProvider).distSig)
+		// The certificate wire is canonical and PKCS#1 v1.5 signatures are
+		// deterministic, so its digest pins the whole Certify path per epoch.
+		c, err := owner.Certify(all...)
+		if err != nil {
+			t.Fatalf("%s certify: %v", phase, err)
+		}
+		got[phase+"/cert"] = sha(c.AppendBinary(nil))
 		var buf bytes.Buffer
 		if _, err := owner.WriteSnapshot(&buf, all...); err != nil {
 			t.Fatalf("%s snapshot: %v", phase, err)

@@ -131,7 +131,7 @@ func lazySetFromFile(f *snapshot.File) (*ProviderSet, error) {
 			return nil, fmt.Errorf("%w: duplicate section kind %d", ErrBadSnapshot, e.Kind)
 		}
 		seen[e.Kind] = true
-		if _, ok := defaultRegistry.lookupKind(e.Kind); !ok && e.Kind > snapKindOrdering {
+		if _, ok := defaultRegistry.lookupKind(e.Kind); !ok && e.Kind > snapKindOrdering && e.Kind != snapKindCert {
 			// Same refusal as the eager loader: unknown kinds are state this
 			// loader does not understand, and a lazy boot must not promise
 			// sections it could never serve.
@@ -166,6 +166,7 @@ func lazySetFromFile(f *snapshot.File) (*ProviderSet, error) {
 	if env.Ord, err = decodeSnapOrdering(payload, set.Graph.NumNodes()); err != nil {
 		return nil, err
 	}
+	set.ord = env.Ord
 	env.View = set.Graph.Freeze()
 	set.view = env.View
 

@@ -138,10 +138,11 @@ func NewRegistry(impls ...MethodImpl) (*Registry, error) {
 			return nil, fmt.Errorf("core: duplicate method %q in registry", m)
 		}
 		k := impl.SnapshotKind()
-		if k <= snapKindOrdering {
+		if k <= snapKindOrdering || k == snapKindCert {
 			// Kinds 1..4 are the core sections (config, graph, verifier,
-			// ordering); the section loop dispatches method kinds first, so
-			// a collision would shadow a core section on every load.
+			// ordering) and kind 9 the snapshot certificate; the section
+			// loop dispatches method kinds first, so a collision would
+			// shadow a reserved section on every load.
 			return nil, fmt.Errorf("core: method %q snapshot kind %d collides with the reserved core sections", m, k)
 		}
 		if _, dup := r.byKind[k]; dup {

@@ -10,6 +10,7 @@ import (
 	"os"
 	"sync"
 
+	"github.com/authhints/spv/internal/cert"
 	"github.com/authhints/spv/internal/digest"
 	"github.com/authhints/spv/internal/graph"
 	"github.com/authhints/spv/internal/hints/landmark"
@@ -57,6 +58,10 @@ const (
 	snapKindFULL     = 6
 	snapKindLDM      = 7
 	snapKindHYP      = 8
+	// snapKindCert carries the owner's snapshot certificate (internal/cert
+	// wire). Written last, and only when a certificate is attached — a
+	// certificate-less snapshot stays byte-identical to earlier writers.
+	snapKindCert = 9
 )
 
 // SnapshotSectionName returns the display name of a snapshot section
@@ -76,6 +81,8 @@ func SnapshotSectionName(kind uint32) string {
 		return "verifier"
 	case snapKindOrdering:
 		return "ordering"
+	case snapKindCert:
+		return "cert"
 	}
 	return "unknown"
 }
@@ -110,6 +117,49 @@ type ProviderSet struct {
 	// file backs a lazily opened set (OpenProviderSetLazy): method
 	// sections hydrate from it on demand until Close. Nil for eager loads.
 	file *snapshot.File
+	// ord is the loaded leaf-ordering section, retained so a certificate
+	// audit can recompute the core digest without hydrating any provider.
+	ord *order.Ordering
+	// cert is the attached snapshot certificate, if any. Lazily opened
+	// sets leave it on disk until Certificate() is called (certOnce).
+	cert     *cert.Certificate
+	certOnce sync.Once
+	certErr  error
+}
+
+// SetCertificate attaches a certificate to the set; WriteTo appends it as
+// the snapshot's CERT section. Pass nil to detach.
+func (s *ProviderSet) SetCertificate(c *cert.Certificate) {
+	s.cert = c
+	s.certOnce = sync.Once{}
+	s.certErr = nil
+}
+
+// Certificate returns the set's snapshot certificate, reading the CERT
+// section on first call for lazily opened sets. (nil, nil) means the
+// snapshot simply carries no certificate.
+func (s *ProviderSet) Certificate() (*cert.Certificate, error) {
+	s.certOnce.Do(func() {
+		if s.cert != nil || s.file == nil {
+			return
+		}
+		if !s.file.Has(snapKindCert) {
+			return
+		}
+		payload, err := s.file.Section(snapKindCert)
+		if err != nil {
+			s.certErr = err
+			return
+		}
+		s.cert, s.certErr = cert.DecodeCertificate(payload)
+	})
+	return s.cert, s.certErr
+}
+
+// RemoveProvider detaches method m from the set — the -audit-on-load
+// path drops providers whose audit failed before building an engine.
+func (s *ProviderSet) RemoveProvider(m Method) {
+	delete(s.provs, m)
 }
 
 // Provider returns the set's provider for m, or nil when the set does
@@ -160,9 +210,22 @@ func (s *ProviderSet) Methods() []Method {
 // mutates nothing; it must not run concurrently with ApplyUpdates (the
 // serving layer's Deployment.Save serializes against updates for you).
 func (o *Owner) WriteSnapshot(w io.Writer, provs ...Provider) (int64, error) {
+	return o.WriteSnapshotCert(w, nil, provs...)
+}
+
+// WriteSnapshotCert is WriteSnapshot with a snapshot certificate attached:
+// c (when non-nil) is embedded as the file's CERT section, so replicas can
+// audit the loaded state offline (see internal/cert). The certificate's
+// epoch must match the owner's — a stale one would fail every audit, so it
+// is rejected here rather than persisted.
+func (o *Owner) WriteSnapshotCert(w io.Writer, c *cert.Certificate, provs ...Provider) (int64, error) {
 	set := &ProviderSet{
 		Cfg: o.cfg, Graph: o.g, Verifier: o.Verifier(), Epoch: o.Epoch(),
 	}
+	if c != nil && c.Epoch != set.Epoch {
+		return 0, fmt.Errorf("core: certificate epoch %d does not match owner epoch %d — re-issue with Certify", c.Epoch, set.Epoch)
+	}
+	set.cert = c
 	// The current frozen view, if one exists: every provider outsourced
 	// from or patched through this owner shares it, so pointer identity is
 	// an exact staleness test. nil (never frozen, e.g. a freshly restored
@@ -248,6 +311,13 @@ func (s *ProviderSet) WriteTo(w io.Writer) (int64, error) {
 			return sw.Bytes(), err
 		}
 		if err := sw.Section(impl.SnapshotKind(), payload); err != nil {
+			return sw.Bytes(), err
+		}
+	}
+	// The certificate rides last: it describes the method sections above,
+	// and replicas that audit lazily never need to seek past it.
+	if s.cert != nil {
+		if err := sw.Section(snapKindCert, s.cert.AppendBinary(nil)); err != nil {
 			return sw.Bytes(), err
 		}
 	}
@@ -476,6 +546,11 @@ func ReadProviderSet(r io.Reader) (*ProviderSet, error) {
 			}
 			if env.Ord, err = decodeSnapOrdering(sec.Payload, set.Graph.NumNodes()); err != nil {
 				return nil, err
+			}
+			set.ord = env.Ord
+		case snapKindCert:
+			if set.cert, err = cert.DecodeCertificate(sec.Payload); err != nil {
+				return nil, fmt.Errorf("%w: certificate: %v", ErrBadSnapshot, err)
 			}
 		default:
 			// Unknown kinds within a known version are state this loader

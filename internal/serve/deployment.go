@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/authhints/spv/internal/cert"
 	"github.com/authhints/spv/internal/core"
 )
 
@@ -22,6 +23,11 @@ type Deployment struct {
 	engine *Engine
 
 	provs map[core.Method]core.Provider
+	// cert, when non-nil, is the deployment's current snapshot
+	// certificate. Certify issues it; ApplyUpdates re-issues it per epoch
+	// (a certificate binds one epoch's labellings and roots, so a held
+	// stale one would fail every replica audit); Save embeds it.
+	cert *cert.Certificate
 }
 
 // NewDeployment outsources each requested method from the owner, registers
@@ -70,6 +76,38 @@ func (d *Deployment) methodsLocked() []core.Method {
 		}
 	}
 	return out
+}
+
+// Certify issues a snapshot certificate covering every served method at
+// the deployment's current epoch and retains it: subsequent Saves embed
+// it, and ApplyUpdates re-issues it after each batch so the held
+// certificate always matches the served epoch. Returns the certificate
+// (callers may also ship it out of band).
+func (d *Deployment) Certify() (*cert.Certificate, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.certifyLocked()
+}
+
+func (d *Deployment) certifyLocked() (*cert.Certificate, error) {
+	provs := make([]core.Provider, 0, len(d.provs))
+	for _, m := range d.methodsLocked() {
+		provs = append(provs, d.provs[m])
+	}
+	c, err := d.owner.Certify(provs...)
+	if err != nil {
+		return nil, fmt.Errorf("serve: certify: %w", err)
+	}
+	d.cert = c
+	return c, nil
+}
+
+// Certificate returns the deployment's current snapshot certificate, or
+// nil if Certify has not been called.
+func (d *Deployment) Certificate() *cert.Certificate {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cert
 }
 
 // UpdateSummary reports what one ApplyUpdates batch did across the owner
@@ -124,6 +162,15 @@ func (d *Deployment) ApplyUpdates(ups []core.EdgeUpdate) (UpdateSummary, error) 
 		sum.RowsRecomputed += st.RowsRecomputed
 		sum.LeavesPatched += st.LeavesPatched
 		sum.DistLeavesPatched += st.DistLeavesPatched
+	}
+	if d.cert != nil {
+		// A certificate binds one epoch's labellings and roots; holding the
+		// pre-batch one would poison the next Save. Re-issue against the
+		// patched providers — failure here is a real error (the providers
+		// just swapped in, so certification should succeed), not ignorable.
+		if _, err := d.certifyLocked(); err != nil {
+			return sum, err
+		}
 	}
 	sum.Duration = time.Since(start)
 	d.engine.NoteUpdate(sum.Duration, sum.LeavesPatched)

@@ -55,7 +55,7 @@ func (d *Deployment) save(w io.Writer) (bytes, epoch int64, err error) {
 	for _, m := range d.methodsLocked() {
 		provs = append(provs, d.provs[m])
 	}
-	bytes, err = d.owner.WriteSnapshot(w, provs...)
+	bytes, err = d.owner.WriteSnapshotCert(w, d.cert, provs...)
 	return bytes, d.owner.Epoch(), err
 }
 
@@ -87,10 +87,18 @@ func LoadDeployment(r io.Reader, signer *sig.Signer, opts Options) (*Deployment,
 	for _, m := range set.Methods() {
 		provs[m] = set.Provider(m)
 	}
+	// Adopt the snapshot's certificate, if any: a restarted owner keeps
+	// re-issuing per epoch and re-embedding on Save, so certification
+	// survives process restarts.
+	c, err := set.Certificate()
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot certificate: %w", err)
+	}
 	return &Deployment{
 		owner:  owner,
 		engine: EngineFromSet(set, opts),
 		provs:  provs,
+		cert:   c,
 	}, nil
 }
 

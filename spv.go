@@ -61,6 +61,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/authhints/spv/internal/cert"
 	"github.com/authhints/spv/internal/core"
 	"github.com/authhints/spv/internal/digest"
 	"github.com/authhints/spv/internal/estimate"
@@ -590,6 +591,73 @@ func LoadDeployment(path string, signer *Signer, opts ServeOptions) (*Deployment
 	}
 	defer f.Close()
 	return serve.LoadDeployment(f, signer, opts)
+}
+
+// Snapshot certificates: the owner signs one compact certificate over a
+// deployment's complete outsourced state (per-method labellings or hint
+// rows plus every Merkle commitment), and a replica audits its loaded
+// snapshot against it in one linear pass — triangle-inequality, parent-
+// edge and digest-fold checks, no per-row Dijkstra — before serving. See
+// internal/cert and DESIGN.md §14.
+
+// Certificate is an owner-signed snapshot certificate covering one or
+// more methods at one update epoch.
+type Certificate = cert.Certificate
+
+// AuditReport is the structured outcome of one certificate audit: global
+// failure (if any), per-method results, and methods the snapshot serves
+// that the certificate does not cover. OK() reports a clean audit; Err()
+// the first failure in audit order.
+type AuditReport = cert.Report
+
+// Certificate audit failure classes (all wrap ErrAudit).
+var (
+	ErrAudit              = cert.ErrAudit
+	ErrAuditDistance      = cert.ErrDistance
+	ErrAuditParent        = cert.ErrParent
+	ErrAuditDigest        = cert.ErrRowDigest
+	ErrAuditSignature     = cert.ErrSignature
+	ErrAuditEncoding      = cert.ErrEncoding
+	ErrAuditEpoch         = cert.ErrEpochMismatch
+	ErrAuditMethodMissing = cert.ErrMethodMissing
+)
+
+// Certify issues the owner's snapshot certificate over the given
+// outsourced providers (every provider must come from this owner at its
+// current epoch). Attach it to snapshots via Deployment.Certify +
+// SaveSnapshot, or ship it out of band alongside the certificate-less
+// file.
+func Certify(o *Owner, provs ...Provider) (*Certificate, error) {
+	return o.Certify(provs...)
+}
+
+// Audit checks a loaded provider set against a certificate in one linear
+// pass per covered method and returns the structured report; use the
+// report's Err()/OK() for a verdict. v is the owner's public key (use
+// set.Verifier for the snapshot's embedded one — callers distrusting the
+// file should pass an out-of-band copy).
+func Audit(set *ProviderSet, c *Certificate, v *Verifier) *AuditReport {
+	return cert.Audit(set, c, v)
+}
+
+// AuditSnapshot opens the snapshot at path lazily, audits it against its
+// embedded certificate with its embedded verifier, and reports. Sections
+// the audit never touches stay on disk. A snapshot without a CERT section
+// is an error — auditing nothing proves nothing.
+func AuditSnapshot(path string) (*AuditReport, error) {
+	set, err := LoadProviderSetLazy(path)
+	if err != nil {
+		return nil, err
+	}
+	defer set.Close()
+	c, err := set.Certificate()
+	if err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, fmt.Errorf("spv: snapshot %s carries no certificate (write one with Deployment.Certify before saving)", path)
+	}
+	return cert.Audit(set, c, set.Verifier), nil
 }
 
 // Calibration holds measured network constants for proof-size estimation
