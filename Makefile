@@ -6,7 +6,7 @@ GO ?= go
 # Snapshot file produced by `make snap` and audited by `make snap-verify`.
 SNAP ?= snapshot.spv
 
-.PHONY: all build test short race bench bench-json bench-gate load snap snap-verify audit large-snap fmt fmt-check vet lint clean
+.PHONY: all build test short race bench bench-json bench-gate load load-gate snap snap-verify audit large-snap fmt fmt-check vet lint clean
 
 # staticcheck version the lint lane pins (CI installs exactly this).
 STATICCHECK_VERSION ?= 2025.1
@@ -34,11 +34,11 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./...
 
 # Machine-readable hot-path numbers (ns/op, B/op, allocs/op) for the
-# standard world → BENCH_PR7.json, with the committed PR6 snapshot embedded
+# standard world → BENCH_PR10.json, with the committed PR7 snapshot embedded
 # as the baseline, plus the open-loop load lanes. CI uploads this as an
 # artifact so perf regressions are visible in PR checks.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR7.json -baseline BENCH_PR6.json -load-duration 4s
+	$(GO) run ./cmd/benchjson -out BENCH_PR10.json -baseline BENCH_PR7.json -load-duration 4s
 
 # Regression gate: measure now, then compare against the committed
 # per-CPU-count baseline. benchjson compare exits non-zero when a lane
@@ -75,6 +75,37 @@ load:
 		-rate 200 -duration 10s -warmup 2s -mix DIJ=1,LDM=2,HYP=1 \
 		-batch-frac 0.1 -batch-size 8 -update-every 500ms -snapshot-at 5s \
 		-out load.json
+
+# Client-side latency gate: the same friendly-pool run as `make load`
+# (shipped server defaults, micro-batching pipeline on) written to
+# LOAD_CURRENT.json, then compared against the committed per-CPU baseline
+# of client-observed latency. `benchjson loadgate` applies the bench
+# gate's honesty rules: cross-CPU-count comparisons are refused with a
+# visible skip, and any errors, drops or sheds in the current run fail
+# outright. No baseline for this host's CPU count skips with a warning —
+# commit the emitted LOAD_CURRENT.json as LOAD_BASELINE_<n>cpu.json to
+# arm it.
+load-gate:
+	$(GO) build -o /tmp/spv-load-serve ./cmd/spvserve
+	$(GO) build -o /tmp/spv-load-drive ./cmd/spvload
+	@set -e; \
+	/tmp/spv-load-serve -dataset DE -scale 0.05 -methods DIJ,LDM,HYP \
+		-updates -save /tmp/spv-load-world.spv -addr 127.0.0.1:8098 & \
+	pid=$$!; trap "kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null" EXIT; \
+	for i in $$(seq 1 120); do \
+		curl -sf http://127.0.0.1:8098/healthz >/dev/null 2>&1 && break; sleep 0.5; done; \
+	/tmp/spv-load-drive -url http://127.0.0.1:8098 -dataset DE -scale 0.05 \
+		-rate 200 -duration 10s -warmup 2s -mix DIJ=1,LDM=2,HYP=1 \
+		-batch-frac 0.1 -batch-size 8 -update-every 500ms -snapshot-at 5s \
+		-out LOAD_CURRENT.json
+	@cpus=$$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN); \
+	base=LOAD_BASELINE_$${cpus}cpu.json; \
+	if [ -f $$base ]; then \
+		$(GO) run ./cmd/benchjson loadgate -threshold $(BENCH_THRESHOLD) $$base LOAD_CURRENT.json; \
+	else \
+		echo "GATE SKIPPED: no $$base committed for this $${cpus}-CPU host."; \
+		echo "Review LOAD_CURRENT.json and commit it as $$base to arm the gate."; \
+	fi
 
 # Persistent ADS snapshot of the standard world (spvserve's default served
 # set), written via the public save path.

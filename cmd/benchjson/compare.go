@@ -23,8 +23,12 @@ import (
 //   - Worker-sweep lanes are skipped on single-CPU hosts for the same
 //     reason benchjson withholds their speedups.
 //   - Load lanes gate on p99 latency (up is bad) and achieved QPS (down
-//     is bad); any errors or drops in the current run fail outright —
-//     a server that sheds load can otherwise post excellent percentiles.
+//     is bad); any errors, drops or sheds in the current run fail
+//     outright — a server that refuses load can otherwise post excellent
+//     percentiles.
+//   - Lanes present on only one side are reported (NEW LANE / GONE), not
+//     silently skipped: a candidate-only lane passing in silence is how a
+//     renamed benchmark loses its gate forever.
 //   - Percentile and QPS gates require enough arrivals to be stable: a
 //     p99 over 50 samples is within noise of the max, so phases below
 //     the floor only gate on errors/drops.
@@ -71,13 +75,33 @@ func runCompare(args []string) error {
 		}
 	}
 
+	// Lanes present on only one side are visible, never silently passed: a
+	// candidate-only lane has no baseline to gate against (report it so a
+	// rename or addition can't hide a regression forever), and a
+	// baseline-only lane means coverage was lost.
 	lanes := make([]string, 0, len(cur.Results))
+	var newLanes, goneLanes []string
 	for name := range cur.Results {
 		if _, ok := base.Results[name]; ok {
 			lanes = append(lanes, name)
+		} else {
+			newLanes = append(newLanes, name)
+		}
+	}
+	for name := range base.Results {
+		if _, ok := cur.Results[name]; !ok {
+			goneLanes = append(goneLanes, name)
 		}
 	}
 	sort.Strings(lanes)
+	sort.Strings(newLanes)
+	sort.Strings(goneLanes)
+	for _, name := range newLanes {
+		fmt.Printf("NEW LANE %-32s no baseline — ungated; refresh the baseline to gate it\n", name)
+	}
+	for _, name := range goneLanes {
+		fmt.Printf("GONE     %-32s in baseline but not in current run — coverage lost?\n", name)
+	}
 	for _, name := range lanes {
 		b, c := base.Results[name], cur.Results[name]
 		if b.NsPerOp <= 0 {
@@ -96,45 +120,18 @@ func runCompare(args []string) error {
 	for loc := range cur.Load {
 		if base.Load[loc] != nil {
 			locs = append(locs, loc)
+		} else {
+			fmt.Printf("NEW LANE load/%s: no baseline — ungated; refresh the baseline to gate it\n", loc)
+		}
+	}
+	for loc := range base.Load {
+		if cur.Load[loc] == nil {
+			fmt.Printf("GONE     load/%s: in baseline but not in current run — coverage lost?\n", loc)
 		}
 	}
 	sort.Strings(locs)
 	for _, loc := range locs {
-		bl, cl := base.Load[loc], cur.Load[loc]
-		if bl.Rate != cl.Rate || bl.Duration != cl.Duration {
-			fmt.Printf("skip     load/%s: offered rate/duration differ (%g qps/%v vs %g qps/%v) — not comparable\n",
-				loc, bl.Rate, bl.Duration, cl.Rate, cl.Duration)
-			continue
-		}
-		phases := make([]string, 0, len(cl.Phases))
-		for ph := range cl.Phases {
-			if bl.Phases[ph] != nil {
-				phases = append(phases, string(ph))
-			}
-		}
-		sort.Strings(phases)
-		for _, phName := range phases {
-			ph := loadgen.Phase(phName)
-			bp, cp := bl.Phases[ph], cl.Phases[ph]
-			lane := fmt.Sprintf("load/%s/%s", loc, phName)
-			if bad := cp.Errors > 0 || cp.Dropped > 0; bad {
-				note(true, "%-32s %d errors, %d drops in current run", lane, cp.Errors, cp.Dropped)
-			}
-			if bp.P99 > 0 && bp.Offered >= minP99Samples {
-				ratio := float64(cp.P99) / float64(bp.P99)
-				note(ratio > 1+*threshold, "%-32s p99 %12v → %12v  (%+.1f%%)",
-					lane, bp.P99.Round(time.Microsecond), cp.P99.Round(time.Microsecond), 100*(ratio-1))
-			} else if bp.P99 > 0 {
-				fmt.Printf("skip     %-32s %d arrivals: too few for a stable p99 gate\n", lane, bp.Offered)
-			}
-			// QPS gates only phases with enough arrivals for the ratio to
-			// mean anything (update/snapshot phases offer a handful).
-			if bp.AchievedQPS > 0 && bp.Offered >= minQPSSamples {
-				ratio := cp.AchievedQPS / bp.AchievedQPS
-				note(ratio < 1-*threshold, "%-32s qps %12.1f → %12.1f  (%+.1f%%)",
-					lane, bp.AchievedQPS, cp.AchievedQPS, 100*(ratio-1))
-			}
-		}
+		gateLoad(note, "load/"+loc, base.Load[loc], cur.Load[loc], *threshold)
 	}
 
 	if len(regressions) > 0 {
@@ -144,6 +141,122 @@ func runCompare(args []string) error {
 	fmt.Printf("\nPASS: no lane regressed beyond %.0f%% (cpus=%d, %d bench lanes, %d load sections)\n",
 		*threshold*100, cur.CPUs, len(lanes), len(locs))
 	return nil
+}
+
+// gateLoad compares one load run against its baseline phase by phase
+// under the shared honesty rules: errors/drops/sheds in the current run
+// fail outright (a server that refuses load posts flattering
+// percentiles), p99 and QPS gate only over enough arrivals to be signal,
+// phases on only one side are reported rather than silently passed, and
+// mismatched offered rate/duration makes the runs incomparable.
+func gateLoad(note func(bad bool, format string, a ...any), prefix string, bl, cl *loadgen.Report, threshold float64) {
+	if bl.Rate != cl.Rate || bl.Duration != cl.Duration {
+		fmt.Printf("skip     %s: offered rate/duration differ (%g qps/%v vs %g qps/%v) — not comparable\n",
+			prefix, bl.Rate, bl.Duration, cl.Rate, cl.Duration)
+		return
+	}
+	phases := make([]string, 0, len(cl.Phases))
+	for ph := range cl.Phases {
+		if bl.Phases[ph] != nil {
+			phases = append(phases, string(ph))
+		} else {
+			fmt.Printf("NEW LANE %s/%s: no baseline — ungated; refresh the baseline to gate it\n", prefix, ph)
+		}
+	}
+	for ph := range bl.Phases {
+		if cl.Phases[ph] == nil {
+			fmt.Printf("GONE     %s/%s: in baseline but not in current run — coverage lost?\n", prefix, ph)
+		}
+	}
+	sort.Strings(phases)
+	for _, phName := range phases {
+		ph := loadgen.Phase(phName)
+		bp, cp := bl.Phases[ph], cl.Phases[ph]
+		lane := prefix + "/" + phName
+		// Sheds fail like errors and drops: the gate's lanes run without a
+		// deadline, so any shed means the server refused offered load —
+		// and refused load posts flattering percentiles.
+		if bad := cp.Errors > 0 || cp.Dropped > 0 || cp.Shed > 0; bad {
+			note(true, "%-32s %d errors, %d drops, %d shed in current run", lane, cp.Errors, cp.Dropped, cp.Shed)
+		}
+		if bp.P99 > 0 && bp.Offered >= minP99Samples {
+			ratio := float64(cp.P99) / float64(bp.P99)
+			note(ratio > 1+threshold, "%-32s p99 %12v → %12v  (%+.1f%%)",
+				lane, bp.P99.Round(time.Microsecond), cp.P99.Round(time.Microsecond), 100*(ratio-1))
+		} else if bp.P99 > 0 {
+			fmt.Printf("skip     %-32s %d arrivals: too few for a stable p99 gate\n", lane, bp.Offered)
+		}
+		// QPS gates only phases with enough arrivals for the ratio to
+		// mean anything (update/snapshot phases offer a handful).
+		if bp.AchievedQPS > 0 && bp.Offered >= minQPSSamples {
+			ratio := cp.AchievedQPS / bp.AchievedQPS
+			note(ratio < 1-threshold, "%-32s qps %12.1f → %12.1f  (%+.1f%%)",
+				lane, bp.AchievedQPS, cp.AchievedQPS, 100*(ratio-1))
+		}
+	}
+}
+
+// runLoadGate implements `benchjson loadgate <baseline.json> <current.json>`
+// over two raw spvload reports (spv-load/v1) — the CI `load-gated` step's
+// primitive. It applies the same honesty rules as the bench gate: a
+// cross-CPU-count comparison is refused with a visible skip (client-side
+// latency on a 1-core runner measures driver/server contention a 4-core
+// baseline never saw), and errors, drops or sheds in the current run fail
+// outright.
+func runLoadGate(args []string) error {
+	fs := flag.NewFlagSet("loadgate", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.30, "max allowed fractional regression per lane (0.30 = 30%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchjson loadgate [-threshold 0.30] <baseline.json> <current.json>")
+	}
+	base, err := readLoadReport(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := readLoadReport(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if base.CPUs != cur.CPUs {
+		fmt.Printf("GATE SKIPPED: baseline measured on %d CPUs, current on %d — incomparable.\n", base.CPUs, cur.CPUs)
+		fmt.Printf("Commit a load baseline for this CPU count (LOAD_BASELINE_%dcpu.json) to arm the gate.\n", cur.CPUs)
+		return nil
+	}
+	var regressions []string
+	note := func(bad bool, format string, a ...any) {
+		line := fmt.Sprintf(format, a...)
+		if bad {
+			regressions = append(regressions, line)
+			fmt.Printf("REGRESS  %s\n", line)
+		} else {
+			fmt.Printf("ok       %s\n", line)
+		}
+	}
+	gateLoad(note, "load", base, cur, *threshold)
+	if len(regressions) > 0 {
+		fmt.Printf("\nFAIL: %d load lane(s) regressed beyond %.0f%% (cpus=%d)\n", len(regressions), *threshold*100, cur.CPUs)
+		os.Exit(1)
+	}
+	fmt.Printf("\nPASS: no load lane regressed beyond %.0f%% (cpus=%d)\n", *threshold*100, cur.CPUs)
+	return nil
+}
+
+func readLoadReport(path string) (*loadgen.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r loadgen.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if r.Schema != loadgen.Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %s", path, r.Schema, loadgen.Schema)
+	}
+	return &r, nil
 }
 
 func readReport(path string) (*Report, error) {

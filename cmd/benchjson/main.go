@@ -115,6 +115,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "loadgate" {
+		if err := runLoadGate(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson loadgate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	out := flag.String("out", "-", "output file (- for stdout)")
 	baselineFile := flag.String("baseline", "", "previous benchjson output to embed for comparison")
 	loadDur := flag.Duration("load-duration", 0, "run the open-loop load lanes for this long each (0 = skip)")
@@ -399,10 +406,13 @@ func benchLoad(r *Report, g *spv.Graph, rate float64, dur time.Duration) error {
 	if err != nil {
 		return err
 	}
-	dep, err := spv.NewDeployment(owner, spv.ServeOptions{}, servedMethods...)
+	// Coalesce matches spvserve's shipped default: the load lanes measure
+	// the server operators actually run, micro-batching pipeline included.
+	dep, err := spv.NewDeployment(owner, spv.ServeOptions{Coalesce: true}, servedMethods...)
 	if err != nil {
 		return err
 	}
+	defer dep.Engine().Close()
 	srv, err := spv.NewUpdatableServer(dep)
 	if err != nil {
 		return err

@@ -64,6 +64,8 @@ func main() {
 		updBatches = flag.Int("update-batches", 8, "distinct update batches to cycle (doubled by restores)")
 		snapAt     = flag.String("snapshot-at", "", "comma-separated offsets into the window to POST /snapshot (server needs -save)")
 
+		deadline = flag.Duration("deadline", 0, "per-query latency budget sent as X-SPV-Budget; the server sheds with 503 instead of answering late (0 = none)")
+
 		timeout  = flag.Duration("timeout", 15*time.Second, "per-request timeout")
 		inflight = flag.Int("inflight", 1024, "max concurrent requests before arrivals drop")
 		out      = flag.String("out", "-", "JSON report path (- for stdout)")
@@ -75,7 +77,7 @@ func main() {
 		rate: *rate, duration: *duration, warmup: *warmup, mix: *mixFlag,
 		locality: *locality, batchFrac: *batchFrac, batchSize: *batchSize, verify: *verify,
 		updEvery: *updEvery, updEdges: *updEdges, updBatches: *updBatches,
-		snapAt: *snapAt, timeout: *timeout, inflight: *inflight, out: *out,
+		snapAt: *snapAt, deadline: *deadline, timeout: *timeout, inflight: *inflight, out: *out,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "spvload: %v\n", err)
 		os.Exit(1)
@@ -89,6 +91,7 @@ type loadFlags struct {
 	updEdges, updBatches, inflight           int
 	seed, poolSeed                           int64
 	duration, warmup, updEvery, timeout      time.Duration
+	deadline                                 time.Duration
 	verify                                   bool
 }
 
@@ -138,6 +141,7 @@ func run(fl loadFlags) error {
 		Verify:        fl.verify,
 		UpdateEvery:   fl.updEvery,
 		SnapshotAt:    snapshotAt,
+		Budget:        fl.deadline,
 		Timeout:       fl.timeout,
 		MaxInFlight:   fl.inflight,
 		Seed:          fl.poolSeed,
@@ -180,17 +184,17 @@ func printSummary(rep *loadgen.Report) {
 		phases = append(phases, string(ph))
 	}
 	sort.Strings(phases)
-	fmt.Fprintf(os.Stderr, "%-9s %9s %9s %9s %7s %9s %9s %9s %9s\n",
-		"phase", "offered", "done", "qps", "err", "p50", "p90", "p99", "p999")
+	fmt.Fprintf(os.Stderr, "%-9s %9s %9s %9s %7s %7s %9s %9s %9s %9s\n",
+		"phase", "offered", "done", "qps", "err", "shed", "p50", "p90", "p99", "p999")
 	for _, name := range phases {
 		ps := rep.Phases[loadgen.Phase(name)]
-		fmt.Fprintf(os.Stderr, "%-9s %9d %9d %9.1f %7d %9s %9s %9s %9s\n",
-			name, ps.Offered, ps.Completed, ps.AchievedQPS, ps.Errors+ps.Dropped,
+		fmt.Fprintf(os.Stderr, "%-9s %9d %9d %9.1f %7d %7d %9s %9s %9s %9s\n",
+			name, ps.Offered, ps.Completed, ps.AchievedQPS, ps.Errors+ps.Dropped, ps.Shed,
 			rnd(ps.P50), rnd(ps.P90), rnd(ps.P99), rnd(ps.P999))
 	}
 	d := rep.Stats
-	fmt.Fprintf(os.Stderr, "server: %d queries, hit rate %.1f%%, %d deduped, epoch +%d, %d leaves patched, %d errors\n",
-		d.Queries, 100*d.HitRate, d.Deduped, d.EpochDelta, d.LeavesPatched, d.Errors)
+	fmt.Fprintf(os.Stderr, "server: %d queries, hit rate %.1f%%, %d deduped, epoch +%d, %d leaves patched, %d errors, %d shed\n",
+		d.Queries, 100*d.HitRate, d.Deduped, d.EpochDelta, d.LeavesPatched, d.Errors, d.Shed)
 }
 
 func rnd(d time.Duration) string { return d.Round(10 * time.Microsecond).String() }

@@ -77,6 +77,11 @@ func main() {
 		audit    = flag.Bool("audit-on-load", false, "with -snapshot: audit the embedded certificate before serving; methods that fail (or are uncovered) are refused")
 		saveFile = flag.String("save", "", "write a snapshot here after startup and enable POST /snapshot")
 		drain    = flag.Duration("drain", 10*time.Second, "in-flight drain timeout on SIGINT/SIGTERM before forced exit")
+		coalesce = flag.Bool("coalesce", true, "adaptive micro-batching pipeline: coalesce concurrent /query traffic into shared flushes")
+		flushSz  = flag.Int("flush-size", 0, "max queries per pipeline flush (0 = default)")
+		flushWt  = flag.Duration("flush-wait", 0, "max adaptive accumulation window (0 = default, negative = none)")
+		queueCap = flag.Int("queue-cap", 0, "per-method admission queue bound; arrivals beyond it are shed with 503 (0 = default)")
+		deadline = flag.Duration("deadline-default", 0, "latency budget applied to queries that carry no X-SPV-Budget header (0 = none)")
 	)
 	flag.Parse()
 	set := map[string]bool{}
@@ -86,7 +91,8 @@ func main() {
 		seed: *seed, methods: *methods, workers: *workers, cache: *cache,
 		keyFile: *keyFile, landmarks: *landmark, cells: *cells, updates: *updates,
 		snapFile: *snapFile, saveFile: *saveFile, eager: *eager, auditOnLoad: *audit,
-		drain: *drain, explicit: set,
+		drain: *drain, coalesce: *coalesce, flushSize: *flushSz, flushWait: *flushWt,
+		queueCap: *queueCap, deadline: *deadline, explicit: set,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "spvserve: %v\n", err)
@@ -102,8 +108,9 @@ type serveFlags struct {
 	scale                                               float64
 	nodes, edges, workers, landmarks, cells             int
 	seed, cache                                         int64
-	updates, eager, auditOnLoad                         bool
-	drain                                               time.Duration
+	updates, eager, auditOnLoad, coalesce               bool
+	flushSize, queueCap                                 int
+	drain, flushWait, deadline                          time.Duration
 	explicit                                            map[string]bool
 }
 
@@ -130,7 +137,11 @@ func run(fl serveFlags) error {
 		// re-outsource, and a fresh build has nothing to audit.
 		return fmt.Errorf("-audit-on-load only applies to a key-less -snapshot replica boot")
 	}
-	serveOpts := spv.ServeOptions{Workers: fl.workers, CacheBytes: fl.cache}
+	serveOpts := spv.ServeOptions{
+		Workers: fl.workers, CacheBytes: fl.cache,
+		Coalesce: fl.coalesce, FlushSize: fl.flushSize, FlushWait: fl.flushWait,
+		QueueCap: fl.queueCap, DefaultBudget: fl.deadline,
+	}
 	var (
 		engine   *spv.QueryEngine
 		verifier *spv.Verifier
@@ -238,7 +249,11 @@ func run(fl serveFlags) error {
 		WriteTimeout:      2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return serveUntilSignal(hs, fl.drain)
+	err = serveUntilSignal(hs, fl.drain)
+	// Drain the micro-batching pipeline after the HTTP drain: any answer
+	// still queued behind a flush is delivered before the process exits.
+	engine.Close()
+	return err
 }
 
 // serveUntilSignal runs the HTTP server until SIGINT/SIGTERM, then drains:

@@ -1,0 +1,57 @@
+package core
+
+import "github.com/authhints/spv/internal/graph"
+
+// This file is the prove-side counterpart of batch.go's VerifyBatch: one
+// provider answers many queries while paying the pooled-scratch
+// acquisition once. The serving layer's micro-batching pipeline
+// (internal/serve) coalesces concurrently-arriving singles into flushes
+// and drives them through QueryProofBatch, so queue bursts share the
+// workspace, include-set and Merkle prove scratch instead of cycling the
+// pool per request.
+//
+// Equivalence contract: each item runs the exact per-query code path
+// (queryWith — Query itself is acquire + queryWith + release), with the
+// scratch reset between items to the same state acquireScratch hands out.
+// Proof bytes are therefore identical to N independent Query calls,
+// pinned by TestQueryProofBatchByteIdentity.
+
+// QueryPair is one (source, target) endpoint pair in a batch prove.
+type QueryPair struct {
+	VS, VT graph.NodeID
+}
+
+// BatchProofResult is one item's outcome: exactly what QueryProof would
+// have returned for the same pair.
+type BatchProofResult struct {
+	Proof Proof
+	Err   error
+}
+
+// QueryProofBatch answers every pair against p with one pooled scratch.
+// Items are independent — a per-item failure (bad endpoints, no path)
+// lands in its result and the batch continues. A lazy provider hydrates
+// once up front; a hydration failure fails every item.
+func QueryProofBatch(p Provider, pairs []QueryPair) []BatchProofResult {
+	out := make([]BatchProofResult, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	up, err := unwrapProvider(p)
+	if err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	n := up.viewRef().NumNodes()
+	s := acquireScratch(n)
+	defer releaseScratch(s)
+	for i, q := range pairs {
+		if i > 0 {
+			s.resetFor(n)
+		}
+		out[i].Proof, out[i].Err = up.queryProofWith(s, q.VS, q.VT)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/authhints/spv/internal/graph"
+)
+
+// TestQueryProofBatchByteIdentity pins the equivalence contract of the
+// prove-side batch path: every proof out of QueryProofBatch must be
+// byte-identical to an independent QueryProof of the same pair — the
+// property that lets the serving layer's coalescer substitute one flush
+// for N singles without perturbing caches, golden fixtures or clients.
+func TestQueryProofBatchByteIdentity(t *testing.T) {
+	w := world(t)
+	provs := []Provider{w.dij, w.full, w.ldm, w.hyp}
+	pairs := make([]QueryPair, 0, 16)
+	for i := 0; i < 14 && i < len(w.queries); i++ {
+		q := w.queries[i]
+		pairs = append(pairs, QueryPair{VS: q.S, VT: q.T})
+	}
+	// Duplicates and an error item in the middle: items are independent,
+	// and a failure must not disturb its neighbours' scratch state.
+	pairs = append(pairs, pairs[0], QueryPair{VS: pairs[1].VS, VT: pairs[1].VS})
+	for _, p := range provs {
+		res := QueryProofBatch(p, pairs)
+		if len(res) != len(pairs) {
+			t.Fatalf("%s: %d results for %d pairs", p.Method(), len(res), len(pairs))
+		}
+		for i, r := range res {
+			single, err := p.QueryProof(pairs[i].VS, pairs[i].VT)
+			if (err == nil) != (r.Err == nil) {
+				t.Fatalf("%s[%d]: batch err %v, single err %v", p.Method(), i, r.Err, err)
+			}
+			if err != nil {
+				if !errors.Is(r.Err, ErrBadQuery) && !errors.Is(r.Err, ErrNoPath) {
+					t.Fatalf("%s[%d]: unexpected error class %v", p.Method(), i, r.Err)
+				}
+				continue
+			}
+			got := r.Proof.AppendBinary(nil)
+			want := single.AppendBinary(nil)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s[%d]: batch proof differs from single (%d vs %d bytes)",
+					p.Method(), i, len(got), len(want))
+			}
+			if err := VerifyProof(w.owner.Verifier(), p.Method(), pairs[i].VS, pairs[i].VT, r.Proof); err != nil {
+				t.Fatalf("%s[%d]: batch proof failed verification: %v", p.Method(), i, err)
+			}
+		}
+	}
+}
+
+// TestQueryProofBatchEmpty pins the trivial edges: zero pairs, and a batch
+// of only failing items.
+func TestQueryProofBatchEmpty(t *testing.T) {
+	w := world(t)
+	if res := QueryProofBatch(w.dij, nil); len(res) != 0 {
+		t.Fatalf("nil pairs produced %d results", len(res))
+	}
+	res := QueryProofBatch(w.dij, []QueryPair{{VS: 0, VT: 0}, {VS: -1, VT: 2}, {VS: 1, VT: graph.NodeID(w.g.NumNodes())}})
+	for i, r := range res {
+		if !errors.Is(r.Err, ErrBadQuery) {
+			t.Fatalf("item %d: got %v, want ErrBadQuery", i, r.Err)
+		}
+	}
+}

@@ -62,11 +62,17 @@ type DIJProof struct {
 // Query runs Algorithm 1 for DIJ: compute the shortest path, collect
 // Γ = {Φ(v) | dist(vs, v) ≤ dist(vs, vt)}, and derive the integrity proof.
 func (p *DIJProvider) Query(vs, vt graph.NodeID) (*DIJProof, error) {
+	s := acquireScratch(p.view.NumNodes())
+	defer releaseScratch(s)
+	return p.queryWith(s, vs, vt)
+}
+
+// queryWith is Query against caller-provided scratch (already reset for
+// this graph); QueryProofBatch threads one scratch through many calls.
+func (p *DIJProvider) queryWith(s *queryScratch, vs, vt graph.NodeID) (*DIJProof, error) {
 	if err := checkEndpoints(p.g, vs, vt); err != nil {
 		return nil, err
 	}
-	s := acquireScratch(p.view.NumNodes())
-	defer releaseScratch(s)
 	dist, path := s.ws.DijkstraTo(p.view, vs, vt)
 	if path == nil {
 		return nil, fmt.Errorf("%w: from %d to %d", ErrNoPath, vs, vt)

@@ -114,11 +114,17 @@ type FULLProof struct {
 // Query answers a FULL query: the distance proof comes straight out of the
 // forest; the network proof covers exactly the path nodes.
 func (p *FULLProvider) Query(vs, vt graph.NodeID) (*FULLProof, error) {
+	s := acquireScratch(p.view.NumNodes())
+	defer releaseScratch(s)
+	return p.queryWith(s, vs, vt)
+}
+
+// queryWith is Query against caller-provided scratch (already reset for
+// this graph); QueryProofBatch threads one scratch through many calls.
+func (p *FULLProvider) queryWith(s *queryScratch, vs, vt graph.NodeID) (*FULLProof, error) {
 	if err := checkEndpoints(p.g, vs, vt); err != nil {
 		return nil, err
 	}
-	s := acquireScratch(p.view.NumNodes())
-	defer releaseScratch(s)
 	dist, path := s.ws.DijkstraTo(p.view, vs, vt)
 	if path == nil {
 		return nil, fmt.Errorf("%w: from %d to %d", ErrNoPath, vs, vt)

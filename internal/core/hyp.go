@@ -90,11 +90,17 @@ func (p *HYPProvider) NumBorders() int { return p.hyper.NumBorders() }
 // Query runs Algorithm 1 for HYP: coarse proof over the source and target
 // cells plus their border hyper-edges, fine proof over the path.
 func (p *HYPProvider) Query(vs, vt graph.NodeID) (*HYPProof, error) {
+	s := acquireScratch(p.view.NumNodes())
+	defer releaseScratch(s)
+	return p.queryWith(s, vs, vt)
+}
+
+// queryWith is Query against caller-provided scratch (already reset for
+// this graph); QueryProofBatch threads one scratch through many calls.
+func (p *HYPProvider) queryWith(s *queryScratch, vs, vt graph.NodeID) (*HYPProof, error) {
 	if err := checkEndpoints(p.g, vs, vt); err != nil {
 		return nil, err
 	}
-	s := acquireScratch(p.view.NumNodes())
-	defer releaseScratch(s)
 	dist, path := s.ws.DijkstraTo(p.view, vs, vt)
 	if path == nil {
 		return nil, fmt.Errorf("%w: from %d to %d", ErrNoPath, vs, vt)

@@ -99,11 +99,17 @@ type LDMProof struct {
 // dist(vs,v) + distLB(v,vt) ≤ dist(vs,vt)} (Lemma 2), closed over the
 // reference nodes whose vectors compressed payloads point at.
 func (p *LDMProvider) Query(vs, vt graph.NodeID) (*LDMProof, error) {
+	s := acquireScratch(p.view.NumNodes())
+	defer releaseScratch(s)
+	return p.queryWith(s, vs, vt)
+}
+
+// queryWith is Query against caller-provided scratch (already reset for
+// this graph); QueryProofBatch threads one scratch through many calls.
+func (p *LDMProvider) queryWith(s *queryScratch, vs, vt graph.NodeID) (*LDMProof, error) {
 	if err := checkEndpoints(p.g, vs, vt); err != nil {
 		return nil, err
 	}
-	s := acquireScratch(p.view.NumNodes())
-	defer releaseScratch(s)
 	dist, path := s.ws.DijkstraTo(p.view, vs, vt)
 	if path == nil {
 		return nil, fmt.Errorf("%w: from %d to %d", ErrNoPath, vs, vt)

@@ -21,6 +21,15 @@ func (p *DIJProvider) QueryProof(vs, vt graph.NodeID) (Proof, error) {
 	return pr, nil
 }
 
+// queryProofWith answers behind the erased face against caller scratch.
+func (p *DIJProvider) queryProofWith(s *queryScratch, vs, vt graph.NodeID) (Proof, error) {
+	pr, err := p.queryWith(s, vs, vt)
+	if err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
 func (p *DIJProvider) graphRef() *graph.Graph {
 	if p == nil {
 		return nil

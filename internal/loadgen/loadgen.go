@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -105,6 +106,13 @@ type Config struct {
 	// Locality records the pool's distribution in the report (the pool is
 	// already built; this is documentation, not behavior).
 	Locality workload.Locality
+	// Budget, when positive, is sent as the X-SPV-Budget header on every
+	// /query: the server sheds the request with 503 instead of answering
+	// late when its admission queue cannot meet the budget. Shed responses
+	// form their own ledger class (PhaseStats.Shed) — they are neither
+	// completions nor errors, and their turnaround never enters the latency
+	// histograms (a fast refusal is not service).
+	Budget time.Duration
 	// Verify turns the driver into a full client: it bootstraps the owner's
 	// public key from GET /verifier, verifies every /query proof, asks
 	// /batch for the shared proof encoding and batch-verifies each blob.
@@ -161,7 +169,14 @@ type run struct {
 	errs   map[Phase]*atomic.Int64
 	booked map[Phase]*atomic.Int64 // offered (scheduled in window)
 	drops  map[Phase]*atomic.Int64
+	sheds  map[Phase]*atomic.Int64
 }
+
+// errShed marks a request the server refused under deadline pressure
+// (HTTP 503 from the admission queue). It is its own ledger class: the
+// dispatcher counts it in sheds, never in errs, and never records its
+// turnaround in the latency histogram.
+var errShed = errors.New("loadgen: request shed by server")
 
 // Run executes one load run against a live server and returns its report.
 // The context cancels the run early (the report covers what ran).
@@ -190,12 +205,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		errs:   map[Phase]*atomic.Int64{},
 		booked: map[Phase]*atomic.Int64{},
 		drops:  map[Phase]*atomic.Int64{},
+		sheds:  map[Phase]*atomic.Int64{},
 	}
 	for _, ph := range []Phase{PhaseQuery, PhaseBatch, PhaseUpdate, PhaseSnapshot, PhaseVerify} {
 		r.hists[ph] = &hist.Histogram{}
 		r.errs[ph] = &atomic.Int64{}
 		r.booked[ph] = &atomic.Int64{}
 		r.drops[ph] = &atomic.Int64{}
+		r.sheds[ph] = &atomic.Int64{}
 	}
 	total := 0.0
 	for _, ms := range cfg.Mix {
@@ -321,6 +338,14 @@ func (r *run) dispatch(schedCtx, reqCtx context.Context, start, measureFrom, end
 			if !measured {
 				return
 			}
+			// Shed responses are a third outcome, not failures: the server
+			// honored the deadline contract by refusing fast. Counting them
+			// as errors would punish shedding; recording their (tiny)
+			// turnaround would pollute the service-latency percentiles.
+			if errors.Is(err, errShed) {
+				r.sheds[ph].Add(1)
+				return
+			}
 			// Latency from the scheduled arrival: queue wait included.
 			if err != nil {
 				r.errs[ph].Add(1)
@@ -353,11 +378,18 @@ func (r *run) doQuery(ctx context.Context, q serve.Query, measured bool) error {
 	if err != nil {
 		return err
 	}
+	if r.cfg.Budget > 0 {
+		req.Header.Set("X-SPV-Budget", r.cfg.Budget.String())
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		io.Copy(io.Discard, resp.Body)
+		return errShed
+	}
 	if r.verifier != nil {
 		wire, err := io.ReadAll(resp.Body)
 		if err != nil {
@@ -420,6 +452,12 @@ func (r *run) doBatch(ctx context.Context, qs []serve.Query, measured bool) erro
 		return err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		// /batch takes the direct path today, but classify a 503 as shed
+		// here too so the ledger stays honest if batches ever coalesce.
+		io.Copy(io.Discard, resp.Body)
+		return errShed
+	}
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
 		return fmt.Errorf("batch status %d", resp.StatusCode)
@@ -620,6 +658,7 @@ func (r *run) report(before, after serve.Snapshot) *Report {
 		Warmup:   r.cfg.Warmup,
 		Locality: string(r.cfg.Locality),
 		Mix:      FormatMix(r.cfg.Mix),
+		Budget:   r.cfg.Budget,
 		Seed:     r.cfg.Seed,
 		Verify:   r.cfg.Verify,
 		CPUs:     runtime.NumCPU(),
@@ -631,6 +670,7 @@ func (r *run) report(before, after serve.Snapshot) *Report {
 			Offered: r.booked[ph].Load(),
 			Errors:  r.errs[ph].Load(),
 			Dropped: r.drops[ph].Load(),
+			Shed:    r.sheds[ph].Load(),
 		}
 		if ps.Offered == 0 && h.Count() == 0 {
 			continue // phase never ran (e.g. no updates configured)

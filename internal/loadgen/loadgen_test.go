@@ -17,6 +17,10 @@ import (
 // enabled) behind httptest and returns its base URL plus the pieces a
 // load config needs.
 func liveServer(t *testing.T) (string, *workload.Pool, [][]core.EdgeUpdate) {
+	return liveServerOpts(t, serve.Options{})
+}
+
+func liveServerOpts(t *testing.T, opts serve.Options) (string, *workload.Pool, [][]core.EdgeUpdate) {
 	t.Helper()
 	g, err := netgen.Generate(netgen.DE, netgen.Config{Scale: 0.01})
 	if err != nil {
@@ -29,7 +33,7 @@ func liveServer(t *testing.T) (string, *workload.Pool, [][]core.EdgeUpdate) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dep, err := serve.NewDeployment(owner, serve.Options{}, core.DIJ, core.LDM, core.HYP)
+	dep, err := serve.NewDeployment(owner, opts, core.DIJ, core.LDM, core.HYP)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,9 +108,9 @@ func TestRunEndToEnd(t *testing.T) {
 		if ps.Completed == 0 {
 			t.Errorf("phase %s: nothing completed", ph)
 		}
-		if ps.Completed+ps.Errors+ps.Dropped != ps.Offered {
-			t.Errorf("phase %s ledger: completed %d + errors %d + dropped %d != offered %d",
-				ph, ps.Completed, ps.Errors, ps.Dropped, ps.Offered)
+		if ps.Completed+ps.Errors+ps.Dropped+ps.Shed != ps.Offered {
+			t.Errorf("phase %s ledger: completed %d + errors %d + dropped %d + shed %d != offered %d",
+				ph, ps.Completed, ps.Errors, ps.Dropped, ps.Shed, ps.Offered)
 		}
 		if ps.Completed > 0 && (ps.P50 <= 0 || ps.P99 <= 0) {
 			t.Errorf("phase %s: non-positive quantiles p50=%v p99=%v", ph, ps.P50, ps.P99)
@@ -173,6 +177,60 @@ func TestRunCountsServerErrors(t *testing.T) {
 	}
 	if q.Completed != 0 {
 		t.Fatalf("unserved method completed %d requests", q.Completed)
+	}
+}
+
+// TestRunShedLedger drives a coalescing server with an unmeetable 1ns
+// budget: (nearly) every query is shed with 503, and the harness must
+// book those as their own ledger class — never errors, never latency
+// samples — while Completed+Errors+Dropped+Shed == Offered stays pinned.
+func TestRunShedLedger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load run takes ~1s of wall clock")
+	}
+	url, pool, _ := liveServerOpts(t, serve.Options{Coalesce: true})
+	mix, err := ParseMix("DIJ=1,LDM=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  url,
+		Rate:     100,
+		Duration: 700 * time.Millisecond,
+		Mix:      mix,
+		Pool:     pool,
+		Locality: workload.Friendly,
+		Budget:   time.Nanosecond, // expires in queue before any flush can start
+		Seed:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rep.Phases[PhaseQuery]
+	if q.Shed == 0 {
+		t.Fatal("1ns budget shed nothing")
+	}
+	if q.Errors != 0 {
+		t.Errorf("shed responses leaked into errors: %d", q.Errors)
+	}
+	if q.Completed+q.Errors+q.Dropped+q.Shed != q.Offered {
+		t.Errorf("ledger: completed %d + errors %d + dropped %d + shed %d != offered %d",
+			q.Completed, q.Errors, q.Dropped, q.Shed, q.Offered)
+	}
+	// Shed turnarounds must not pollute the latency histogram: the sample
+	// count is exactly the completed+errored requests.
+	var samples int64
+	for _, b := range q.Buckets {
+		samples += b.Count
+	}
+	if samples != q.Completed+q.Errors {
+		t.Errorf("histogram holds %d samples for %d completed+errored", samples, q.Completed+q.Errors)
+	}
+	if rep.Stats.Shed == 0 {
+		t.Error("server-side shed delta is zero")
+	}
+	if rep.Budget != time.Nanosecond {
+		t.Errorf("report budget = %v", rep.Budget)
 	}
 }
 

@@ -30,8 +30,9 @@ const (
 )
 
 // PhaseStats is one phase's ledger: every scheduled arrival is accounted
-// for as completed, failed, or dropped — achieved throughput can be
-// honestly compared against offered only if nothing vanishes.
+// for as completed, failed, dropped, or shed — achieved throughput can be
+// honestly compared against offered only if nothing vanishes
+// (Completed + Errors + Dropped + Shed == Offered, pinned by test).
 type PhaseStats struct {
 	// Offered counts scheduled arrivals in the measured window; OfferedQPS
 	// is the rate the open-loop schedule demanded.
@@ -46,6 +47,11 @@ type PhaseStats struct {
 	// cap was hit (the open-loop signal that the server has fallen over).
 	Errors  int64 `json:"errors"`
 	Dropped int64 `json:"dropped"`
+	// Shed counts requests the server refused with 503 under deadline
+	// pressure (Config.Budget). A shed is the server keeping its latency
+	// promise, not breaking one: it is neither a completion nor an error,
+	// and its turnaround is excluded from the latency quantiles below.
+	Shed int64 `json:"shed"`
 	// Latency quantiles are measured from the *scheduled* arrival time,
 	// not the actual send — a stalled server queues arrivals and the queue
 	// wait lands in the percentiles (coordinated-omission avoidance).
@@ -90,6 +96,7 @@ type StatsDelta struct {
 	Misses           int64   `json:"misses"`
 	Deduped          int64   `json:"deduped"`
 	Errors           int64   `json:"errors"`
+	Shed             int64   `json:"shed"`
 	HitRate          float64 `json:"hit_rate"`
 	EpochDelta       int64   `json:"epoch_delta"`
 	LeavesPatched    int64   `json:"leaves_patched"`
@@ -112,6 +119,14 @@ func delta(before, after serve.Snapshot) StatsDelta {
 		Before:           before,
 		After:            after,
 	}
+	// The shed counters live on the optional pipeline block; a server
+	// without coalescing (or an older one) simply reports zero shed.
+	if after.Pipeline != nil {
+		d.Shed = after.Pipeline.Shed
+		if before.Pipeline != nil {
+			d.Shed -= before.Pipeline.Shed
+		}
+	}
 	if d.Queries > 0 {
 		d.HitRate = float64(d.Hits) / float64(d.Queries)
 	}
@@ -127,7 +142,9 @@ type Report struct {
 	Warmup   time.Duration `json:"warmup_ns"`
 	Locality string        `json:"locality"`
 	Mix      string        `json:"mix"`
-	Seed     int64         `json:"seed"`
+	// Budget is the per-query deadline sent as X-SPV-Budget (0 = none).
+	Budget time.Duration `json:"budget_ns,omitempty"`
+	Seed   int64         `json:"seed"`
 	// Verify records whether the driver verified every proof client-side
 	// (see PhaseVerify for the cost it measured).
 	Verify bool `json:"verify"`

@@ -1,0 +1,421 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/authhints/spv/internal/core"
+)
+
+// This file is the adaptive micro-batching pipeline (DESIGN.md §15): a
+// bounded admission queue per method that coalesces concurrently-arriving
+// single queries into one shared execution. The engine's singles path
+// already makes batched work cheap on the prove side
+// (core.QueryProofBatch shares one pooled scratch across a flush), so the
+// pipeline's job is to manufacture batches out of concurrency: while one
+// flush executes, new arrivals accumulate behind it — group-commit
+// batching, the same shape databases use for log flushes. An idle server
+// runs flushes of one with no added wait; a backlog (an update stall, a
+// burst) drains as a handful of large flushes instead of a goroutine
+// herd.
+//
+// Equivalence contract: a coalesced query returns byte-identical wire
+// encoding, identical cache behaviour (per-key lookup and gen-checked
+// fill) and identical accounting classes (hit / miss / deduped / error)
+// to the singles path. Duplicates inside one flush are proven once and
+// the extras counted Deduped — the singleflight guarantee, delivered by
+// the flush's key grouping.
+//
+// Deadline semantics: a request may carry a budget (X-SPV-Budget, or the
+// server default). Admission sheds immediately when the queue is full
+// (ErrShedQueue) or when the estimated queue wait already exceeds the
+// budget (ErrShedDeadline); a queued item whose deadline expires before
+// its flush starts is shed at flush time. Shed requests are their own
+// accounting class — never queries, hits or errors — so a saturated
+// server's tail reflects work it actually did.
+
+// ErrShed is the base class of pipeline admission rejections; HTTP maps
+// it to 503 so clients can tell "shed under load, back off or retry
+// elsewhere" from real failures.
+var ErrShed = errors.New("serve: request shed")
+
+// ErrShedQueue reports an arrival that found the admission queue full —
+// the server-side backpressure bound.
+var ErrShedQueue = fmt.Errorf("%w: admission queue full", ErrShed)
+
+// ErrShedDeadline reports a request whose budget would have expired (or
+// did expire) in queue.
+var ErrShedDeadline = fmt.Errorf("%w: deadline exceeded in queue", ErrShed)
+
+// Pipeline tuning defaults (Options zero values).
+const (
+	// DefaultFlushSize caps how many queued items one flush executes.
+	DefaultFlushSize = 64
+	// DefaultFlushWait bounds the adaptive accumulation window. The
+	// window only opens when the observed queue depth says concurrent
+	// arrivals are likely (depth EWMA > 1), so idle traffic never waits.
+	DefaultFlushWait = 200 * time.Microsecond
+	// DefaultQueueCap bounds each method's admission queue.
+	DefaultQueueCap = 4096
+)
+
+// pendingQuery is one admitted query waiting for its flush.
+type pendingQuery struct {
+	q        Query
+	start    time.Time // admission time; the method latency histogram measures from here
+	deadline time.Time // zero when the request carries no budget
+	done     chan struct{}
+	ans      Answer
+	finished bool // set by finish; the flush panic guard uses it
+}
+
+// flushGroup is one distinct (vs, vt) key inside a flush and everyone
+// waiting on it.
+type flushGroup struct {
+	key     cacheKey
+	waiters []*pendingQuery
+}
+
+// pipe is one method's admission queue plus its executor state. The
+// executor goroutine is transient: it starts on the enqueue that finds
+// the pipe idle and exits when the queue drains, so an idle engine holds
+// no pipeline goroutines at all.
+type pipe struct {
+	e  *Engine
+	m  core.Method
+	sl *methodSlot
+
+	flushSize int
+	flushWait time.Duration
+	cap       int
+
+	mu      sync.Mutex
+	queue   []*pendingQuery
+	running bool
+	// depthEWMA tracks the queue depth observed at recent enqueues — the
+	// concurrency signal that scales the accumulation window.
+	depthEWMA float64
+	// itemNanos is an EWMA of recent per-item service time, the basis of
+	// the admission path's queue-wait estimate.
+	itemNanos float64
+}
+
+func newPipe(e *Engine, m core.Method, sl *methodSlot, opts Options) *pipe {
+	p := &pipe{
+		e:         e,
+		m:         m,
+		sl:        sl,
+		flushSize: opts.FlushSize,
+		flushWait: opts.FlushWait,
+		cap:       opts.QueueCap,
+	}
+	if p.flushSize <= 0 {
+		p.flushSize = DefaultFlushSize
+	}
+	switch {
+	case p.flushWait == 0:
+		p.flushWait = DefaultFlushWait
+	case p.flushWait < 0:
+		p.flushWait = 0
+	}
+	if p.cap <= 0 {
+		p.cap = DefaultQueueCap
+	}
+	return p
+}
+
+// enqueue admits one query (or sheds it) and returns the pending handle
+// the caller waits on.
+func (p *pipe) enqueue(q Query, budget time.Duration) (*pendingQuery, error) {
+	now := time.Now()
+	it := &pendingQuery{q: q, start: now, done: make(chan struct{})}
+	if budget > 0 {
+		it.deadline = now.Add(budget)
+	}
+	p.mu.Lock()
+	if len(p.queue) >= p.cap {
+		p.mu.Unlock()
+		p.e.stats.shedQueue.Add(1)
+		return nil, ErrShedQueue
+	}
+	if !it.deadline.IsZero() && p.itemNanos > 0 {
+		// Estimated queue wait: items ahead of us times recent per-item
+		// service time. A request that cannot make its deadline is shed
+		// now, before it wastes queue space and flush work.
+		wait := time.Duration(float64(len(p.queue)) * p.itemNanos)
+		if now.Add(wait).After(it.deadline) {
+			p.mu.Unlock()
+			p.e.stats.shedDeadline.Add(1)
+			return nil, ErrShedDeadline
+		}
+	}
+	p.queue = append(p.queue, it)
+	p.depthEWMA = 0.875*p.depthEWMA + 0.125*float64(len(p.queue))
+	start := !p.running
+	if start {
+		p.running = true
+		p.e.wg.Add(1)
+	}
+	p.mu.Unlock()
+	if start {
+		go p.run()
+	}
+	return it, nil
+}
+
+// run is the executor loop: grab up to flushSize pending items, execute
+// them as one flush, repeat until the queue drains. The accumulation
+// window only opens under observed concurrency (depth EWMA > 1) and
+// scales with it, capped at flushWait — an idle server's solo queries
+// flush immediately.
+func (p *pipe) run() {
+	defer p.e.wg.Done()
+	for {
+		p.mu.Lock()
+		if len(p.queue) == 0 {
+			p.running = false
+			p.mu.Unlock()
+			return
+		}
+		if p.flushWait > 0 && len(p.queue) < p.flushSize && p.depthEWMA > 1 {
+			scale := p.depthEWMA / float64(p.flushSize)
+			if scale > 1 {
+				scale = 1
+			}
+			wait := time.Duration(scale * float64(p.flushWait))
+			p.mu.Unlock()
+			time.Sleep(wait)
+			p.mu.Lock()
+		}
+		n := len(p.queue)
+		if n > p.flushSize {
+			n = p.flushSize
+		}
+		batch := make([]*pendingQuery, n)
+		copy(batch, p.queue)
+		rest := copy(p.queue, p.queue[n:])
+		for i := rest; i < len(p.queue); i++ {
+			p.queue[i] = nil // release flushed items for GC
+		}
+		p.queue = p.queue[:rest]
+		p.mu.Unlock()
+
+		start := time.Now()
+		p.flush(batch)
+		perItem := float64(time.Since(start)) / float64(n)
+		p.mu.Lock()
+		if p.itemNanos == 0 {
+			p.itemNanos = perItem
+		} else {
+			p.itemNanos = 0.875*p.itemNanos + 0.125*perItem
+		}
+		p.mu.Unlock()
+	}
+}
+
+// finish delivers one item's answer and records its whole-pipeline
+// latency in the method histogram (admission through delivery — the same
+// span the singles path measures).
+func (p *pipe) finish(it *pendingQuery, ans Answer) {
+	it.ans = ans
+	it.finished = true
+	p.sl.lat.Record(int64(time.Since(it.start)))
+	close(it.done)
+}
+
+// flush executes one batch: shed expired deadlines, group duplicates,
+// serve cache hits, batch-prove the cold keys with one shared scratch,
+// gen-checked cache fill, deliver. Accounting classes match the singles
+// path exactly (see the file comment's equivalence contract); queries
+// count at delivery, so shed items never inflate the query ledger.
+func (p *pipe) flush(batch []*pendingQuery) {
+	st := &p.e.stats
+	st.inFlight.Add(int64(len(batch)))
+	defer st.inFlight.Add(-int64(len(batch)))
+	// A panic anywhere in the flush must not strand waiters on their done
+	// channels: deliver the panic as a per-item error, like the singles
+	// path's recover does.
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("serve: %s flush panicked: %v", p.m, r)
+			for _, it := range batch {
+				if !it.finished {
+					st.queries.Add(1)
+					st.errors.Add(1)
+					p.finish(it, Answer{Query: it.q, Err: err})
+				}
+			}
+		}
+	}()
+	st.flushes.Add(1)
+	st.flushSizes.Record(int64(len(batch)))
+	if len(batch) >= 2 {
+		p.sl.coalesced.Add(int64(len(batch)))
+	} else {
+		p.sl.solo.Add(int64(len(batch)))
+	}
+
+	// Deadline pass: an item whose budget expired while queued is shed
+	// now — building its proof would be wasted work that delays the rest.
+	now := time.Now()
+	live := batch[:0:len(batch)]
+	for _, it := range batch {
+		if !it.deadline.IsZero() && now.After(it.deadline) {
+			st.shedDeadline.Add(1)
+			p.finish(it, Answer{Query: it.q, Err: ErrShedDeadline})
+			continue
+		}
+		live = append(live, it)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	// Group duplicates: one build per distinct key, order-preserving so
+	// the cold pairs hit the provider in arrival order.
+	groups := make([]*flushGroup, 0, len(live))
+	byKey := make(map[cacheKey]*flushGroup, len(live))
+	for _, it := range live {
+		k := cacheKey{m: it.q.Method, vs: it.q.VS, vt: it.q.VT}
+		g := byKey[k]
+		if g == nil {
+			g = &flushGroup{key: k}
+			byKey[k] = g
+			groups = append(groups, g)
+		}
+		g.waiters = append(g.waiters, it)
+	}
+
+	// Cache pass, then one batch-prove over the cold keys.
+	gen := p.sl.gen.Load() // before fn/prov: conservative under a racing swap
+	cold := make([]*flushGroup, 0, len(groups))
+	for _, g := range groups {
+		if p.e.cache != nil {
+			if c, ok := p.e.cache.Get(g.key); ok {
+				for _, it := range g.waiters {
+					st.queries.Add(1)
+					st.hits.Add(1)
+					p.finish(it, p.e.answer(it.q, c, true))
+				}
+				continue
+			}
+		}
+		cold = append(cold, g)
+	}
+	if len(cold) == 0 {
+		return
+	}
+	start := time.Now()
+	built := p.build(cold)
+	st.coldNanos.Add(int64(time.Since(start)))
+	genOK := p.sl.gen.Load() == gen
+	for i, g := range cold {
+		if built[i].err != nil {
+			for _, it := range g.waiters {
+				st.queries.Add(1)
+				st.errors.Add(1)
+				p.finish(it, Answer{Query: it.q, Err: built[i].err})
+			}
+			continue
+		}
+		// Same insert rule as the singles path: a build racing a swap must
+		// not re-poison the cache after the invalidation pass.
+		if p.e.cache != nil && genOK {
+			p.e.cache.Add(g.key, built[i].c)
+		}
+		for j, it := range g.waiters {
+			st.queries.Add(1)
+			if j == 0 {
+				st.misses.Add(1)
+			} else {
+				st.deduped.Add(1) // duplicate in flush: proven once, like singleflight
+			}
+			p.finish(it, p.e.answer(it.q, built[i].c, false))
+		}
+	}
+}
+
+// builtProof is one cold key's outcome inside a flush.
+type builtProof struct {
+	c   cached
+	err error
+}
+
+// build constructs the cold keys' proofs: one core.QueryProofBatch call
+// (one pooled scratch for the whole flush) when a real provider is
+// registered, a per-item fn loop for raw test closures.
+func (p *pipe) build(cold []*flushGroup) []builtProof {
+	res := make([]builtProof, len(cold))
+	if provPtr := p.sl.prov.Load(); provPtr != nil {
+		pairs := make([]core.QueryPair, len(cold))
+		for i, g := range cold {
+			pairs[i] = core.QueryPair{VS: g.key.vs, VT: g.key.vt}
+		}
+		for i, r := range core.QueryProofBatch(*provPtr, pairs) {
+			if r.Err != nil {
+				res[i].err = r.Err
+				continue
+			}
+			lo, hi, ok := r.Proof.LeafSpan()
+			path, dist := r.Proof.Result()
+			res[i].c = cached{
+				dist: dist,
+				hops: len(path) - 1,
+				wire: encodeWire(r.Proof.AppendBinary),
+				cov:  cover{lo, hi, ok},
+			}
+		}
+		return res
+	}
+	fn := *p.sl.fn.Load()
+	for i, g := range cold {
+		dist, hops, wire, cov, err := fn(g.key.vs, g.key.vt)
+		if err != nil {
+			res[i].err = err
+			continue
+		}
+		res[i].c = cached{dist: dist, hops: hops, wire: wire, cov: cov}
+	}
+	return res
+}
+
+// depth reports the pipe's current queue length (a /stats gauge).
+func (p *pipe) depth() int {
+	p.mu.Lock()
+	n := len(p.queue)
+	p.mu.Unlock()
+	return n
+}
+
+// QueryBudget answers one query under a latency budget. With coalescing
+// enabled the budget gates admission (see the deadline semantics above);
+// without it — or with no budget and no server default — it behaves
+// exactly like Query. A budget <= 0 means "use the server default".
+func (e *Engine) QueryBudget(q Query, budget time.Duration) (Answer, error) {
+	if budget <= 0 {
+		budget = e.defaultBudget
+	}
+	if sl, ok := e.run[q.Method]; ok && sl.pipe != nil && !e.closed.Load() {
+		it, err := sl.pipe.enqueue(q, budget)
+		if err != nil {
+			return Answer{Query: q, Err: err}, err
+		}
+		<-it.done
+		return it.ans, it.ans.Err
+	}
+	a := e.query(q)
+	return a, a.Err
+}
+
+// Close drains the pipeline: new queries bypass coalescing (they still
+// answer via the direct path) and Close blocks until every queued item
+// has been delivered. Safe to call more than once; a no-op for engines
+// without coalescing. Executors are transient goroutines either way —
+// Close exists so a shutting-down server can bound delivery of queued
+// answers before it stops accepting connections.
+func (e *Engine) Close() {
+	e.closed.Store(true)
+	e.wg.Wait()
+}

@@ -1,0 +1,498 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/authhints/spv/internal/core"
+	"github.com/authhints/spv/internal/graph"
+	"github.com/authhints/spv/internal/netgen"
+	"github.com/authhints/spv/internal/workload"
+)
+
+// TestCoalesceByteIdentity pins the pipeline's equivalence contract: a
+// query answered through a coalesced flush returns the byte-identical
+// wire encoding the classic singles path produces, for every method.
+// Caching is disabled on both engines so every answer is a real build,
+// and the concurrent barrier start makes multi-item flushes likely (the
+// contract holds either way — build() runs the same queryWith body).
+func TestCoalesceByteIdentity(t *testing.T) {
+	w := testWorld(t)
+	direct := w.engine(Options{CacheBytes: -1})
+	piped := w.engine(Options{CacheBytes: -1, Coalesce: true})
+	defer piped.Close()
+
+	type job struct {
+		q    Query
+		want []byte
+	}
+	var jobs []job
+	for _, m := range core.Methods() {
+		for _, q := range w.queries {
+			qq := Query{Method: m, VS: q.S, VT: q.T}
+			a, err := direct.Query(qq)
+			if err != nil {
+				t.Fatalf("direct %v: %v", qq, err)
+			}
+			jobs = append(jobs, job{qq, a.Proof})
+		}
+	}
+	// Duplicate a handful of jobs: duplicates landing in one flush take the
+	// deduped branch and must still carry the identical bytes.
+	jobs = append(jobs, jobs[0], jobs[1], jobs[len(jobs)-1])
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(jobs))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			<-start
+			a, err := piped.Query(j.q)
+			if err != nil {
+				errCh <- fmt.Errorf("piped %v: %v", j.q, err)
+				return
+			}
+			if !bytes.Equal(a.Proof, j.want) {
+				errCh <- fmt.Errorf("%v: coalesced proof differs from singles (%d vs %d bytes)",
+					j.q, len(a.Proof), len(j.want))
+				return
+			}
+			if err := verifyWire(w.verifier, a); err != nil {
+				errCh <- fmt.Errorf("%v: %v", j.q, err)
+			}
+		}(j)
+	}
+	close(start)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	s := piped.Stats()
+	if s.Pipeline == nil {
+		t.Fatal("coalescing engine reports no pipeline snapshot")
+	}
+	if s.Pipeline.Flushes == 0 {
+		t.Error("no flushes recorded")
+	}
+	if got, want := s.Queries, int64(len(jobs)); got != want {
+		t.Errorf("queries = %d, want %d", got, want)
+	}
+	if s.Hits+s.Misses+s.Deduped+s.Errors != s.Queries {
+		t.Errorf("accounting: hits %d + misses %d + deduped %d + errors %d != queries %d",
+			s.Hits, s.Misses, s.Deduped, s.Errors, s.Queries)
+	}
+}
+
+// TestCoalesceCacheAndDedup pins the pipeline's cache and singleflight
+// composition: N concurrent identical queries build exactly one proof
+// (the rest are flush-deduped or cache hits), a later repeat is a cache
+// hit, and the accounting invariant holds throughout.
+func TestCoalesceCacheAndDedup(t *testing.T) {
+	w := testWorld(t)
+	e := w.engine(Options{Coalesce: true})
+	defer e.Close()
+	q := Query{Method: core.LDM, VS: w.queries[0].S, VT: w.queries[0].T}
+
+	const n = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			a, err := e.Query(q)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if err := verifyWire(w.verifier, a); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	s := e.Stats()
+	if s.Queries != n {
+		t.Errorf("queries = %d, want %d", s.Queries, n)
+	}
+	if s.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (one build for %d identical queries)", s.Misses, n)
+	}
+	if s.Hits+s.Misses+s.Deduped != n || s.Errors != 0 {
+		t.Errorf("ledger: hits %d + misses %d + deduped %d != %d (errors %d)",
+			s.Hits, s.Misses, s.Deduped, n, s.Errors)
+	}
+
+	a, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Cached {
+		t.Error("repeat query not served from cache")
+	}
+
+	s = e.Stats()
+	if s.Pipeline == nil {
+		t.Fatal("no pipeline snapshot")
+	}
+	ms := s.Pipeline.Methods[core.LDM]
+	if ms.Coalesced+ms.Solo != n+1 {
+		t.Errorf("pipeline method ledger: coalesced %d + solo %d != %d",
+			ms.Coalesced, ms.Solo, n+1)
+	}
+	if s.Pipeline.Shed != 0 || s.Pipeline.QueueDepth != 0 || s.Pipeline.InFlight != 0 {
+		t.Errorf("idle pipeline reports shed %d, depth %d, in-flight %d",
+			s.Pipeline.Shed, s.Pipeline.QueueDepth, s.Pipeline.InFlight)
+	}
+}
+
+// TestCoalesceErrorDelivery pins error accounting through a flush: a
+// failing build is delivered to every waiter as the error itself and
+// counted once per query in the error class.
+func TestCoalesceErrorDelivery(t *testing.T) {
+	e := NewEngine(Options{Coalesce: true, CacheBytes: -1})
+	defer e.Close()
+	boom := errors.New("provider exploded")
+	e.register("BAD", func(vs, vt graph.NodeID) (float64, int, []byte, cover, error) {
+		return 0, 0, nil, cover{}, boom
+	})
+	if _, err := e.Query(Query{Method: "BAD"}); !errors.Is(err, boom) {
+		t.Fatalf("error not delivered: %v", err)
+	}
+	s := e.Stats()
+	if s.Errors != 1 || s.Queries != 1 {
+		t.Errorf("errors %d / queries %d, want 1/1", s.Errors, s.Queries)
+	}
+}
+
+// blockingEngine builds a coalescing engine around one gated method:
+// builds block until release is closed, and entered signals each build's
+// start. The gate lets tests hold a flush open while arrivals pile up
+// behind it.
+func blockingEngine(opts Options) (e *Engine, entered chan struct{}, release chan struct{}) {
+	entered = make(chan struct{}, 64)
+	release = make(chan struct{})
+	opts.Coalesce = true
+	e = NewEngine(opts)
+	e.register("SLOW", func(vs, vt graph.NodeID) (float64, int, []byte, cover, error) {
+		entered <- struct{}{}
+		<-release
+		return 1, 1, []byte{0xAB}, cover{}, nil
+	})
+	return e, entered, release
+}
+
+// waitDepth polls one method's admission-queue depth until it reaches
+// want (the enqueue happens on the caller's goroutine, so a short poll is
+// the only synchronization available to the test).
+func waitDepth(t *testing.T, e *Engine, m core.Method, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.run[m].pipe.depth() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d (at %d)", want, e.run[m].pipe.depth())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestCoalesceShedQueueFull pins the backpressure bound: arrivals past
+// QueueCap are rejected with ErrShedQueue, counted in the shed class and
+// never in the query ledger.
+func TestCoalesceShedQueueFull(t *testing.T) {
+	e, entered, release := blockingEngine(Options{CacheBytes: -1, QueueCap: 2})
+	defer e.Close()
+
+	var wg sync.WaitGroup
+	results := make(chan error, 3)
+	enqueue := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := e.Query(Query{Method: "SLOW", VS: 1, VT: 2})
+			results <- err
+		}()
+	}
+	enqueue()
+	<-entered // first item is inside its flush; the queue is empty again
+	enqueue()
+	enqueue()
+	waitDepth(t, e, "SLOW", 2) // both queued behind the held flush
+
+	// The queue is at cap: the next arrival must shed synchronously.
+	_, err := e.Query(Query{Method: "SLOW", VS: 1, VT: 2})
+	if !errors.Is(err, ErrShedQueue) || !errors.Is(err, ErrShed) {
+		t.Fatalf("want ErrShedQueue, got %v", err)
+	}
+
+	close(release)
+	wg.Wait()
+	for i := 0; i < 3; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("queued query failed: %v", err)
+		}
+	}
+	s := e.Stats()
+	if s.Pipeline.ShedQueue != 1 || s.Pipeline.Shed != 1 {
+		t.Errorf("shed-queue = %d (shed %d), want 1", s.Pipeline.ShedQueue, s.Pipeline.Shed)
+	}
+	if s.Queries != 3 {
+		t.Errorf("queries = %d, want 3 (shed requests are not queries)", s.Queries)
+	}
+	if s.Errors != 0 {
+		t.Errorf("errors = %d, want 0 (shed requests are not errors)", s.Errors)
+	}
+}
+
+// TestCoalesceShedDeadline pins both deadline shed points: a queued item
+// whose budget expires while a flush holds the executor is shed at flush
+// time, and — once the pipe has a service-time estimate — an arrival that
+// cannot make its budget is shed at admission, before queueing.
+func TestCoalesceShedDeadline(t *testing.T) {
+	e, entered, release := blockingEngine(Options{CacheBytes: -1})
+	defer e.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	first := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		_, err := e.Query(Query{Method: "SLOW", VS: 1, VT: 2})
+		first <- err
+	}()
+	<-entered // flush for the first item is now held open
+
+	// Second item: 5ms budget, queued behind a flush held far longer.
+	shed := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		_, err := e.QueryBudget(Query{Method: "SLOW", VS: 3, VT: 4}, 5*time.Millisecond)
+		shed <- err
+	}()
+	waitDepth(t, e, "SLOW", 1)
+	time.Sleep(20 * time.Millisecond) // let the budget expire in queue
+	close(release)
+	wg.Wait()
+	if err := <-first; err != nil {
+		t.Fatalf("unbudgeted query failed: %v", err)
+	}
+	if err := <-shed; !errors.Is(err, ErrShedDeadline) {
+		t.Fatalf("want flush-time ErrShedDeadline, got %v", err)
+	}
+
+	// The completed flush took ≥20ms, so the pipe's per-item service
+	// estimate is enormous; with anything queued, a tiny budget must now
+	// shed at admission. Hold a new flush open to keep one item queued.
+	release2 := make(chan struct{})
+	fn2 := queryFn(func(vs, vt graph.NodeID) (float64, int, []byte, cover, error) {
+		entered <- struct{}{}
+		<-release2
+		return 1, 1, []byte{0xAB}, cover{}, nil
+	})
+	e.run["SLOW"].fn.Store(&fn2)
+	var wg2 sync.WaitGroup
+	wg2.Add(2)
+	go func() {
+		defer wg2.Done()
+		e.Query(Query{Method: "SLOW", VS: 10, VT: 2})
+	}()
+	<-entered // first item is inside its held flush
+	go func() {
+		defer wg2.Done()
+		e.Query(Query{Method: "SLOW", VS: 11, VT: 2})
+	}()
+	waitDepth(t, e, "SLOW", 1)
+	_, err := e.QueryBudget(Query{Method: "SLOW", VS: 99, VT: 2}, time.Nanosecond)
+	if !errors.Is(err, ErrShedDeadline) {
+		t.Fatalf("want admission-time ErrShedDeadline, got %v", err)
+	}
+	close(release2)
+	wg2.Wait()
+
+	s := e.Stats()
+	if s.Pipeline.ShedDeadline < 2 {
+		t.Errorf("shed-deadline = %d, want ≥2 (flush-time + admission-time)", s.Pipeline.ShedDeadline)
+	}
+}
+
+// TestCoalesceCloseFallsBack pins shutdown semantics: after Close the
+// engine still answers (via the direct path), so a drain window never
+// turns queries into errors.
+func TestCoalesceCloseFallsBack(t *testing.T) {
+	w := testWorld(t)
+	e := w.engine(Options{Coalesce: true})
+	q := Query{Method: core.DIJ, VS: w.queries[0].S, VT: w.queries[0].T}
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	a, err := e.Query(q)
+	if err != nil {
+		t.Fatalf("post-Close query failed: %v", err)
+	}
+	verifyAnswer(t, w.verifier, a)
+	e.Close() // idempotent
+}
+
+// TestHTTPShedMapsTo503 pins the wire contract for shed requests: HTTP
+// 503 with a Retry-After hint, distinct from 4xx/5xx failures.
+func TestHTTPShedMapsTo503(t *testing.T) {
+	e, entered, release := blockingEngine(Options{CacheBytes: -1, QueueCap: 1})
+	defer e.Close()
+	defer close(release)
+	srv, err := NewServer(e, testWorld(t).verifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Hold a flush open and fill the queue so the probe request sheds.
+	go e.Query(Query{Method: "SLOW", VS: 1, VT: 2})
+	<-entered
+	go e.Query(Query{Method: "SLOW", VS: 3, VT: 4})
+	waitDepth(t, e, "SLOW", 1)
+
+	resp, err := http.Get(ts.URL + "/query?method=SLOW&vs=5&vt=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 carries no Retry-After")
+	}
+
+	// A malformed budget is the client's fault, not load.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/query?method=SLOW&vs=1&vt=2", nil)
+	req.Header.Set("X-SPV-Budget", "-3ms")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad budget status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestCoalesceRaceUpdates hammers the coalescing pipeline with concurrent
+// queries (duplicates included, to force shared flushes) while the
+// deployment applies update batches and hot-swaps providers. Every answer
+// must pass full client verification against the epoch root it claims —
+// the same self-consistency contract the singles path pins in
+// TestQueriesRaceUpdates. Run with -race this also pins the flush path's
+// memory safety across swaps.
+func TestCoalesceRaceUpdates(t *testing.T) {
+	g, err := netgen.Generate(netgen.DE, netgen.Config{Scale: 0.01, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Landmarks = 5
+	cfg.Cells = 9
+	owner, err := core.NewOwner(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := NewDeployment(owner, Options{CacheBytes: 1 << 20, Coalesce: true},
+		core.DIJ, core.LDM, core.HYP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := workload.Generate(g, 10, 2000, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := owner.Verifier()
+	engine := dep.Engine()
+	defer engine.Close()
+	methods := []core.Method{core.DIJ, core.LDM, core.HYP}
+
+	const batches = 8
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				// A small pool plus several workers makes in-flush duplicates
+				// common, exercising the deduped delivery branch under swaps.
+				q := qs[rng.Intn(3)]
+				a, err := engine.Query(Query{Method: methods[rng.Intn(len(methods))], VS: q.S, VT: q.T})
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				if err := verifyWire(verifier, a); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < batches; i++ {
+		ups := make([]core.EdgeUpdate, 0, 2)
+		for len(ups) < 2 {
+			u := graph.NodeID(rng.Intn(g.NumNodes()))
+			adj := owner.Graph().Neighbors(u)
+			if len(adj) == 0 {
+				continue
+			}
+			e := adj[rng.Intn(len(adj))]
+			ups = append(ups, core.EdgeUpdate{U: u, V: e.To, W: e.W * (0.6 + rng.Float64())})
+		}
+		if _, err := dep.ApplyUpdates(ups); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("racing coalesced query failed verification: %v", err)
+	}
+	s := engine.Stats()
+	if s.Epoch != batches {
+		t.Errorf("engine epoch = %d, want %d", s.Epoch, batches)
+	}
+	if s.Hits+s.Misses+s.Deduped+s.Errors != s.Queries {
+		t.Errorf("accounting under swaps: hits %d + misses %d + deduped %d + errors %d != queries %d",
+			s.Hits, s.Misses, s.Deduped, s.Errors, s.Queries)
+	}
+	if s.Pipeline == nil || s.Pipeline.Flushes == 0 {
+		t.Error("race run recorded no flushes")
+	}
+}

@@ -23,11 +23,17 @@ type Deployment struct {
 	engine *Engine
 
 	provs map[core.Method]core.Provider
-	// cert, when non-nil, is the deployment's current snapshot
-	// certificate. Certify issues it; ApplyUpdates re-issues it per epoch
-	// (a certificate binds one epoch's labellings and roots, so a held
-	// stale one would fail every replica audit); Save embeds it.
-	cert *cert.Certificate
+	// cert, when non-nil, is the deployment's snapshot certificate.
+	// Certify issues it; ApplyUpdates marks it stale (a certificate binds
+	// one epoch's labellings and roots); Certificate and Save re-issue
+	// lazily on demand. Deferring the re-issue keeps the full-wire
+	// re-sign (~the cost of certifying every method) off the update
+	// critical path — at high update rates it was the dominant
+	// contributor to query tail latency — while preserving the external
+	// contract: every observed certificate and every saved snapshot
+	// matches the served epoch.
+	cert      *cert.Certificate
+	certStale bool
 }
 
 // NewDeployment outsources each requested method from the owner, registers
@@ -80,9 +86,9 @@ func (d *Deployment) methodsLocked() []core.Method {
 
 // Certify issues a snapshot certificate covering every served method at
 // the deployment's current epoch and retains it: subsequent Saves embed
-// it, and ApplyUpdates re-issues it after each batch so the held
-// certificate always matches the served epoch. Returns the certificate
-// (callers may also ship it out of band).
+// it, and update batches mark it stale so the next Certificate or Save
+// re-issues against the served epoch. Returns the certificate (callers
+// may also ship it out of band).
 func (d *Deployment) Certify() (*cert.Certificate, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -99,15 +105,33 @@ func (d *Deployment) certifyLocked() (*cert.Certificate, error) {
 		return nil, fmt.Errorf("serve: certify: %w", err)
 	}
 	d.cert = c
+	d.certStale = false
 	return c, nil
 }
 
-// Certificate returns the deployment's current snapshot certificate, or
-// nil if Certify has not been called.
+// freshCertLocked returns the held certificate, re-issuing it first when
+// updates have made it stale — the lazy half of the certification
+// contract (issue on demand, never serve a stale one).
+func (d *Deployment) freshCertLocked() (*cert.Certificate, error) {
+	if d.cert != nil && d.certStale {
+		return d.certifyLocked()
+	}
+	return d.cert, nil
+}
+
+// Certificate returns the deployment's snapshot certificate at the
+// served epoch (re-issuing if updates landed since the last issue), or
+// nil if Certify has not been called. A re-issue failure returns the
+// stale certificate rather than nothing — its epoch field makes the
+// staleness visible to any audit.
 func (d *Deployment) Certificate() *cert.Certificate {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.cert
+	c, err := d.freshCertLocked()
+	if err != nil {
+		return d.cert
+	}
+	return c
 }
 
 // UpdateSummary reports what one ApplyUpdates batch did across the owner
@@ -164,13 +188,12 @@ func (d *Deployment) ApplyUpdates(ups []core.EdgeUpdate) (UpdateSummary, error) 
 		sum.DistLeavesPatched += st.DistLeavesPatched
 	}
 	if d.cert != nil {
-		// A certificate binds one epoch's labellings and roots; holding the
-		// pre-batch one would poison the next Save. Re-issue against the
-		// patched providers — failure here is a real error (the providers
-		// just swapped in, so certification should succeed), not ignorable.
-		if _, err := d.certifyLocked(); err != nil {
-			return sum, err
-		}
+		// A certificate binds one epoch's labellings and roots; the
+		// pre-batch one no longer matches what is served. Mark it stale and
+		// let the next Certificate or Save re-issue: certification costs a
+		// full-wire re-sign, and paying it inside every update batch was
+		// the dominant source of query tail latency under mixed load.
+		d.certStale = true
 	}
 	sum.Duration = time.Since(start)
 	d.engine.NoteUpdate(sum.Duration, sum.LeavesPatched)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"github.com/authhints/spv/internal/core"
 	"github.com/authhints/spv/internal/graph"
@@ -158,8 +159,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	a, err := s.engine.Query(q)
+	budget, err := parseBudget(r)
 	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	a, err := s.engine.QueryBudget(q, budget)
+	if err != nil {
+		if errors.Is(err, ErrShed) {
+			// Shed under load: tell the client to back off briefly rather
+			// than hammer a saturated admission queue.
+			w.Header().Set("Retry-After", "1")
+		}
 		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
@@ -176,10 +187,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, toWire(a))
 }
 
+// parseBudget reads the request's latency budget from the X-SPV-Budget
+// header (a Go duration string, e.g. "50ms"). Absent or empty means "use
+// the server default"; a non-positive value is rejected — a client that
+// wants no deadline omits the header.
+func parseBudget(r *http.Request) (time.Duration, error) {
+	h := r.Header.Get("X-SPV-Budget")
+	if h == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(h)
+	if err != nil {
+		return 0, fmt.Errorf("bad X-SPV-Budget: %w", err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("bad X-SPV-Budget: %v is not positive", d)
+	}
+	return d, nil
+}
+
 // statusFor blames the right party: unknown methods and bad endpoints are
-// the client's fault, disconnection is absence, everything else is ours.
+// the client's fault, disconnection is absence, shed requests are load
+// (503: retryable, not a failure of the query itself), everything else is
+// ours.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, ErrShed):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownMethod):
 		return http.StatusNotFound
 	case errors.Is(err, core.ErrBadQuery):

@@ -76,6 +76,25 @@ type Options struct {
 	// capacity with a predictable memory footprint. Default (0):
 	// DefaultCacheBytes. Negative: caching disabled.
 	CacheBytes int64
+
+	// Coalesce enables the adaptive micro-batching pipeline (coalesce.go,
+	// DESIGN.md §15): concurrently-arriving single queries per method are
+	// executed as shared flushes. Off by default — the zero Options keeps
+	// the classic direct path.
+	Coalesce bool
+	// FlushSize caps the items one pipeline flush executes.
+	// Default: DefaultFlushSize.
+	FlushSize int
+	// FlushWait bounds the pipeline's adaptive accumulation window
+	// (scaled by observed queue depth; zero wait when idle).
+	// Default (0): DefaultFlushWait. Negative: no accumulation wait.
+	FlushWait time.Duration
+	// QueueCap bounds each method's admission queue; arrivals beyond it
+	// are shed with ErrShedQueue. Default: DefaultQueueCap.
+	QueueCap int
+	// DefaultBudget is the latency budget applied to queries that carry
+	// none (QueryBudget with budget <= 0, plain Query). Zero: no deadline.
+	DefaultBudget time.Duration
 }
 
 // DefaultCacheBytes is the proof-cache byte budget when Options leaves
@@ -114,6 +133,16 @@ type queryFn func(vs, vt graph.NodeID) (dist float64, hops int, wire []byte, cov
 type methodSlot struct {
 	fn  atomic.Pointer[queryFn]
 	gen atomic.Int64
+	// prov is the registered provider behind fn (nil for raw test
+	// closures); the pipeline's flush path batch-proves through it.
+	prov atomic.Pointer[core.Provider]
+	// pipe is the method's micro-batching pipeline, nil when coalescing
+	// is disabled. Set at Register time, before the engine is shared.
+	pipe *pipe
+	// coalesced counts items served by flushes of ≥2; solo counts
+	// single-item flushes (pipeline /stats gauges).
+	coalesced atomic.Int64
+	solo      atomic.Int64
 	// lat is the method's server-observed latency histogram (whole query
 	// path: cache lookup through answer materialization, hits and colds
 	// alike). It survives hot-swaps — latency is a property of serving the
@@ -135,6 +164,15 @@ type Engine struct {
 	cache   *lruCache // nil when caching is disabled
 	flights flightGroup
 	stats   engineStats
+
+	// Pipeline state (coalesce.go). opts is retained so Register can
+	// build per-method pipes; wg tracks transient executor goroutines for
+	// Close; closed routes post-Close queries to the direct path.
+	opts          Options
+	coalesce      bool
+	defaultBudget time.Duration
+	closed        atomic.Bool
+	wg            sync.WaitGroup
 }
 
 // engineStats is the engine's atomic counter block (see Snapshot for
@@ -152,6 +190,14 @@ type engineStats struct {
 	lastUpdateNanos  atomic.Int64
 	leavesPatched    atomic.Int64
 	cacheInvalidated atomic.Int64
+
+	// Pipeline counters (coalesce.go): shed classes, the in-flight gauge,
+	// and the flush-size histogram.
+	shedQueue    atomic.Int64
+	shedDeadline atomic.Int64
+	inFlight     atomic.Int64
+	flushes      atomic.Int64
+	flushSizes   hist.Histogram
 }
 
 // Snapshot is a point-in-time copy of the engine's counters.
@@ -196,6 +242,40 @@ type Snapshot struct {
 	// client-observed numbers from a load run can be cross-checked against
 	// what the server itself saw. Keys follow Methods.
 	Latency map[core.Method]LatencySummary `json:"latency,omitempty"`
+	// Pipeline reports the micro-batching pipeline's live gauges and
+	// counters; nil when coalescing is disabled.
+	Pipeline *PipelineSnapshot `json:"pipeline,omitempty"`
+}
+
+// PipelineSnapshot is the micro-batching pipeline's /stats block: the
+// queueing that used to be invisible server-side.
+type PipelineSnapshot struct {
+	// QueueDepth is the current total admission-queue length across
+	// methods; InFlight the number of items inside executing flushes.
+	QueueDepth int64 `json:"queue_depth"`
+	InFlight   int64 `json:"in_flight"`
+	// Shed totals requests rejected by admission control; ShedQueue of
+	// those found the queue full, ShedDeadline could not (or did not)
+	// make their latency budget. Shed requests are not Queries.
+	Shed         int64 `json:"shed"`
+	ShedQueue    int64 `json:"shed_queue"`
+	ShedDeadline int64 `json:"shed_deadline"`
+	// Flushes counts executed flushes; the Flush* fields summarize the
+	// flush-size histogram (items per flush).
+	Flushes   int64   `json:"flushes"`
+	FlushMean float64 `json:"flush_mean"`
+	FlushP50  int64   `json:"flush_p50"`
+	FlushP99  int64   `json:"flush_p99"`
+	FlushMax  int64   `json:"flush_max"`
+	// Methods reports, per method, how many items were served by shared
+	// flushes (≥2 items) vs solo flushes — the coalescing rate.
+	Methods map[core.Method]PipeMethodStats `json:"methods,omitempty"`
+}
+
+// PipeMethodStats is one method's coalesced-vs-solo split.
+type PipeMethodStats struct {
+	Coalesced int64 `json:"coalesced"`
+	Solo      int64 `json:"solo"`
 }
 
 // LatencySummary condenses one method's latency histogram for /stats.
@@ -216,8 +296,11 @@ func NewEngine(opts Options) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		workers: workers,
-		run:     make(map[core.Method]*methodSlot),
+		workers:       workers,
+		run:           make(map[core.Method]*methodSlot),
+		opts:          opts,
+		coalesce:      opts.Coalesce,
+		defaultBudget: opts.DefaultBudget,
 	}
 	switch {
 	case opts.CacheBytes > 0:
@@ -270,22 +353,32 @@ func providerFn(p core.Provider) queryFn {
 // replaces the provider. Must run before the engine is shared: the run
 // map itself is read without locking on the hot path (only the slot
 // pointers swap).
-func (e *Engine) Register(p core.Provider) { e.register(p.Method(), providerFn(p)) }
+func (e *Engine) Register(p core.Provider) { e.registerSlot(p.Method(), providerFn(p), p) }
 
 // register attaches a raw queryFn under m (tests inject failing methods
 // through it).
-func (e *Engine) register(m core.Method, fn queryFn) {
+func (e *Engine) register(m core.Method, fn queryFn) { e.registerSlot(m, fn, nil) }
+
+func (e *Engine) registerSlot(m core.Method, fn queryFn, p core.Provider) {
 	sl, ok := e.run[m]
 	if !ok {
 		sl = &methodSlot{}
 		e.run[m] = sl
 	}
 	sl.fn.Store(&fn)
+	if p != nil {
+		sl.prov.Store(&p)
+	} else {
+		sl.prov.Store(nil)
+	}
+	if e.coalesce && sl.pipe == nil {
+		sl.pipe = newPipe(e, m, sl, e.opts)
+	}
 }
 
 // Swap hot-swaps p.Method()'s provider for a patched one; see swap.
 func (e *Engine) Swap(p core.Provider, st *core.PatchStats) error {
-	return e.swap(p.Method(), providerFn(p), st)
+	return e.swapSlot(p.Method(), providerFn(p), p, st)
 }
 
 // swap atomically replaces a registered method's provider closure, then
@@ -297,12 +390,21 @@ func (e *Engine) Swap(p core.Provider, st *core.PatchStats) error {
 // simply verify under the root they were signed with. In-flight queries
 // race the pointer swap benignly — every proof is self-consistent.
 func (e *Engine) swap(m core.Method, fn queryFn, st *core.PatchStats) error {
+	return e.swapSlot(m, fn, nil, st)
+}
+
+func (e *Engine) swapSlot(m core.Method, fn queryFn, p core.Provider, st *core.PatchStats) error {
 	sl, ok := e.run[m]
 	if !ok {
 		return fmt.Errorf("%w %q", ErrUnknownMethod, m)
 	}
-	sl.gen.Add(1) // before the store: builds that saw the old fn must not cache
+	sl.gen.Add(1) // before the stores: builds that saw the old fn must not cache
 	sl.fn.Store(&fn)
+	if p != nil {
+		sl.prov.Store(&p)
+	} else {
+		sl.prov.Store(nil)
+	}
 	if e.cache == nil || st == nil {
 		return nil
 	}
@@ -360,10 +462,11 @@ func (e *Engine) Methods() []core.Method {
 }
 
 // Query answers one query. Safe for concurrent use; identical concurrent
-// queries share one proof construction.
+// queries share one proof construction. With coalescing enabled the query
+// rides the micro-batching pipeline under the server's default budget —
+// QueryBudget is the explicit-budget variant.
 func (e *Engine) Query(q Query) (Answer, error) {
-	a := e.query(q)
-	return a, a.Err
+	return e.QueryBudget(q, 0)
 }
 
 // QueryBatch answers a batch with worker-pool fan-out, preserving order.
@@ -440,6 +543,35 @@ func (e *Engine) Stats() Snapshot {
 		s.CacheEvictions = e.cache.Evictions()
 		s.CacheBytes = e.cache.Bytes()
 		s.CacheBytesEvicted = e.cache.EvictedBytes()
+	}
+	if e.coalesce {
+		fh := e.stats.flushSizes.Snapshot()
+		p := &PipelineSnapshot{
+			InFlight:     e.stats.inFlight.Load(),
+			ShedQueue:    e.stats.shedQueue.Load(),
+			ShedDeadline: e.stats.shedDeadline.Load(),
+			Flushes:      e.stats.flushes.Load(),
+			FlushMean:    fh.Mean(),
+			FlushP50:     fh.Quantile(0.50),
+			FlushP99:     fh.Quantile(0.99),
+			FlushMax:     fh.MaxValue(),
+		}
+		p.Shed = p.ShedQueue + p.ShedDeadline
+		for _, m := range s.Methods {
+			sl := e.run[m]
+			if sl.pipe == nil {
+				continue
+			}
+			p.QueueDepth += int64(sl.pipe.depth())
+			if p.Methods == nil {
+				p.Methods = make(map[core.Method]PipeMethodStats, len(s.Methods))
+			}
+			p.Methods[m] = PipeMethodStats{
+				Coalesced: sl.coalesced.Load(),
+				Solo:      sl.solo.Load(),
+			}
+		}
+		s.Pipeline = p
 	}
 	return s
 }

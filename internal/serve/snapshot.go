@@ -47,15 +47,21 @@ func (d *Deployment) Save(w io.Writer) (int64, error) {
 }
 
 // save is Save plus the epoch of the cut, read under the same mutex hold
-// so callers reporting both never mix two generations.
+// so callers reporting both never mix two generations. A certificate made
+// stale by updates is re-issued here — every saved snapshot embeds a
+// certificate at exactly the epoch it records.
 func (d *Deployment) save(w io.Writer) (bytes, epoch int64, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	c, err := d.freshCertLocked()
+	if err != nil {
+		return 0, 0, err
+	}
 	provs := make([]core.Provider, 0, len(d.provs))
 	for _, m := range d.methodsLocked() {
 		provs = append(provs, d.provs[m])
 	}
-	bytes, err = d.owner.WriteSnapshotCert(w, d.cert, provs...)
+	bytes, err = d.owner.WriteSnapshotCert(w, c, provs...)
 	return bytes, d.owner.Epoch(), err
 }
 
